@@ -1,0 +1,321 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs the
+// corresponding experiment end-to-end and reports the headline quantities
+// as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result. EXPERIMENTS.md records the paper-vs-measured
+// comparison produced by these harnesses (via cmd/experiments).
+package cannikin
+
+import (
+	"fmt"
+	"testing"
+
+	"cannikin/internal/experiments"
+	"cannikin/internal/gns"
+	"cannikin/internal/optperf"
+	"cannikin/internal/rng"
+)
+
+var benchOpt = experiments.Options{Seed: 1, Quick: true}
+
+func BenchmarkFig5BatchSizeTrajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig5(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, finalBatch := fig.Get("global").Last()
+		b.ReportMetric(finalBatch, "final-global-batch")
+	}
+}
+
+func BenchmarkFig6ConvergenceComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		canT, _ := figs[2].Get("cannikin").Last()
+		adlT, _ := figs[2].Get("adaptdl").Last()
+		b.ReportMetric(adlT/canT, "speedup-vs-adaptdl")
+	}
+}
+
+func BenchmarkFig7ConvergenceProcess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig7(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fig := range figs {
+			canT, _ := fig.Get("cannikin").Last()
+			ddpT, _ := fig.Get("pytorch-ddp").Last()
+			b.ReportMetric(ddpT/canT, "speedup-vs-ddp")
+		}
+	}
+}
+
+func BenchmarkFig8NormalizedConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig8(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the worst-case DDP slowdown across workloads.
+		maxDDP := 0.0
+		for _, row := range tab.Rows {
+			var v float64
+			if _, err := fmt.Sscan(row[len(row)-1], &v); err != nil {
+				b.Fatal(err)
+			}
+			if v > maxDDP {
+				maxDDP = v
+			}
+		}
+		b.ReportMetric(maxDDP, "max-ddp-slowdown")
+	}
+}
+
+func BenchmarkFig9FixedBatchApproach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig9(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		can := fig.Get("cannikin")
+		lbb := fig.Get("lb-bsp")
+		// Epochs LB-BSP needs to get within 5% of Cannikin's final time.
+		target := can.Y[can.Len()-1] * 1.05
+		epochs := float64(lbb.Len())
+		for j := 0; j < lbb.Len(); j++ {
+			if lbb.Y[j] <= target {
+				epochs = float64(j)
+				break
+			}
+		}
+		b.ReportMetric(epochs, "lbbsp-epochs-to-optperf")
+	}
+}
+
+func BenchmarkFig10BatchProcessingTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Fig10(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the largest measured DDP-vs-OptPerf gap across all
+		// workloads and batch sizes.
+		maxGap := 0.0
+		for _, fig := range figs {
+			sOpt, sDDP := fig.Get("optperf"), fig.Get("pytorch-ddp")
+			for j := range sOpt.X {
+				if gap := sDDP.Y[j]/sOpt.Y[j] - 1; gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		b.ReportMetric(100*maxGap, "max-ddp-gap-pct")
+	}
+}
+
+func BenchmarkTable6Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, row := range tab.Rows {
+			var overall float64
+			if _, err := fmt.Sscan(row[3], &overall); err != nil {
+				b.Fatal(err)
+			}
+			if overall > worst {
+				worst = overall
+			}
+		}
+		b.ReportMetric(worst, "worst-overall-overhead-pct")
+	}
+}
+
+func BenchmarkPredictionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.PredictionError(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxIVW, maxPlain float64
+		for _, row := range tab.Rows {
+			var ivw, plain float64
+			if _, err := fmt.Sscan(row[1], &ivw); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fmt.Sscan(row[2], &plain); err != nil {
+				b.Fatal(err)
+			}
+			if ivw > maxIVW {
+				maxIVW = ivw
+			}
+			if plain > maxPlain {
+				maxPlain = plain
+			}
+		}
+		b.ReportMetric(maxIVW, "max-err-ivw-pct")
+		b.ReportMetric(maxPlain, "max-err-plain-pct")
+	}
+}
+
+func BenchmarkSharingHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Sharing(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var speedupC float64
+		for _, row := range tab.Rows {
+			if row[0] == "cluster-c" {
+				if _, err := fmt.Sscan(row[3], &speedupC); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(speedupC, "clusterC-speedup")
+	}
+}
+
+func BenchmarkAblationGNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGNS(benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWarmStart(benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOverlap(benchOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationBandwidth(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := fig.Get("slowdown")
+		b.ReportMetric(s.Y[s.Len()-1], "even-split-slowdown-at-40GBps")
+	}
+}
+
+func BenchmarkDynamicResources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, eventEpoch, err := experiments.Dynamic(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		can := fig.Get("cannikin")
+		// Epochs from the event until Cannikin is within 10% of its final
+		// post-event batch time.
+		final := can.Y[can.Len()-1]
+		recovery := float64(can.Len() - eventEpoch)
+		for j := eventEpoch; j < can.Len(); j++ {
+			if can.Y[j] <= final*1.10 {
+				recovery = float64(j - eventEpoch)
+				break
+			}
+		}
+		b.ReportMetric(recovery, "cannikin-recovery-epochs")
+	}
+}
+
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Scheduler(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var het, hom float64
+		for _, row := range tab.Rows {
+			var v float64
+			if _, err := fmt.Sscan(row[2], &v); err != nil {
+				b.Fatal(err)
+			}
+			if row[0] == "homogeneous-only" {
+				hom = v
+			} else {
+				het = v
+			}
+		}
+		b.ReportMetric(hom/het, "makespan-improvement")
+	}
+}
+
+// --- Microbenchmarks for the core algorithms -------------------------------
+
+// BenchmarkOptPerfSolve16 measures Algorithm 1 on a 16-node mixed cluster.
+func BenchmarkOptPerfSolve16(b *testing.B) {
+	src := rng.New(1)
+	nodes := make([]optperf.NodeModel, 16)
+	for i := range nodes {
+		speed := 1.0 + 3*src.Float64()
+		nodes[i] = optperf.NodeModel{
+			Q: 0.0002 * speed, S: 0.003,
+			K: 0.0004 * speed, M: 0.002,
+		}
+	}
+	model := optperf.ClusterModel{Nodes: nodes, Gamma: 0.2, To: 0.01, Tu: 0.004}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optperf.Solve(model, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGNSEstimate16 measures the Theorem 4.1 estimator at cluster-B
+// scale.
+func BenchmarkGNSEstimate16(b *testing.B) {
+	batches := make([]int, 16)
+	norms := make([]float64, 16)
+	for i := range batches {
+		batches[i] = 8 + 4*i
+		norms[i] = 10 + 100.0/float64(batches[i])
+	}
+	sample := gns.Sample{Batches: batches, LocalSqNorms: norms, GlobalSqNorm: 10.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gns.EstimateOptimal(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainCannikinClusterB measures a full adaptive training run.
+func BenchmarkTrainCannikinClusterB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Train(TrainConfig{
+			Cluster:  ClusterConfig{Preset: "b"},
+			Workload: "cifar10",
+			System:   SystemCannikin,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.ConvergeTime, "simulated-seconds")
+	}
+}

@@ -1,0 +1,369 @@
+// Package cannikin is a reproduction, in pure Go, of "Cannikin: Optimal
+// Adaptive Distributed DNN Training over Heterogeneous Clusters"
+// (MIDDLEWARE 2024). It provides:
+//
+//   - The OptPerf solver (Algorithm 1): given per-node linear compute-time
+//     models and the cluster communication constants, compute the optimal
+//     batch processing time and local batch sizes for any total batch size.
+//   - The heterogeneous gradient-noise-scale estimator (Theorem 4.1).
+//   - A simulated heterogeneous GPU substrate reproducing the paper's
+//     evaluation clusters, and the five training systems compared in the
+//     paper: Cannikin, AdaptDL, LB-BSP, PyTorch DDP, and HetPipe.
+//   - A real (MLP-scale) neural-network engine with batch-weighted ring
+//     all-reduce for gradient-level validation.
+//
+// Train runs a full adaptive training job on a simulated cluster;
+// SolveOptPerf and EstimateGNS expose the paper's core algorithms directly.
+package cannikin
+
+import (
+	"errors"
+	"fmt"
+
+	"cannikin/internal/cluster"
+	"cannikin/internal/gns"
+	"cannikin/internal/gpu"
+	"cannikin/internal/optperf"
+	"cannikin/internal/rng"
+	"cannikin/internal/trainer"
+	"cannikin/internal/workload"
+)
+
+// SystemKind names a training system.
+type SystemKind string
+
+// Training systems available to Train.
+const (
+	SystemCannikin SystemKind = "cannikin"
+	SystemAdaptDL  SystemKind = "adaptdl"
+	SystemLBBSP    SystemKind = "lb-bsp"
+	SystemDDP      SystemKind = "pytorch-ddp"
+	SystemHetPipe  SystemKind = "hetpipe"
+)
+
+// Systems returns all available system kinds.
+func Systems() []SystemKind {
+	return []SystemKind{SystemCannikin, SystemAdaptDL, SystemLBBSP, SystemDDP, SystemHetPipe}
+}
+
+// ClusterConfig selects or assembles a simulated cluster.
+type ClusterConfig struct {
+	// Preset picks one of the paper's testbeds: "a" (3 mixed workstation
+	// GPUs), "b" (16 datacenter GPUs), or "c" (16 identical GPUs with
+	// sharing-induced heterogeneity). Leave empty to build a custom
+	// cluster from Models.
+	Preset string
+	// Models lists GPU catalog keys for a custom cluster (see GPUModels).
+	Models []string
+	// CPUSpeeds optionally sets per-node relative host-CPU speeds for a
+	// custom cluster (1.0 = reference).
+	CPUSpeeds []float64
+	// ComputeShares optionally throttles each custom node to a fraction of
+	// its device (sharing-induced heterogeneity), in (0, 1].
+	ComputeShares []float64
+}
+
+func (c ClusterConfig) build(src *rng.Source) (*cluster.Cluster, error) {
+	if c.Preset != "" {
+		if len(c.Models) > 0 {
+			return nil, errors.New("cannikin: set either Preset or Models, not both")
+		}
+		return cluster.Preset(c.Preset, src)
+	}
+	if len(c.Models) == 0 {
+		return nil, errors.New("cannikin: cluster config needs Preset or Models")
+	}
+	cl, err := cluster.FromModels("custom", c.Models, src)
+	if err != nil {
+		return nil, err
+	}
+	if c.CPUSpeeds != nil {
+		if len(c.CPUSpeeds) != len(c.Models) {
+			return nil, fmt.Errorf("cannikin: %d CPU speeds for %d nodes", len(c.CPUSpeeds), len(c.Models))
+		}
+		for i, s := range c.CPUSpeeds {
+			if s <= 0 {
+				return nil, fmt.Errorf("cannikin: node %d CPU speed %v", i, s)
+			}
+			cl.Devices[i].CPUSpeed = s
+		}
+	}
+	if c.ComputeShares != nil {
+		if len(c.ComputeShares) != len(c.Models) {
+			return nil, fmt.Errorf("cannikin: %d compute shares for %d nodes", len(c.ComputeShares), len(c.Models))
+		}
+		for i, s := range c.ComputeShares {
+			if err := cl.Devices[i].SetSharing(s, s/2+0.5); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cl, nil
+}
+
+// TrainConfig configures one training job.
+type TrainConfig struct {
+	Cluster ClusterConfig
+	// Workload names a Table 5 task (see Workloads).
+	Workload string
+	System   SystemKind
+	Seed     uint64
+	// MaxEpochs caps the run (0 = default safety limit).
+	MaxEpochs int
+	// FixedBatch pins the total batch size for systems that support it
+	// (Cannikin, LB-BSP, DDP); 0 keeps each system's default behaviour.
+	FixedBatch int
+}
+
+// EpochReport summarizes one training epoch.
+type EpochReport struct {
+	Epoch        int
+	TotalBatch   int
+	LocalBatches []int
+	AvgBatchTime float64
+	TrainTime    float64
+	Overhead     float64
+	// ElapsedTime is the cumulative simulated time at epoch end.
+	ElapsedTime float64
+	Metric      float64
+	Progress    float64
+}
+
+// Report is a completed training run.
+type Report struct {
+	System     string
+	Workload   string
+	Cluster    string
+	MetricName string
+	Epochs     []EpochReport
+	Converged  bool
+	// ConvergeTime is the simulated seconds to the target metric.
+	ConvergeTime float64
+	TotalTime    float64
+	// OverheadFraction is scheduling overhead / total time.
+	OverheadFraction float64
+}
+
+// Train runs a full training job on a simulated heterogeneous cluster.
+func Train(cfg TrainConfig) (*Report, error) {
+	src := rng.New(cfg.Seed)
+	cl, err := cfg.Cluster.build(src)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Get(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	var res *trainer.Result
+	if cfg.System == SystemHetPipe {
+		env, err := trainer.NewEnv(cl, w)
+		if err != nil {
+			return nil, err
+		}
+		hp := trainer.NewHetPipe()
+		if cfg.FixedBatch > 0 {
+			hp.FixedBatch = cfg.FixedBatch
+		}
+		res, err = hp.Run(env, cfg.Seed, cfg.MaxEpochs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sys, err := buildSystem(cfg.System, cfg.FixedBatch)
+		if err != nil {
+			return nil, err
+		}
+		res, err = trainer.Run(trainer.Config{
+			Cluster:   cl,
+			Workload:  w,
+			System:    sys,
+			Seed:      cfg.Seed,
+			MaxEpochs: cfg.MaxEpochs,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return convertResult(res, w), nil
+}
+
+func buildSystem(kind SystemKind, fixedBatch int) (trainer.System, error) {
+	switch kind {
+	case SystemCannikin:
+		s := trainer.NewCannikin()
+		s.FixedBatch = fixedBatch
+		return s, nil
+	case SystemAdaptDL:
+		if fixedBatch > 0 {
+			return nil, errors.New("cannikin: AdaptDL does not support a fixed batch")
+		}
+		return trainer.NewAdaptDL(), nil
+	case SystemLBBSP:
+		s := trainer.NewLBBSP()
+		s.FixedBatch = fixedBatch
+		return s, nil
+	case SystemDDP:
+		s := trainer.NewDDP()
+		s.FixedBatch = fixedBatch
+		return s, nil
+	default:
+		return nil, fmt.Errorf("cannikin: unknown system %q", kind)
+	}
+}
+
+func convertResult(res *trainer.Result, w workload.Workload) *Report {
+	out := &Report{
+		System:       res.System,
+		Workload:     res.Workload,
+		Cluster:      res.Cluster,
+		MetricName:   w.Convergence.MetricName,
+		Converged:    res.Converged,
+		ConvergeTime: res.ConvergeTime,
+		TotalTime:    res.TotalTime,
+	}
+	if res.TotalTime > 0 {
+		out.OverheadFraction = res.TotalOverhead / res.TotalTime
+	}
+	for _, e := range res.Epochs {
+		out.Epochs = append(out.Epochs, EpochReport{
+			Epoch:        e.Epoch,
+			TotalBatch:   e.TotalBatch,
+			LocalBatches: append([]int(nil), e.Local...),
+			AvgBatchTime: e.AvgBatchTime,
+			TrainTime:    e.TrainTime,
+			Overhead:     e.Overhead,
+			ElapsedTime:  e.SimTimeEnd,
+			Metric:       e.Metric,
+			Progress:     e.Progress,
+		})
+	}
+	return out
+}
+
+// WorkloadInfo describes one Table 5 task.
+type WorkloadInfo struct {
+	Name, Task, Dataset, Model string
+	Params                     float64
+	Optimizer, LRScaler        string
+	InitBatch, MaxBatch        int
+	DatasetSize                int
+	TargetMetric               string
+	TargetValue                float64
+}
+
+// Workloads lists the five evaluation workloads.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, w := range workload.All() {
+		out = append(out, WorkloadInfo{
+			Name: w.Name, Task: w.Task, Dataset: w.Dataset, Model: w.ModelName,
+			Params: w.Params, Optimizer: string(w.Optimizer), LRScaler: string(w.Scaler),
+			InitBatch: w.InitBatch, MaxBatch: w.MaxBatch, DatasetSize: w.DatasetSize,
+			TargetMetric: w.Convergence.MetricName, TargetValue: w.Convergence.MetricTarget,
+		})
+	}
+	return out
+}
+
+// GPUInfo describes one catalog GPU model.
+type GPUInfo struct {
+	Key, Name, Arch string
+	Year, CUDACores int
+	MemoryGB        float64
+	FP16TFLOPS      float64
+}
+
+// GPUModels lists the device catalog (paper Table 1 plus the evaluation
+// GPUs).
+func GPUModels() []GPUInfo {
+	var out []GPUInfo
+	for _, key := range gpu.ModelNames() {
+		m := gpu.Catalog[key]
+		out = append(out, GPUInfo{
+			Key: key, Name: m.Name, Arch: m.Arch, Year: m.Year,
+			CUDACores: m.CUDACores, MemoryGB: m.MemoryGB, FP16TFLOPS: m.FP16TFLOPS,
+		})
+	}
+	return out
+}
+
+// NodePerf is one node's learned compute-time model: a(b) = Q·b + S is the
+// non-backprop time, P(b) = K·b + M the backpropagation time.
+type NodePerf struct {
+	Q, S, K, M float64
+	// MaxBatch caps the node's local batch size (0 = unlimited).
+	MaxBatch int
+}
+
+// PerfModel is a cluster performance model for the OptPerf solver.
+type PerfModel struct {
+	Nodes []NodePerf
+	// Gamma is the overlap ratio; To and Tu split the per-batch gradient
+	// synchronization time (overlappable buckets, last bucket).
+	Gamma, To, Tu float64
+}
+
+// Allocation is a solved OptPerf plan.
+type Allocation struct {
+	TotalBatch int
+	// LocalBatches are the optimal per-node batch sizes.
+	LocalBatches []int
+	// Ratios are LocalBatches / TotalBatch (the paper's r_opt).
+	Ratios []float64
+	// Time is the predicted optimal batch processing time (OptPerf).
+	Time float64
+	// ComputeBound flags the nodes whose bottleneck is computation.
+	ComputeBound []bool
+}
+
+// SolveOptPerf runs Algorithm 1: it returns the optimal batch processing
+// time and local batch assignment for the given total batch size.
+func SolveOptPerf(m PerfModel, totalBatch int) (Allocation, error) {
+	cm := optperf.ClusterModel{
+		Nodes: make([]optperf.NodeModel, len(m.Nodes)),
+		Gamma: m.Gamma,
+		To:    m.To,
+		Tu:    m.Tu,
+	}
+	for i, n := range m.Nodes {
+		cm.Nodes[i] = optperf.NodeModel{Q: n.Q, S: n.S, K: n.K, M: n.M, MaxBatch: n.MaxBatch}
+	}
+	plan, err := optperf.Solve(cm, totalBatch)
+	if err != nil {
+		return Allocation{}, err
+	}
+	out := Allocation{
+		TotalBatch:   plan.TotalBatch,
+		LocalBatches: plan.Batches,
+		Ratios:       plan.Ratios,
+		Time:         plan.Time,
+		ComputeBound: make([]bool, len(plan.States)),
+	}
+	for i, s := range plan.States {
+		out.ComputeBound[i] = s == optperf.ComputeBound
+	}
+	return out, nil
+}
+
+// GNSEstimate is a heterogeneous gradient-noise-scale estimate.
+type GNSEstimate struct {
+	// GradSq estimates |G|², TraceVar estimates tr(Σ), Noise their ratio.
+	GradSq, TraceVar, Noise float64
+}
+
+// EstimateGNS combines per-node gradient norms into the minimum-variance
+// unbiased GNS estimate of Theorem 4.1. batches are the local batch sizes,
+// localSqNorms the |g_i|², and globalSqNorm the |g|² of the batch-weighted
+// aggregate gradient.
+func EstimateGNS(batches []int, localSqNorms []float64, globalSqNorm float64) (GNSEstimate, error) {
+	est, err := gns.EstimateOptimal(gns.Sample{
+		Batches:      batches,
+		LocalSqNorms: localSqNorms,
+		GlobalSqNorm: globalSqNorm,
+	})
+	if err != nil {
+		return GNSEstimate{}, err
+	}
+	return GNSEstimate{GradSq: est.GradSq, TraceVar: est.TraceVar, Noise: est.Noise}, nil
+}

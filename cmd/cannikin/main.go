@@ -1,0 +1,111 @@
+// Command cannikin trains one workload on a simulated heterogeneous
+// cluster with a chosen training system and prints the per-epoch trace.
+//
+// Examples:
+//
+//	cannikin -cluster b -workload cifar10 -system cannikin
+//	cannikin -cluster a -workload imagenet -system lb-bsp -batch 128 -epochs 16
+//	cannikin -models H100,V100,P100 -workload cifar10 -system cannikin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cannikin"
+
+	"cannikin/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cannikin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cannikin", flag.ContinueOnError)
+	var (
+		clusterName = fs.String("cluster", "a", `cluster preset: "a", "b", or "c"`)
+		models      = fs.String("models", "", "comma-separated GPU models for a custom cluster (overrides -cluster)")
+		workload    = fs.String("workload", "cifar10", "workload name (see -list)")
+		system      = fs.String("system", "cannikin", "training system: cannikin, adaptdl, lb-bsp, pytorch-ddp, hetpipe")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		epochs      = fs.Int("epochs", 0, "epoch cap (0 = run to convergence)")
+		batch       = fs.Int("batch", 0, "fixed total batch size (0 = adaptive/default)")
+		list        = fs.Bool("list", false, "list workloads and GPU models, then exit")
+		csv         = fs.Bool("csv", false, "emit the epoch trace as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		return printCatalog(w)
+	}
+
+	cfg := cannikin.TrainConfig{
+		Workload:   *workload,
+		System:     cannikin.SystemKind(*system),
+		Seed:       *seed,
+		MaxEpochs:  *epochs,
+		FixedBatch: *batch,
+	}
+	if *models != "" {
+		cfg.Cluster = cannikin.ClusterConfig{Models: strings.Split(*models, ",")}
+	} else {
+		cfg.Cluster = cannikin.ClusterConfig{Preset: *clusterName}
+	}
+
+	rep, err := cannikin.Train(cfg)
+	if err != nil {
+		return err
+	}
+
+	tab := trace.NewTable("epoch", "batch", "local batches", "avg step (s)", "epoch (s)", "overhead (s)", rep.MetricName)
+	for _, e := range rep.Epochs {
+		tab.AddRowValues(e.Epoch, e.TotalBatch, intsToString(e.LocalBatches),
+			e.AvgBatchTime, e.TrainTime, e.Overhead, e.Metric)
+	}
+	var printErr error
+	if *csv {
+		printErr = tab.FprintCSV(w)
+	} else {
+		printErr = tab.Fprint(w)
+	}
+	if printErr != nil {
+		return printErr
+	}
+	fmt.Fprintf(w, "\n%s on %s (%s): converged=%v in %.1fs simulated (overhead %.2f%%)\n",
+		rep.System, rep.Cluster, rep.Workload, rep.Converged, rep.TotalTime, 100*rep.OverheadFraction)
+	return nil
+}
+
+func printCatalog(w io.Writer) error {
+	fmt.Fprintln(w, "Workloads (paper Table 5):")
+	wt := trace.NewTable("name", "task", "dataset", "model", "optimizer", "lr scaler", "B0", "target")
+	for _, wl := range cannikin.Workloads() {
+		wt.AddRowValues(wl.Name, wl.Task, wl.Dataset, wl.Model, wl.Optimizer, wl.LRScaler,
+			wl.InitBatch, fmt.Sprintf("%s=%.2f", wl.TargetMetric, wl.TargetValue))
+	}
+	if err := wt.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nGPU catalog (paper Table 1 + evaluation GPUs):")
+	gt := trace.NewTable("key", "model", "year", "arch", "CUDA cores", "memory (GB)", "FP16 TFLOPS")
+	for _, g := range cannikin.GPUModels() {
+		gt.AddRowValues(g.Key, g.Name, g.Year, g.Arch, g.CUDACores, g.MemoryGB, g.FP16TFLOPS)
+	}
+	return gt.Fprint(w)
+}
+
+func intsToString(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, "/")
+}

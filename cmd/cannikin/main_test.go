@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ResNet-50", "ImageNet", "BERT", "NeuMF", "H100", "FP16 TFLOPS", "adascale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("catalog output missing %q", want)
+		}
+	}
+}
+
+func TestRunTrainsAndPrintsTrace(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-cluster", "a", "-workload", "cifar10", "-system", "cannikin", "-epochs", "5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"epoch", "local batches", "top1-acc", "cannikin on cluster-a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-cluster", "a", "-epochs", "3", "-csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "epoch,batch,local batches") {
+		t.Fatalf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestRunCustomModels(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-models", "H100,P100", "-epochs", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "custom") {
+		t.Fatalf("custom cluster not reported:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "nope"}, &sb); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run([]string{"-system", "nope"}, &sb); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestIntsToString(t *testing.T) {
+	if got := intsToString([]int{1, 2, 3}); got != "1/2/3" {
+		t.Fatalf("intsToString = %q", got)
+	}
+}

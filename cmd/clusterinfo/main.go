@@ -1,0 +1,70 @@
+// Command clusterinfo inspects the simulated testbeds: device composition,
+// per-node compute models for a workload, memory-limited batch capacities,
+// and the cluster's communication constants.
+//
+//	clusterinfo -cluster b -workload imagenet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cannikin/internal/cluster"
+	"cannikin/internal/rng"
+	"cannikin/internal/trace"
+	"cannikin/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("clusterinfo", flag.ContinueOnError)
+	var (
+		preset = fs.String("cluster", "b", `cluster preset: "a", "b", or "c"`)
+		wlName = fs.String("workload", "cifar10", "workload whose compute model to show")
+		seed   = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := cluster.Preset(*preset, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	wl, err := workload.Get(*wlName)
+	if err != nil {
+		return err
+	}
+	model, err := c.TrueModel(wl.Profile)
+	if err != nil {
+		return err
+	}
+	caps := c.Caps(wl.Profile)
+
+	fmt.Fprintf(w, "Cluster %s: %d nodes, job %s (%s)\n\n", c.Name, c.N(), wl.Name, wl.ModelName)
+	tab := trace.NewTable("node", "gpu", "cpu speed", "share", "max batch",
+		"a(b)=q*b+s", "P(b)=k*b+m", "t(32) ms")
+	for i, d := range c.Devices {
+		nm := model.Nodes[i]
+		tab.AddRowValues(
+			fmt.Sprint(i), d.Model.Name, d.CPUSpeed, d.SpeedFraction, caps[i],
+			fmt.Sprintf("%.3g*b+%.3g", nm.Q, nm.S),
+			fmt.Sprintf("%.3g*b+%.3g", nm.K, nm.M),
+			nm.Compute(32)*1e3,
+		)
+	}
+	if err := tab.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncommunication: gamma=%.3f  To=%.2fms  Tu=%.2fms  TComm=%.2fms\n",
+		model.Gamma, model.To*1e3, model.Tu*1e3, model.TComm()*1e3)
+	fmt.Fprintf(w, "total batch capacity: %d samples\n", c.Capacity(wl.Profile))
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunShowsClusterDetails(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-cluster", "b", "-workload", "imagenet"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"16 nodes", "A100", "Quadro RTX 6000", "gamma=", "total batch capacity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunClusterA(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-cluster", "a", "-workload", "cifar10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 nodes") {
+		t.Fatal("cluster A node count missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-cluster", "z"}, &sb); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	if err := run([]string{"-workload", "nope"}, &sb); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

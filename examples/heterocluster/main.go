@@ -1,0 +1,59 @@
+// Heterocluster: compare all five training systems on the paper's 16-GPU
+// Cluster B (4x A100, 4x V100, 8x RTX 6000) across the five evaluation
+// workloads — a compact rerun of Figure 8.
+//
+//	go run ./examples/heterocluster            # cifar10 + movielens (fast)
+//	go run ./examples/heterocluster -all       # all five workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cannikin"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run all five workloads (slower)")
+	flag.Parse()
+
+	workloads := []string{"cifar10", "movielens"}
+	if *all {
+		workloads = []string{"cifar10", "imagenet", "librispeech", "movielens", "squad"}
+	}
+	systems := cannikin.Systems()
+
+	fmt.Println("Convergence time on cluster B (simulated seconds; lower is better)")
+	fmt.Printf("%-12s", "workload")
+	for _, s := range systems {
+		fmt.Printf("  %12s", s)
+	}
+	fmt.Println()
+
+	for _, wl := range workloads {
+		fmt.Printf("%-12s", wl)
+		var base float64
+		for _, sys := range systems {
+			rep, err := cannikin.Train(cannikin.TrainConfig{
+				Cluster:  cannikin.ClusterConfig{Preset: "b"},
+				Workload: wl,
+				System:   sys,
+				Seed:     7,
+			})
+			if err != nil {
+				log.Fatalf("%s/%s: %v", wl, sys, err)
+			}
+			if !rep.Converged {
+				log.Fatalf("%s/%s did not converge", wl, sys)
+			}
+			if sys == cannikin.SystemCannikin {
+				base = rep.ConvergeTime
+			}
+			cell := fmt.Sprintf("%.0fs (%.1fx)", rep.ConvergeTime, rep.ConvergeTime/base)
+			fmt.Printf("  %12s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nCannikin is the 1.0x baseline per row; larger factors are slower.")
+}

@@ -1,0 +1,54 @@
+// Real gradients: train an actual MLP with data-parallel workers holding
+// *different* local batch sizes. The gradients are real (manual
+// backpropagation), synchronized with the batch-weighted ring all-reduce of
+// Eq. 9, and the gradient noise scale is estimated live from the workers'
+// gradient norms with the Theorem 4.1 heterogeneous estimator.
+//
+//	go run ./examples/realgradients
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cannikin"
+)
+
+func main() {
+	cfg := cannikin.MLPConfig{
+		// One fast GPU, one medium, two stragglers — like cluster A.
+		LocalBatches: []int{48, 24, 12, 12},
+		Hidden:       []int{48, 24},
+		Dim:          10,
+		Classes:      5,
+		Samples:      6000,
+		Epochs:       15,
+		Seed:         3,
+	}
+	res, err := cannikin.TrainMLP(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d workers, global batch %d, %d synchronized steps\n\n",
+		res.Workers, res.GlobalBatch, res.Steps)
+	fmt.Println("epoch    loss  accuracy  GNS estimate")
+	for i := range res.EpochLoss {
+		fmt.Printf("%5d  %6.4f    %6.4f  %12.4g\n",
+			i, res.EpochLoss[i], res.EpochAccuracy[i], res.NoiseEstimate[i])
+	}
+	fmt.Printf("\nfinal accuracy: %.4f\n", res.FinalAccuracy)
+	fmt.Println("\nEvery replica stayed bit-identical through training: the")
+	fmt.Println("batch-weighted all-reduce makes uneven shards exactly equivalent")
+	fmt.Println("to single-node training on the concatenated batch (Eq. 9).")
+
+	// The same run with the homogeneous (naive-average) GNS estimator, for
+	// comparison: both are unbiased; Theorem 4.1 reduces variance.
+	naive, err := cannikin.TrainMLP(func() cannikin.MLPConfig { c := cfg; c.NaiveGNS = true; return c }())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGNS estimate after training: weighted=%.4g  naive=%.4g\n",
+		res.NoiseEstimate[len(res.NoiseEstimate)-1],
+		naive.NoiseEstimate[len(naive.NoiseEstimate)-1])
+}

@@ -1,0 +1,3 @@
+module cannikin
+
+go 1.23

@@ -1,0 +1,147 @@
+// Package allreduce implements a real bandwidth-optimal ring all-reduce
+// (reduce-scatter followed by all-gather) over in-process workers, with the
+// batch-weighted aggregation rule of Eq. 9:
+//
+//	g = Σ_i r_i · g_i
+//
+// so that samples on nodes with different local batch sizes carry identical
+// weight in the global gradient. PyTorch-DDP-style gradient bucketing is
+// supported by reducing the vector in fixed-size segments.
+//
+// The collective is exercised by the real-gradient training paths; the
+// timing simulator uses the analytic model in internal/simnet instead.
+package allreduce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AllReduce replaces every vectors[i] in place with the weighted sum
+// Σ_j weights[j]·vectors[j], using a ring reduce-scatter + all-gather among
+// len(vectors) concurrent workers. All vectors must share one length.
+//
+// Pass nil weights for a plain average (weights 1/n).
+func AllReduce(vectors [][]float64, weights []float64) error {
+	n := len(vectors)
+	if n == 0 {
+		return errors.New("allreduce: no participants")
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return fmt.Errorf("allreduce: vector %d has length %d, want %d", i, len(v), dim)
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1 / float64(n)
+		}
+	}
+	if len(weights) != n {
+		return fmt.Errorf("allreduce: %d weights for %d participants", len(weights), n)
+	}
+
+	// Pre-scale local contributions (the r_i of Eq. 9).
+	for i, v := range vectors {
+		w := weights[i]
+		for j := range v {
+			v[j] *= w
+		}
+	}
+	if n == 1 || dim == 0 {
+		return nil
+	}
+
+	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+	bounds := make([]int, n+1)
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * dim / n
+	}
+	chunk := func(v []float64, c int) []float64 {
+		c = ((c % n) + n) % n
+		return v[bounds[c]:bounds[c+1]]
+	}
+
+	// links[i] carries messages from worker i to worker (i+1)%n. Buffered
+	// size 1 so each step's send does not require a rendezvous.
+	links := make([]chan []float64, n)
+	for i := range links {
+		links[i] = make(chan []float64, 1)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			v := vectors[rank]
+			out := links[rank]
+			in := links[(rank-1+n)%n]
+
+			// Reduce-scatter: after step s, worker rank holds the partial
+			// sum of chunk (rank - s) accumulated over s+1 workers. After
+			// n-1 steps, worker rank owns the complete chunk (rank+1).
+			for s := 0; s < n-1; s++ {
+				sendIdx := rank - s
+				src := chunk(v, sendIdx)
+				msg := make([]float64, len(src))
+				copy(msg, src)
+				out <- msg
+				recv := <-in
+				dst := chunk(v, sendIdx-1)
+				for j := range dst {
+					dst[j] += recv[j]
+				}
+			}
+			// All-gather: circulate the completed chunks.
+			for s := 0; s < n-1; s++ {
+				sendIdx := rank + 1 - s
+				src := chunk(v, sendIdx)
+				msg := make([]float64, len(src))
+				copy(msg, src)
+				out <- msg
+				recv := <-in
+				copy(chunk(v, sendIdx-1), recv)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}
+
+// AllReduceBuckets runs AllReduce over the vectors segment by segment, as
+// DDP does with gradient buckets. bucketLen is the per-bucket element
+// count; the final bucket may be shorter.
+func AllReduceBuckets(vectors [][]float64, weights []float64, bucketLen int) error {
+	if bucketLen <= 0 {
+		return fmt.Errorf("allreduce: bucket length %d", bucketLen)
+	}
+	n := len(vectors)
+	if n == 0 {
+		return errors.New("allreduce: no participants")
+	}
+	dim := len(vectors[0])
+	for start := 0; start < dim; start += bucketLen {
+		end := start + bucketLen
+		if end > dim {
+			end = dim
+		}
+		views := make([][]float64, n)
+		for i, v := range vectors {
+			if len(v) != dim {
+				return fmt.Errorf("allreduce: vector %d has length %d, want %d", i, len(v), dim)
+			}
+			views[i] = v[start:end]
+		}
+		if err := AllReduce(views, weights); err != nil {
+			return err
+		}
+	}
+	if dim == 0 {
+		return AllReduce(vectors, weights)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package allreduce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Broadcast copies vectors[root] into every other participant's vector
+// using a ring pipeline (each rank forwards chunks to its successor), the
+// collective DDP uses to synchronize initial weights. All vectors must
+// share one length.
+func Broadcast(vectors [][]float64, root int) error {
+	n := len(vectors)
+	if n == 0 {
+		return errors.New("allreduce: no participants")
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("allreduce: root %d of %d", root, n)
+	}
+	dim := len(vectors[root])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return fmt.Errorf("allreduce: vector %d has length %d, want %d", i, len(v), dim)
+		}
+	}
+	if n == 1 || dim == 0 {
+		return nil
+	}
+
+	// Pipeline the payload in n chunks around the ring starting at root.
+	bounds := make([]int, n+1)
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * dim / n
+	}
+	links := make([]chan []float64, n)
+	for i := range links {
+		links[i] = make(chan []float64, 1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			v := vectors[rank]
+			out := links[rank]
+			in := links[(rank-1+n)%n]
+			// Distance from root along the ring.
+			dist := ((rank - root) + n) % n
+			last := rank == (root-1+n)%n
+			for c := 0; c < n; c++ {
+				chunk := v[bounds[c]:bounds[c+1]]
+				if dist == 0 { // root: send each chunk once
+					if !last {
+						msg := make([]float64, len(chunk))
+						copy(msg, chunk)
+						out <- msg
+					}
+					continue
+				}
+				recv := <-in
+				copy(chunk, recv)
+				if !last {
+					out <- recv
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}

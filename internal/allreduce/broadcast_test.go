@@ -1,0 +1,74 @@
+package allreduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cannikin/internal/rng"
+)
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	src := rng.New(9)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 1 + s.Intn(9)
+		dim := 1 + s.Intn(100)
+		root := s.Intn(n)
+		vectors := make([][]float64, n)
+		for i := range vectors {
+			vectors[i] = make([]float64, dim)
+			for j := range vectors[i] {
+				vectors[i][j] = s.Norm(0, 1)
+			}
+		}
+		want := append([]float64(nil), vectors[root]...)
+		if err := Broadcast(vectors, root); err != nil {
+			return false
+		}
+		for i := range vectors {
+			for j := range want {
+				if vectors[i][j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastErrors(t *testing.T) {
+	if err := Broadcast(nil, 0); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if err := Broadcast([][]float64{{1}}, 2); err == nil {
+		t.Fatal("bad root accepted")
+	}
+	if err := Broadcast([][]float64{{1}, {1, 2}}, 0); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestBroadcastSingleWorkerNoop(t *testing.T) {
+	v := [][]float64{{1, 2, 3}}
+	if err := Broadcast(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v[0][0] != 1 || v[0][2] != 3 {
+		t.Fatal("single-worker broadcast mutated data")
+	}
+}
+
+func TestBroadcastDimSmallerThanWorkers(t *testing.T) {
+	vectors := [][]float64{{7, 8}, {0, 0}, {0, 0}, {0, 0}, {0, 0}}
+	if err := Broadcast(vectors, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vectors {
+		if v[0] != 7 || v[1] != 8 {
+			t.Fatalf("rank %d = %v", i, v)
+		}
+	}
+}

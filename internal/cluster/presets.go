@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cannikin/internal/gpu"
+	"cannikin/internal/rng"
+	"cannikin/internal/simnet"
+)
+
+// Interconnect parameters for the presets: a fast datacenter fabric
+// (10 GB/s effective per link, 20 µs hop latency). The paper's testbeds
+// show batch times that respond strongly to the compute allocation, i.e.
+// communication does not swamp compute; this bandwidth reproduces that
+// regime (comm-bound at small batches, compute-bound at large ones).
+const (
+	presetLinkGBps = 10
+	presetLatencyS = 20e-6
+)
+
+// PresetA builds the paper's Cluster A (Table 3): a 3-node cluster with an
+// RTX A5000 (i9-10980XE host), an RTX A4000 (Xeon W-2255), and a Quadro
+// P4000 (Xeon W-2102). The host CPUs differ from the GPU speed ordering,
+// which is what creates mixed compute/communication bottlenecks.
+func PresetA(src *rng.Source) (*Cluster, error) {
+	c, err := fromModels("cluster-a", []string{"A5000", "A4000", "P4000"}, src)
+	if err != nil {
+		return nil, err
+	}
+	for i, cpu := range []float64{1.25, 1.0, 0.55} {
+		c.Devices[i].CPUSpeed = cpu
+	}
+	return c, nil
+}
+
+// PresetB builds the paper's Cluster B (Table 4): 16 GPUs across ten
+// servers — 4x A100, 4x V100, and 8x RTX 6000. Each GPU is one
+// data-parallel node.
+func PresetB(src *rng.Source) (*Cluster, error) {
+	models := make([]string, 0, 16)
+	for i := 0; i < 4; i++ {
+		models = append(models, "A100")
+	}
+	for i := 0; i < 4; i++ {
+		models = append(models, "V100")
+	}
+	for i := 0; i < 8; i++ {
+		models = append(models, "RTX6000")
+	}
+	c, err := fromModels("cluster-b", models, src)
+	if err != nil {
+		return nil, err
+	}
+	// Host CPUs per Table 4: Xeon Platinum 8380 x2 (A100 server), Xeon
+	// Gold 6230 x2 (V100 server), Xeon Gold 6126 x2 (RTX servers).
+	for i := range c.Devices {
+		switch {
+		case i < 4:
+			c.Devices[i].CPUSpeed = 1.5
+		case i < 8:
+			c.Devices[i].CPUSpeed = 1.0
+		default:
+			c.Devices[i].CPUSpeed = 0.9
+		}
+	}
+	return c, nil
+}
+
+// PresetC builds the paper's Cluster C (Section 6): 16 identical RTX 6000
+// nodes made heterogeneous by GPU sharing — co-located dummy workloads
+// leave each node a different fraction of compute and memory.
+func PresetC(src *rng.Source) (*Cluster, error) {
+	c, err := fromModels("cluster-c", repeat("RTX6000", 16), src)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic sharing pattern spanning 0.45x..1.0x of the device.
+	fractions := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95, 0.5, 0.7, 0.9, 0.6}
+	for i, d := range c.Devices {
+		d.CPUSpeed = 0.9            // RTX servers' Xeon Gold 6126
+		mem := fractions[i]/2 + 0.5 // memory shared less aggressively
+		if err := d.SetSharing(fractions[i], mem); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Preset builds a named preset: "a", "b", or "c".
+func Preset(name string, src *rng.Source) (*Cluster, error) {
+	switch name {
+	case "a", "A":
+		return PresetA(src)
+	case "b", "B":
+		return PresetB(src)
+	case "c", "C":
+		return PresetC(src)
+	default:
+		return nil, fmt.Errorf("cluster: unknown preset %q (want a, b, or c)", name)
+	}
+}
+
+// FromModels builds a custom cluster from catalog model keys with the
+// default interconnect.
+func FromModels(name string, models []string, src *rng.Source) (*Cluster, error) {
+	return fromModels(name, models, src)
+}
+
+// FromModelsWithRing builds a custom cluster with an explicit interconnect
+// (used by the network-sensitivity experiments).
+func FromModelsWithRing(name string, models []string, ring simnet.RingSpec, src *rng.Source) (*Cluster, error) {
+	devices := make([]*gpu.Device, len(models))
+	for i, key := range models {
+		d, err := gpu.NewDevice(fmt.Sprintf("%s/node%02d-%s", name, i, key), key, src)
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = d
+	}
+	return New(name, devices, ring, src)
+}
+
+func fromModels(name string, models []string, src *rng.Source) (*Cluster, error) {
+	devices := make([]*gpu.Device, len(models))
+	for i, key := range models {
+		d, err := gpu.NewDevice(fmt.Sprintf("%s/node%02d-%s", name, i, key), key, src)
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = d
+	}
+	ring := simnet.UniformRing(len(models), presetLinkGBps, presetLatencyS)
+	return New(name, devices, ring, src)
+}
+
+func repeat(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cannikin/internal/trace"
+	"cannikin/internal/trainer"
+	"cannikin/internal/workload"
+)
+
+// Dynamic reproduces the introduction's motivating scenario that existing
+// systems cannot handle: a sudden resource change mid-training (a tenant
+// claims half of one GPU's compute). Cannikin's drift detection discards
+// the stale performance model, re-learns, and re-balances within a few
+// epochs; DDP never reacts.
+//
+// The figure shows each system's per-epoch average batch time, with the
+// event at the marked epoch.
+func Dynamic(opt Options) (*trace.Figure, int, error) {
+	const (
+		eventEpoch = 8
+		epochs     = 24
+		victim     = 0    // the fastest node (A5000) loses compute
+		share      = 0.25 // to 25% of the device
+	)
+	w, err := workload.Get("imagenet")
+	if err != nil {
+		return nil, 0, err
+	}
+	fig := trace.NewFigure(
+		fmt.Sprintf("Dynamic resources: node %d drops to %.0f%% compute at epoch %d (ImageNet, cluster A, fixed B=128)",
+			victim, share*100, eventEpoch),
+		"epoch", "batch time (s)")
+
+	run := func(name string, sys trainer.System) error {
+		c, err := newCluster("a", opt.seed(), "dynamic/"+name)
+		if err != nil {
+			return err
+		}
+		res, err := trainer.Run(trainer.Config{
+			Cluster: c, Workload: w, System: sys,
+			Seed: opt.seed(), MaxEpochs: epochs,
+			Events: []trainer.ResourceEvent{{Epoch: eventEpoch, Node: victim, ComputeShare: share}},
+		})
+		if err != nil {
+			return err
+		}
+		s := fig.AddSeries(name)
+		for _, e := range res.Epochs {
+			s.Add(float64(e.Epoch), e.AvgBatchTime)
+		}
+		return nil
+	}
+	can := trainer.NewCannikin()
+	can.FixedBatch = 128
+	if err := run("cannikin", can); err != nil {
+		return nil, 0, err
+	}
+	lbb := trainer.NewLBBSP()
+	lbb.FixedBatch = 128
+	if err := run("lb-bsp", lbb); err != nil {
+		return nil, 0, err
+	}
+	ddp := trainer.NewDDP()
+	ddp.FixedBatch = 128
+	if err := run("pytorch-ddp", ddp); err != nil {
+		return nil, 0, err
+	}
+	return fig, eventEpoch, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestDynamicResourceAdaptation(t *testing.T) {
+	fig, eventEpoch, err := Dynamic(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	can := fig.Get("cannikin")
+	ddp := fig.Get("pytorch-ddp")
+	if can == nil || ddp == nil {
+		t.Fatal("missing series")
+	}
+	preEvent := can.Y[eventEpoch-1]
+	atEvent := can.Y[eventEpoch]
+	// The event visibly slows the cluster.
+	if atEvent < preEvent*1.2 {
+		t.Fatalf("resource event had no effect: %v -> %v", preEvent, atEvent)
+	}
+	// Cannikin recovers: within a few epochs its batch time settles well
+	// below the unadapted even-split (DDP) level, and stays there.
+	recovered := can.Y[can.Len()-1]
+	ddpFinal := ddp.Y[ddp.Len()-1]
+	if recovered >= ddpFinal {
+		t.Fatalf("cannikin %v did not beat unadapted ddp %v after the event", recovered, ddpFinal)
+	}
+	// The recovery happens within ~4 epochs of the event (drift detection
+	// + bootstrap + replan), and the post-recovery time is stable.
+	settled := can.Y[eventEpoch+4]
+	if settled > recovered*1.1 {
+		t.Fatalf("cannikin not settled 4 epochs after event: %v vs final %v", settled, recovered)
+	}
+	// DDP cannot adapt: with the throttled node now the slowest, its
+	// post-event batch time is clearly worse than before the event and
+	// never improves.
+	if ddp.Y[eventEpoch+2] < ddp.Y[eventEpoch-1]*1.1 {
+		t.Fatalf("ddp should suffer from the throttled straggler: %v -> %v",
+			ddp.Y[eventEpoch-1], ddp.Y[eventEpoch+2])
+	}
+	if ddpFinal < ddp.Y[eventEpoch+2]*0.95 {
+		t.Fatalf("ddp improved after the event: %v -> %v", ddp.Y[eventEpoch+2], ddpFinal)
+	}
+}

@@ -1,0 +1,64 @@
+package gns
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEstimators feeds arbitrary batch/norm combinations to the
+// heterogeneous GNS estimators: no panics, and finite outputs for valid
+// inputs.
+func FuzzEstimators(f *testing.F) {
+	f.Add(uint8(2), 1.0, 2.0, 10.0)
+	f.Add(uint8(16), 0.5, 100.0, 5.0)
+	f.Add(uint8(3), 1e-9, 1e9, 1e3)
+	f.Fuzz(func(t *testing.T, nRaw uint8, normLo, normHi, global float64) {
+		n := int(nRaw%24) + 2
+		normLo = sanitize(normLo)
+		normHi = sanitize(normHi)
+		global = sanitize(global)
+		sample := Sample{
+			Batches:      make([]int, n),
+			LocalSqNorms: make([]float64, n),
+			GlobalSqNorm: global,
+		}
+		for i := range sample.Batches {
+			sample.Batches[i] = 1 + i*3
+			frac := float64(i) / float64(n)
+			sample.LocalSqNorms[i] = normLo + (normHi-normLo)*frac
+		}
+		for _, estimate := range []func(Sample) (Estimate, error){EstimateOptimal, EstimateNaive} {
+			est, err := estimate(sample)
+			if err != nil {
+				t.Fatalf("valid sample rejected: %v", err)
+			}
+			for _, v := range []float64{est.GradSq, est.TraceVar, est.Noise} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite estimate %+v", est)
+				}
+			}
+			// Weights always sum to one.
+			sumG := 0.0
+			for _, w := range est.WeightsG {
+				sumG += w
+			}
+			if math.Abs(sumG-1) > 1e-6 {
+				t.Fatalf("weights sum %v", sumG)
+			}
+		}
+	})
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	v = math.Abs(v)
+	if v < 1e-12 {
+		return 1e-12
+	}
+	if v > 1e12 {
+		return 1e12
+	}
+	return v
+}

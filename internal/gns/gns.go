@@ -1,0 +1,240 @@
+// Package gns estimates the gradient noise scale (GNS) in heterogeneous
+// clusters, implementing Section 4.4 and Theorem 4.1 of the paper.
+//
+// The GNS B_noise = tr(Σ)/|G|² measures how noisy stochastic gradients are
+// relative to the true gradient G; adaptive batch-size training uses it to
+// pick statistically efficient batch sizes. Neither tr(Σ) nor |G|² is
+// observable, so each node i forms unbiased local estimates from its local
+// gradient norm |g_i|² and the aggregated global norm |g|² (Eq. 10):
+//
+//	G_i = (B|g|² − b_i|g_i|²) / (B − b_i)
+//	S_i = b_i·B/(B − b_i) · (|g_i|² − |g|²)
+//
+// With heterogeneous local batch sizes the estimators have unequal
+// variances and are correlated through |g|², so plain averaging is no
+// longer optimal. Theorem 4.1 gives the minimum-variance unbiased linear
+// combination w = 1ᵀA⁻¹ / (1ᵀA⁻¹1) using closed-form covariance matrices
+// A_G and A_S (common factors of 4|G|²tr(Σ) cancel).
+package gns
+
+import (
+	"errors"
+	"fmt"
+
+	"cannikin/internal/linalg"
+	"cannikin/internal/stats"
+)
+
+// ErrDegenerate is returned when the estimator inputs are unusable (fewer
+// than two nodes, non-positive batches, or a node holding the whole batch).
+var ErrDegenerate = errors.New("gns: degenerate input")
+
+// Sample is one synchronization step's gradient norm observations.
+type Sample struct {
+	// Batches are the local batch sizes b_i.
+	Batches []int
+	// LocalSqNorms are |g_i|² for each node.
+	LocalSqNorms []float64
+	// GlobalSqNorm is |g|² of the aggregated (batch-weighted) gradient.
+	GlobalSqNorm float64
+}
+
+// validate checks the sample and returns the total batch size.
+func (s Sample) validate() (float64, error) {
+	n := len(s.Batches)
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 nodes, got %d", ErrDegenerate, n)
+	}
+	if len(s.LocalSqNorms) != n {
+		return 0, fmt.Errorf("%w: %d norms for %d batches", ErrDegenerate, len(s.LocalSqNorms), n)
+	}
+	total := 0
+	for i, b := range s.Batches {
+		if b <= 0 {
+			return 0, fmt.Errorf("%w: node %d batch %d", ErrDegenerate, i, b)
+		}
+		total += b
+	}
+	return float64(total), nil
+}
+
+// Estimate is a combined estimate of the GNS ingredients.
+type Estimate struct {
+	// GradSq estimates |G|², TraceVar estimates tr(Σ).
+	GradSq, TraceVar float64
+	// Noise is the GNS ratio estimate tr(Σ)/|G|² (may be negative in very
+	// noisy regimes; consumers should smooth over steps, see Tracker).
+	Noise float64
+	// WeightsG and WeightsS are the combination weights used.
+	WeightsG, WeightsS []float64
+}
+
+// LocalEstimates returns the per-node unbiased estimates (G_i, S_i) of
+// Eq. 10 for the sample.
+func LocalEstimates(s Sample) (gi, si []float64, err error) {
+	total, err := s.validate()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(s.Batches)
+	gi = make([]float64, n)
+	si = make([]float64, n)
+	for i := 0; i < n; i++ {
+		b := float64(s.Batches[i])
+		gi[i] = (total*s.GlobalSqNorm - b*s.LocalSqNorms[i]) / (total - b)
+		si[i] = b * total / (total - b) * (s.LocalSqNorms[i] - s.GlobalSqNorm)
+	}
+	return gi, si, nil
+}
+
+// CovarianceMatrices returns the Theorem 4.1 matrices A_G and A_S for the
+// given local batch sizes (the 4|G|²tr(Σ) factor is omitted, as it cancels
+// in the weight computation).
+func CovarianceMatrices(batches []int) (aG, aS *linalg.Matrix, err error) {
+	n := len(batches)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("%w: need at least 2 nodes", ErrDegenerate)
+	}
+	total := 0
+	for i, b := range batches {
+		if b <= 0 {
+			return nil, nil, fmt.Errorf("%w: node %d batch %d", ErrDegenerate, i, b)
+		}
+		total += b
+	}
+	bT := float64(total)
+	aG = linalg.NewMatrix(n, n)
+	aS = linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		bi := float64(batches[i])
+		aG.Set(i, i, (bT+2*bi)/(bT*bT-bT*bi))
+		aS.Set(i, i, bT*bi/(bT-bi))
+		for j := i + 1; j < n; j++ {
+			bj := float64(batches[j])
+			g := (bT*bT - bi*bi - bj*bj) / (bT * (bT - bi) * (bT - bj))
+			sv := bi * bj * (bT - bi - bj) / ((bT - bi) * (bT - bj))
+			aG.Set(i, j, g)
+			aG.Set(j, i, g)
+			aS.Set(i, j, sv)
+			aS.Set(j, i, sv)
+		}
+	}
+	return aG, aS, nil
+}
+
+// OptimalWeights returns the minimum-variance unbiased combination weights
+// (w^G, w^S) of Theorem 4.1 for the given local batch sizes.
+func OptimalWeights(batches []int) (wg, ws []float64, err error) {
+	aG, aS, err := CovarianceMatrices(batches)
+	if err != nil {
+		return nil, nil, err
+	}
+	wg, err = linalg.SolveSPDWeights(aG)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gns: A_G weights: %w", err)
+	}
+	ws, err = linalg.SolveSPDWeights(aS)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gns: A_S weights: %w", err)
+	}
+	return wg, ws, nil
+}
+
+// EstimateOptimal combines the local estimates with the Theorem 4.1
+// optimal weights — Cannikin's heterogeneous GNS estimator.
+func EstimateOptimal(s Sample) (Estimate, error) {
+	gi, si, err := LocalEstimates(s)
+	if err != nil {
+		return Estimate{}, err
+	}
+	wg, ws, err := OptimalWeights(s.Batches)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return combine(gi, si, wg, ws), nil
+}
+
+// EstimateNaive combines the local estimates by plain averaging — the
+// homogeneous-cluster rule that prior systems use. It is unbiased but not
+// minimum-variance when local batches differ.
+func EstimateNaive(s Sample) (Estimate, error) {
+	gi, si, err := LocalEstimates(s)
+	if err != nil {
+		return Estimate{}, err
+	}
+	n := len(gi)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return combine(gi, si, w, w), nil
+}
+
+func combine(gi, si, wg, ws []float64) Estimate {
+	e := Estimate{WeightsG: wg, WeightsS: ws}
+	for i := range gi {
+		e.GradSq += wg[i] * gi[i]
+		e.TraceVar += ws[i] * si[i]
+	}
+	if e.GradSq != 0 {
+		e.Noise = e.TraceVar / e.GradSq
+	}
+	return e
+}
+
+// Tracker smooths GNS estimates over training steps. Following McCandlish
+// et al., the numerator and denominator are smoothed separately (the ratio
+// estimator is biased, and single-step |G|² estimates can be negative), and
+// the ratio of the smoothed values is reported.
+type Tracker struct {
+	gradSq   *stats.EMA
+	traceVar *stats.EMA
+	steps    int
+}
+
+// NewTracker returns a tracker with the given EMA smoothing factor
+// (0 < alpha <= 1; smaller is smoother).
+func NewTracker(alpha float64) *Tracker {
+	return &Tracker{gradSq: stats.NewEMA(alpha), traceVar: stats.NewEMA(alpha)}
+}
+
+// Observe folds one step's estimate into the running averages.
+func (t *Tracker) Observe(e Estimate) {
+	t.gradSq.Add(e.GradSq)
+	t.traceVar.Add(e.TraceVar)
+	t.steps++
+}
+
+// Steps returns the number of observations folded in.
+func (t *Tracker) Steps() int { return t.steps }
+
+// NoiseCeiling bounds the reported GNS: when the smoothed gradient power
+// is indistinguishable from zero the true ratio is unbounded, and any
+// consumer (goodput, batch sizing) behaves identically beyond this value.
+const NoiseCeiling = 1e15
+
+// Noise returns the smoothed GNS estimate, clamped to [0, NoiseCeiling].
+// Before any observations it returns 0.
+func (t *Tracker) Noise() float64 {
+	if !t.gradSq.Initialized() {
+		return 0
+	}
+	g := t.gradSq.Value()
+	if g <= 0 {
+		return NoiseCeiling
+	}
+	n := t.traceVar.Value() / g
+	if n < 0 {
+		return 0
+	}
+	if n > NoiseCeiling {
+		return NoiseCeiling
+	}
+	return n
+}
+
+// GradSq returns the smoothed |G|² estimate.
+func (t *Tracker) GradSq() float64 { return t.gradSq.Value() }
+
+// TraceVar returns the smoothed tr(Σ) estimate.
+func (t *Tracker) TraceVar() float64 { return t.traceVar.Value() }

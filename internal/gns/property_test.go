@@ -1,0 +1,136 @@
+package gns
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cannikin/internal/rng"
+)
+
+func randBatches(s *rng.Source, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1 + s.Intn(64)
+	}
+	return out
+}
+
+func TestPropertyWeightsSumToOne(t *testing.T) {
+	src := rng.New(41)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		batches := randBatches(s, 2+s.Intn(14))
+		wg, ws, err := OptimalWeights(batches)
+		if err != nil {
+			return false
+		}
+		sumG, sumS := 0.0, 0.0
+		for i := range wg {
+			sumG += wg[i]
+			sumS += ws[i]
+		}
+		return math.Abs(sumG-1) < 1e-8 && math.Abs(sumS-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWeightsPermutationEquivariant(t *testing.T) {
+	// Permuting the nodes permutes the weights identically.
+	src := rng.New(43)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(10)
+		batches := randBatches(s, n)
+		perm := s.Perm(n)
+		permuted := make([]int, n)
+		for i, p := range perm {
+			permuted[i] = batches[p]
+		}
+		wg1, ws1, err := OptimalWeights(batches)
+		if err != nil {
+			return false
+		}
+		wg2, ws2, err := OptimalWeights(permuted)
+		if err != nil {
+			return false
+		}
+		for i, p := range perm {
+			if math.Abs(wg2[i]-wg1[p]) > 1e-8 || math.Abs(ws2[i]-ws1[p]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEstimatorsExactOnExpectation(t *testing.T) {
+	// Feeding the exact expectations E[|g_i|²] = |G|² + tr(Σ)/b_i must
+	// recover |G|² and tr(Σ) exactly (the estimators are linear), for any
+	// batch configuration and any weighting.
+	src := rng.New(47)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(12)
+		batches := randBatches(s, n)
+		gsq := 0.1 + 10*s.Float64()
+		tr := 0.1 + 100*s.Float64()
+		total := 0
+		for _, b := range batches {
+			total += b
+		}
+		sample := Sample{
+			Batches:      batches,
+			LocalSqNorms: make([]float64, n),
+			GlobalSqNorm: gsq + tr/float64(total),
+		}
+		for i, b := range batches {
+			sample.LocalSqNorms[i] = gsq + tr/float64(b)
+		}
+		for _, est := range []func(Sample) (Estimate, error){EstimateOptimal, EstimateNaive} {
+			e, err := est(sample)
+			if err != nil {
+				return false
+			}
+			if math.Abs(e.GradSq-gsq) > 1e-6*gsq || math.Abs(e.TraceVar-tr) > 1e-6*tr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCovarianceMatricesSymmetricPositiveDiagonal(t *testing.T) {
+	src := rng.New(53)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		batches := randBatches(s, 2+s.Intn(12))
+		aG, aS, err := CovarianceMatrices(batches)
+		if err != nil {
+			return false
+		}
+		n := aG.Rows()
+		for i := 0; i < n; i++ {
+			if aG.At(i, i) <= 0 || aS.At(i, i) <= 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if aG.At(i, j) != aG.At(j, i) || aS.At(i, j) != aS.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

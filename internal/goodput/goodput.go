@@ -1,0 +1,117 @@
+// Package goodput implements the goodput objective of adaptive batch-size
+// training (Pollux): the product of system throughput and statistical
+// efficiency. The statistical efficiency of a total batch size B relative
+// to the workload's base batch B0 follows the gradient-noise-scale model of
+// McCandlish et al.:
+//
+//	eff(B) = (φ + B0) / (φ + B)
+//
+// so eff(B0) = 1 and larger batches pay an efficiency penalty that vanishes
+// when the gradient noise φ dominates. Cannikin, like AdaptDL, enumerates
+// total-batch-size candidates and picks the goodput maximizer; what differs
+// is the throughput model (OptPerf vs even split).
+package goodput
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Efficiency returns the per-example statistical efficiency of batch size
+// batch relative to baseBatch under gradient noise scale noise.
+func Efficiency(noise float64, batch, baseBatch int) float64 {
+	if batch <= 0 || baseBatch <= 0 {
+		return 0
+	}
+	if noise < 0 {
+		noise = 0
+	}
+	return (noise + float64(baseBatch)) / (noise + float64(batch))
+}
+
+// Goodput returns throughput x efficiency for a candidate: batch samples
+// processed in batchTime seconds, discounted to effective samples/second.
+func Goodput(noise float64, batch, baseBatch int, batchTime float64) float64 {
+	if batchTime <= 0 {
+		return 0
+	}
+	return float64(batch) / batchTime * Efficiency(noise, batch, baseBatch)
+}
+
+// Candidate pairs a total batch size with its predicted batch time under
+// some allocation policy.
+type Candidate struct {
+	Batch int
+	// Time is the predicted batch processing time at this batch size.
+	Time float64
+}
+
+// Selection is the goodput-maximizing candidate.
+type Selection struct {
+	Candidate
+	Goodput    float64
+	Efficiency float64
+}
+
+// Select returns the candidate with the highest goodput for the given
+// noise estimate. It returns an error when no candidate is usable.
+func Select(cands []Candidate, noise float64, baseBatch int) (Selection, error) {
+	if len(cands) == 0 {
+		return Selection{}, errors.New("goodput: no candidates")
+	}
+	if baseBatch <= 0 {
+		return Selection{}, fmt.Errorf("goodput: base batch %d", baseBatch)
+	}
+	best := Selection{Goodput: -1}
+	for _, c := range cands {
+		g := Goodput(noise, c.Batch, baseBatch, c.Time)
+		if g > best.Goodput {
+			best = Selection{
+				Candidate:  c,
+				Goodput:    g,
+				Efficiency: Efficiency(noise, c.Batch, baseBatch),
+			}
+		}
+	}
+	if best.Goodput <= 0 {
+		return Selection{}, errors.New("goodput: all candidates have non-positive goodput")
+	}
+	return best, nil
+}
+
+// CandidateRange enumerates count total-batch-size candidates spaced
+// geometrically in [min, max], always including both endpoints, deduplicated
+// and sorted. It mirrors the candidate enumeration of the adaptive batch
+// size engine.
+func CandidateRange(minBatch, maxBatch, count int) ([]int, error) {
+	if minBatch <= 0 || maxBatch < minBatch {
+		return nil, fmt.Errorf("goodput: invalid range [%d, %d]", minBatch, maxBatch)
+	}
+	if count < 2 {
+		count = 2
+	}
+	if minBatch == maxBatch {
+		return []int{minBatch}, nil
+	}
+	ratio := math.Pow(float64(maxBatch)/float64(minBatch), 1/float64(count-1))
+	out := make([]int, 0, count)
+	prev := 0
+	for i := 0; i < count; i++ {
+		v := int(math.Round(float64(minBatch) * math.Pow(ratio, float64(i))))
+		if v <= prev {
+			v = prev + 1
+		}
+		if v > maxBatch {
+			v = maxBatch
+		}
+		if v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	if out[len(out)-1] != maxBatch {
+		out = append(out, maxBatch)
+	}
+	return out, nil
+}

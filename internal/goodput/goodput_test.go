@@ -1,0 +1,155 @@
+package goodput
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEfficiencyBounds(t *testing.T) {
+	if got := Efficiency(1000, 64, 64); got != 1 {
+		t.Fatalf("eff(B0) = %v, want 1", got)
+	}
+	if got := Efficiency(1000, 128, 64); got >= 1 || got <= 0 {
+		t.Fatalf("eff(2*B0) = %v, want in (0,1)", got)
+	}
+	// Noise-dominated: doubling the batch barely hurts.
+	if got := Efficiency(1e9, 128, 64); got < 0.999 {
+		t.Fatalf("high-noise efficiency = %v", got)
+	}
+	// Clean gradients: doubling the batch halves efficiency.
+	if got := Efficiency(0, 128, 64); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("zero-noise efficiency = %v, want 0.5", got)
+	}
+	if Efficiency(10, 0, 64) != 0 || Efficiency(10, 64, 0) != 0 {
+		t.Fatal("degenerate batches should give 0")
+	}
+	if Efficiency(-5, 64, 64) != 1 {
+		t.Fatal("negative noise should clamp to 0")
+	}
+}
+
+func TestEfficiencyMonotoneInBatch(t *testing.T) {
+	prev := 2.0
+	for _, b := range []int{64, 128, 256, 512, 1024} {
+		e := Efficiency(500, b, 64)
+		if e >= prev {
+			t.Fatalf("efficiency not decreasing at %d: %v >= %v", b, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestGoodput(t *testing.T) {
+	// batch 100 in 0.5s at eff 1 => 200 effective samples/s.
+	if got := Goodput(1e12, 100, 100, 0.5); math.Abs(got-200) > 1e-6 {
+		t.Fatalf("Goodput = %v", got)
+	}
+	if Goodput(10, 100, 100, 0) != 0 {
+		t.Fatal("zero time should give zero goodput")
+	}
+}
+
+func TestSelectBalancesThroughputAndEfficiency(t *testing.T) {
+	// Throughput grows sublinearly; with moderate noise the best batch is
+	// in the middle of the range.
+	cands := []Candidate{
+		{Batch: 64, Time: 0.10},   // 640/s
+		{Batch: 256, Time: 0.20},  // 1280/s
+		{Batch: 1024, Time: 0.60}, // 1707/s
+	}
+	sel, err := Select(cands, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Batch != 256 {
+		t.Fatalf("selected %d, want 256 (moderate noise)", sel.Batch)
+	}
+	// Very high noise: the largest batch wins on raw throughput.
+	sel, err = Select(cands, 1e9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Batch != 1024 {
+		t.Fatalf("selected %d, want 1024 (high noise)", sel.Batch)
+	}
+	// Near-zero noise: the base batch wins on efficiency.
+	sel, err = Select(cands, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Batch != 64 {
+		t.Fatalf("selected %d, want 64 (low noise)", sel.Batch)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(nil, 10, 64); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := Select([]Candidate{{Batch: 64, Time: 1}}, 10, 0); err == nil {
+		t.Fatal("zero base batch accepted")
+	}
+	if _, err := Select([]Candidate{{Batch: 64, Time: 0}}, 10, 64); err == nil {
+		t.Fatal("all-zero goodput accepted")
+	}
+}
+
+func TestSelectReportsEfficiency(t *testing.T) {
+	sel, err := Select([]Candidate{{Batch: 128, Time: 0.1}}, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Efficiency(128, 128, 64)
+	if sel.Efficiency != want {
+		t.Fatalf("Efficiency = %v, want %v", sel.Efficiency, want)
+	}
+	if math.Abs(sel.Goodput-float64(128)/0.1*want) > 1e-9 {
+		t.Fatalf("Goodput = %v", sel.Goodput)
+	}
+}
+
+func TestCandidateRange(t *testing.T) {
+	cands, err := CandidateRange(64, 4096, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0] != 64 || cands[len(cands)-1] != 4096 {
+		t.Fatalf("endpoints wrong: %v", cands)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Fatalf("not strictly increasing: %v", cands)
+		}
+	}
+	// Geometric spacing: ratios roughly constant.
+	r1 := float64(cands[1]) / float64(cands[0])
+	rLast := float64(cands[len(cands)-1]) / float64(cands[len(cands)-2])
+	if r1 < 1.1 || rLast < 1.1 {
+		t.Fatalf("spacing degenerate: %v", cands)
+	}
+}
+
+func TestCandidateRangeEdgeCases(t *testing.T) {
+	if _, err := CandidateRange(0, 10, 5); err == nil {
+		t.Fatal("min 0 accepted")
+	}
+	if _, err := CandidateRange(10, 5, 5); err == nil {
+		t.Fatal("max < min accepted")
+	}
+	single, err := CandidateRange(32, 32, 5)
+	if err != nil || len(single) != 1 || single[0] != 32 {
+		t.Fatalf("degenerate range: %v %v", single, err)
+	}
+	tight, err := CandidateRange(10, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tight); i++ {
+		if tight[i] <= tight[i-1] {
+			t.Fatalf("tight range not increasing: %v", tight)
+		}
+	}
+	if tight[len(tight)-1] != 12 {
+		t.Fatalf("tight range misses max: %v", tight)
+	}
+}

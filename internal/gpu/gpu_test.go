@@ -1,0 +1,235 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/stats"
+)
+
+// testProfile is a ResNet-50-scale job used across the tests.
+func testProfile() JobProfile {
+	return JobProfile{
+		Name:              "resnet50-like",
+		FwdFLOPsPerSample: 4.1e9,
+		BwdFLOPsPerSample: 8.2e9,
+		BytesPerSample:    600e3,
+		ParamBytes:        102e6, // 25.6M float32 params
+		UpdateFLOPs:       5 * 25.6e6,
+		MemPerSampleBytes: 30e6,
+		ModelMemBytes:     3 * 102e6,
+	}
+}
+
+func newTestDevice(t *testing.T, model string) *Device {
+	t.Helper()
+	d, err := NewDevice("dev0-"+model, model, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCatalogComplete(t *testing.T) {
+	for _, key := range []string{"P100", "V100", "A100", "H100", "RTX6000", "A5000", "A4000", "P4000"} {
+		m, ok := Catalog[key]
+		if !ok {
+			t.Fatalf("catalog missing %s", key)
+		}
+		if m.EffTFLOPS <= 0 || m.MemoryGB <= 0 || m.HostGBps <= 0 || m.MemGBps <= 0 {
+			t.Fatalf("catalog entry %s has non-positive fields: %+v", key, m)
+		}
+	}
+}
+
+func TestTable1Evolution(t *testing.T) {
+	// Paper Table 1: each flagship is over 2x faster than its predecessor.
+	seq := []string{"P100", "V100", "A100", "H100"}
+	for i := 1; i < len(seq); i++ {
+		prev, cur := Catalog[seq[i-1]], Catalog[seq[i]]
+		if cur.FP16TFLOPS < 1.4*prev.FP16TFLOPS {
+			t.Fatalf("%s (%v) is not clearly faster than %s (%v)", cur.Name, cur.FP16TFLOPS, prev.Name, prev.FP16TFLOPS)
+		}
+	}
+}
+
+func TestModelNamesSortedAndComplete(t *testing.T) {
+	names := ModelNames()
+	if len(names) != len(Catalog) {
+		t.Fatalf("ModelNames returned %d of %d", len(names), len(Catalog))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("ModelNames not sorted")
+		}
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	if _, err := NewDevice("x", "TPUv4", rng.New(1)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestHeterogeneityMatchesPaper(t *testing.T) {
+	// Section 6: A100 is about 3.42x faster than RTX 6000.
+	a100 := newTestDevice(t, "A100")
+	rtx := newTestDevice(t, "RTX6000")
+	ratio := SpeedRatio(a100, rtx, testProfile(), 64)
+	if ratio < 2.8 || ratio > 4.0 {
+		t.Fatalf("A100/RTX6000 speed ratio = %v, want ~3.4", ratio)
+	}
+}
+
+func TestCoeffsPositiveAndLinear(t *testing.T) {
+	p := testProfile()
+	for _, key := range ModelNames() {
+		d := newTestDevice(t, key)
+		c := d.Coeffs(p)
+		if c.Q <= 0 || c.S <= 0 || c.K <= 0 || c.M <= 0 {
+			t.Fatalf("%s: non-positive coefficients %+v", key, c)
+		}
+		// Linearity: Compute(2b) - Compute(b) == Compute(3b) - Compute(2b).
+		d1 := c.Compute(128) - c.Compute(64)
+		d2 := c.Compute(192) - c.Compute(128)
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("%s: compute time not linear in batch", key)
+		}
+	}
+}
+
+func TestFasterGPULowerCoeffs(t *testing.T) {
+	p := testProfile()
+	fast := newTestDevice(t, "H100")
+	slow := newTestDevice(t, "P4000")
+	cf, cs := fast.Coeffs(p), slow.Coeffs(p)
+	if cf.K >= cs.K || cf.Q >= cs.Q {
+		t.Fatalf("faster GPU has larger per-sample coefficients: %+v vs %+v", cf, cs)
+	}
+}
+
+func TestSharingSlowsDevice(t *testing.T) {
+	p := testProfile()
+	d := newTestDevice(t, "RTX6000")
+	base := d.Coeffs(p).Compute(64)
+	if err := d.SetSharing(0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	shared := d.Coeffs(p).Compute(64)
+	if shared <= base {
+		t.Fatalf("sharing did not slow device: %v <= %v", shared, base)
+	}
+	// Per-sample compute should roughly double at half speed.
+	if r := shared / base; r < 1.5 || r > 2.5 {
+		t.Fatalf("sharing slowdown = %v, want ~2", r)
+	}
+}
+
+func TestSetSharingValidation(t *testing.T) {
+	d := newTestDevice(t, "A100")
+	for _, bad := range [][2]float64{{0, 1}, {1.5, 1}, {1, 0}, {1, -0.1}} {
+		if err := d.SetSharing(bad[0], bad[1]); err == nil {
+			t.Fatalf("SetSharing(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestMaxBatchRespectsMemory(t *testing.T) {
+	p := testProfile()
+	big := newTestDevice(t, "A100")    // 40 GB
+	small := newTestDevice(t, "P4000") // 8 GB
+	if big.MaxBatch(p) <= small.MaxBatch(p) {
+		t.Fatalf("MaxBatch ordering wrong: %d <= %d", big.MaxBatch(p), small.MaxBatch(p))
+	}
+	if small.MaxBatch(p) < 1 {
+		t.Fatalf("P4000 cannot fit even one sample: %d", small.MaxBatch(p))
+	}
+	// Sharing memory halves the cap (roughly).
+	if err := big.SetSharing(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	halved := big.MaxBatch(p)
+	full := newTestDevice(t, "A100").MaxBatch(p)
+	if halved >= full {
+		t.Fatalf("memory sharing did not reduce MaxBatch: %d >= %d", halved, full)
+	}
+}
+
+func TestMaxBatchZeroWhenModelDoesNotFit(t *testing.T) {
+	p := testProfile()
+	p.ModelMemBytes = 1e12 // 1 TB model
+	d := newTestDevice(t, "A100")
+	if got := d.MaxBatch(p); got != 0 {
+		t.Fatalf("MaxBatch = %d, want 0 for oversized model", got)
+	}
+}
+
+func TestMeasureComputeUnbiased(t *testing.T) {
+	p := testProfile()
+	d := newTestDevice(t, "V100")
+	c := d.Coeffs(p)
+	const b = 32
+	var sumA, sumP float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		m := d.MeasureCompute(p, b)
+		sumA += m.A
+		sumP += m.P
+	}
+	if stats.RelErr(sumA/n, c.A(b)) > 0.01 {
+		t.Fatalf("mean measured A = %v, want ~%v", sumA/n, c.A(b))
+	}
+	if stats.RelErr(sumP/n, c.P(b)) > 0.01 {
+		t.Fatalf("mean measured P = %v, want ~%v", sumP/n, c.P(b))
+	}
+}
+
+func TestMeasureComputeDeterministicAcrossRuns(t *testing.T) {
+	p := testProfile()
+	d1, _ := NewDevice("d", "V100", rng.New(9))
+	d2, _ := NewDevice("d", "V100", rng.New(9))
+	for i := 0; i < 50; i++ {
+		m1 := d1.MeasureCompute(p, 16)
+		m2 := d2.MeasureCompute(p, 16)
+		if m1 != m2 {
+			t.Fatalf("measurement %d diverged: %+v vs %+v", i, m1, m2)
+		}
+	}
+}
+
+func TestMeasureComputePanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeasureCompute(0) did not panic")
+		}
+	}()
+	newTestDevice(t, "A100").MeasureCompute(testProfile(), 0)
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := testProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = good
+	bad.FwdFLOPsPerSample = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero compute accepted")
+	}
+	bad = good
+	bad.ParamBytes = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative params accepted")
+	}
+	bad = good
+	bad.MemPerSampleBytes = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero per-sample memory accepted")
+	}
+}

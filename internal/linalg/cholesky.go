@@ -1,0 +1,55 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix has a
+// non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky returns the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite A. Only the lower triangle of A is read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("%w: pivot %d is %v", ErrNotPositiveDefinite, i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// MulLowerVec returns L·z for a lower-triangular L — the standard way to
+// draw a correlated Gaussian vector from iid standard normals z.
+func MulLowerVec(l *Matrix, z []float64) []float64 {
+	if l.rows != l.cols || len(z) != l.cols {
+		panic(fmt.Sprintf("linalg: MulLowerVec dims %dx%d with %d", l.rows, l.cols, len(z)))
+	}
+	out := make([]float64, l.rows)
+	for i := 0; i < l.rows; i++ {
+		s := 0.0
+		for j := 0; j <= i; j++ {
+			s += l.At(i, j) * z[j]
+		}
+		out[i] = s
+	}
+	return out
+}

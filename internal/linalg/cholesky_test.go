@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cannikin/internal/rng"
+)
+
+func randomSPD(s *rng.Source, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, s.Norm(0, 1))
+		}
+	}
+	a := m.Transpose().Mul(m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + src.Intn(10)
+		a := randomSPD(src, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := l.Mul(l.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(recon.At(i, j)-a.At(i, j)) > 1e-8 {
+					t.Fatalf("n=%d: L L^T deviates at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		// L is lower triangular with positive diagonal.
+		for i := 0; i < n; i++ {
+			if l.At(i, i) <= 0 {
+				t.Fatal("non-positive diagonal")
+			}
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatal("upper triangle not zero")
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestMulLowerVecMatchesFullMultiply(t *testing.T) {
+	src := rng.New(37)
+	a := randomSPD(src, 5)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := []float64{1, -2, 0.5, 3, -1}
+	got := MulLowerVec(l, z)
+	want := l.MulVec(z)
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("MulLowerVec %v != MulVec %v", got, want)
+	}
+}
+
+func TestCholeskySamplerCovariance(t *testing.T) {
+	// Drawing x = L z with z ~ N(0, I) gives Cov(x) = A; verify the
+	// (0,1) entry empirically.
+	src := rng.New(41)
+	a := FromRows([][]float64{{2, 0.8}, {0.8, 1}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200000
+	var c01, m0, m1 float64
+	for i := 0; i < trials; i++ {
+		z := []float64{src.Norm(0, 1), src.Norm(0, 1)}
+		x := MulLowerVec(l, z)
+		m0 += x[0]
+		m1 += x[1]
+		c01 += x[0] * x[1]
+	}
+	m0 /= trials
+	m1 /= trials
+	cov := c01/trials - m0*m1
+	if math.Abs(cov-0.8) > 0.02 {
+		t.Fatalf("empirical covariance %v, want 0.8", cov)
+	}
+}

@@ -1,0 +1,233 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cannikin/internal/rng"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  => x = 2, y = 1.
+	a := FromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := Solve(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("Solve = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Solve singular err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("Solve accepted a non-square matrix")
+	}
+	b := Identity(2)
+	if _, err := Solve(b, []float64{1}); err == nil {
+		t.Fatal("Solve accepted mismatched rhs length")
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	// Random well-conditioned systems: A x = b must reproduce b.
+	src := rng.New(101)
+	f := func(seedDelta uint8) bool {
+		s := src.Split(string(rune(seedDelta)))
+		n := 1 + s.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, s.Norm(0, 1))
+			}
+			// Diagonal dominance keeps conditioning sane.
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = s.Norm(0, 5)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		got := a.MulVec(x)
+		return MaxAbsDiff(got, b) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	s := rng.New(7)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + s.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, s.Norm(0, 1))
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := a.Mul(inv)
+		id := Identity(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(prod.At(i, j)-id.At(i, j)) > 1e-8 {
+					t.Fatalf("n=%d: A*A^-1 deviates at (%d,%d): %v", n, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Inverse(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Inverse singular err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveSPDWeightsSumToOne(t *testing.T) {
+	s := rng.New(33)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + s.Intn(8)
+		// Build SPD: A = M^T M + n*I.
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, s.Norm(0, 1))
+			}
+		}
+		a := m.Transpose().Mul(m)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		w, err := SolveSPDWeights(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("weights sum = %v, want 1", sum)
+		}
+	}
+}
+
+func TestSolveSPDWeightsMatchesInverseFormula(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 1, 0},
+		{1, 3, 1},
+		{0, 1, 5},
+	})
+	w, err := SolveSPDWeights(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w_j = sum_i inv[i][j] / sum_ij inv[i][j]
+	n := a.Rows()
+	want := make([]float64, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want[j] += inv.At(i, j)
+		}
+		total += want[j]
+	}
+	for j := range want {
+		want[j] /= total
+	}
+	if MaxAbsDiff(w, want) > 1e-10 {
+		t.Fatalf("weights = %v, want %v", w, want)
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", got)
+	}
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	p := a.Mul(b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("Transpose dims = %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("Transpose values wrong")
+	}
+}
+
+func TestDotNorm2(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 25 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Identity(2)
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromRows accepted ragged input")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability p,
+// scaling survivors by 1/(1-p) (inverted dropout), and passes inputs
+// through untouched in evaluation mode.
+type Dropout struct {
+	// P is the drop probability in [0, 1).
+	P float64
+	// Train toggles training mode; evaluation mode is the identity.
+	Train bool
+
+	src  *rng.Source
+	mask *tensor.T
+}
+
+// NewDropout returns a dropout layer in training mode.
+func NewDropout(p float64, src *rng.Source) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0, 1)", p))
+	}
+	return &Dropout{P: p, Train: true, src: src.Split("dropout")}
+}
+
+// Forward applies the dropout mask (training) or the identity (eval).
+func (d *Dropout) Forward(x *tensor.T) *tensor.T {
+	if !d.Train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	scale := 1 / (1 - d.P)
+	d.mask = tensor.New(x.Rows(), x.Cols())
+	out := x.Clone()
+	for i := range out.Data() {
+		if d.src.Float64() < d.P {
+			out.Data()[i] = 0
+		} else {
+			out.Data()[i] *= scale
+			d.mask.Data()[i] = scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(dout *tensor.T) *tensor.T {
+	if d.mask == nil {
+		return dout
+	}
+	return dout.Clone().Hadamard(d.mask)
+}
+
+// Params returns nil: dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+var _ Layer = (*Dropout)(nil)

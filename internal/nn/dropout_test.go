@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, rng.New(1))
+	d.Train = false
+	x := tensor.FromRows([][]float64{{1, 2, 3}})
+	y := d.Forward(x)
+	for j := 0; j < 3; j++ {
+		if y.At(0, j) != x.At(0, j) {
+			t.Fatal("eval-mode dropout changed values")
+		}
+	}
+	// Backward is also the identity.
+	g := d.Backward(tensor.FromRows([][]float64{{4, 5, 6}}))
+	if g.At(0, 1) != 5 {
+		t.Fatal("eval-mode backward changed gradient")
+	}
+}
+
+func TestDropoutTrainPreservesExpectation(t *testing.T) {
+	d := NewDropout(0.3, rng.New(2))
+	x := tensor.New(200, 200)
+	for i := range x.Data() {
+		x.Data()[i] = 1
+	}
+	y := d.Forward(x)
+	sum, zeros := 0.0, 0
+	for _, v := range y.Data() {
+		sum += v
+		if v == 0 {
+			zeros++
+		}
+	}
+	n := float64(len(y.Data()))
+	if math.Abs(sum/n-1) > 0.02 {
+		t.Fatalf("inverted dropout mean %v, want ~1", sum/n)
+	}
+	if frac := float64(zeros) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("drop fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	d := NewDropout(0.5, rng.New(3))
+	x := tensor.New(4, 8)
+	for i := range x.Data() {
+		x.Data()[i] = 1
+	}
+	y := d.Forward(x)
+	g := tensor.New(4, 8)
+	for i := range g.Data() {
+		g.Data()[i] = 1
+	}
+	dx := d.Backward(g)
+	for i := range y.Data() {
+		if (y.Data()[i] == 0) != (dx.Data()[i] == 0) {
+			t.Fatal("gradient mask disagrees with forward mask")
+		}
+		if y.Data()[i] != 0 && dx.Data()[i] != 2 {
+			t.Fatalf("survivor gradient %v, want 1/(1-p)=2", dx.Data()[i])
+		}
+	}
+}
+
+func TestDropoutGradientCheckThroughNetwork(t *testing.T) {
+	// With a frozen mask (re-running Forward would resample), check the
+	// chain rule through Linear -> Dropout -> Linear by comparing Backward
+	// against manual expectations on a fixed mask is covered above; here
+	// verify a full training loop still learns with dropout present.
+	src := rng.New(4)
+	drop := NewDropout(0.2, src)
+	net := NewSequential(NewLinear(4, 16, src), &ReLU{}, drop, NewLinear(16, 2, src))
+	opt := NewSGD(0.9, 0)
+	x := tensor.New(64, 4)
+	labels := make([]int, 64)
+	for i := 0; i < 64; i++ {
+		v := src.Norm(0, 1)
+		x.Set(i, 0, v)
+		if v > 0 {
+			labels[i] = 1
+		}
+	}
+	for epoch := 0; epoch < 150; epoch++ {
+		net.ZeroGrad()
+		logits := net.Forward(x)
+		_, d := SoftmaxCrossEntropy(logits, labels)
+		net.Backward(d)
+		opt.Step(net.Params(), 0.05)
+	}
+	drop.Train = false
+	if acc := Accuracy(net.Forward(x), labels); acc < 0.95 {
+		t.Fatalf("accuracy with dropout %v", acc)
+	}
+}
+
+func TestNewDropoutValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDropout(%v) accepted", p)
+				}
+			}()
+			NewDropout(p, rng.New(1))
+		}()
+	}
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+func TestEmbeddingForwardShapeAndLookup(t *testing.T) {
+	src := rng.New(1)
+	e := NewEmbedding(10, 4, src)
+	ids := tensor.FromRows([][]float64{{0, 3}, {9, 9}})
+	out := e.Forward(ids)
+	if out.Rows() != 2 || out.Cols() != 8 {
+		t.Fatalf("output %dx%d", out.Rows(), out.Cols())
+	}
+	// Row 0 field 0 must equal table row 0.
+	for j := 0; j < 4; j++ {
+		if out.At(0, j) != e.table.W.At(0, j) {
+			t.Fatal("lookup wrong for field 0")
+		}
+		if out.At(0, 4+j) != e.table.W.At(3, j) {
+			t.Fatal("lookup wrong for field 1")
+		}
+		if out.At(1, j) != out.At(1, 4+j) {
+			t.Fatal("repeated id should repeat embedding")
+		}
+	}
+}
+
+func TestEmbeddingPanicsOnBadIDs(t *testing.T) {
+	src := rng.New(2)
+	e := NewEmbedding(5, 2, src)
+	for _, bad := range [][]float64{{-1}, {5}, {1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("id %v accepted", bad)
+				}
+			}()
+			e.Forward(tensor.FromRows([][]float64{bad}))
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward before Forward accepted")
+		}
+	}()
+	NewEmbedding(5, 2, src).Backward(tensor.New(1, 2))
+}
+
+func TestEmbeddingGradientCheck(t *testing.T) {
+	// Full model: embedding -> linear -> softmax. Finite differences on
+	// the embedding table.
+	src := rng.New(3)
+	emb := NewEmbedding(6, 3, src)
+	net := NewSequential(emb, NewLinear(6, 3, src))
+	ids := tensor.FromRows([][]float64{{0, 2}, {4, 0}, {5, 1}})
+	labels := []int{0, 1, 2}
+
+	net.ZeroGrad()
+	logits := net.Forward(ids)
+	_, dlogits := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(dlogits)
+	analytic := append([]float64(nil), emb.table.Grad.Data()...)
+
+	const eps = 1e-6
+	lossAt := func() float64 {
+		loss, _ := SoftmaxCrossEntropy(net.Forward(ids), labels)
+		return loss
+	}
+	for _, idx := range []int{0, 1, 5, 7, 12, 17} { // spread over looked-up rows
+		orig := emb.table.W.Data()[idx]
+		emb.table.W.Data()[idx] = orig + eps
+		up := lossAt()
+		emb.table.W.Data()[idx] = orig - eps
+		down := lossAt()
+		emb.table.W.Data()[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-analytic[idx]) > 1e-5*(1+math.Abs(numeric)) {
+			t.Errorf("table coord %d: numeric %v vs analytic %v", idx, numeric, analytic[idx])
+		}
+	}
+	// Rows never looked up must have zero gradient.
+	for j := 0; j < 3; j++ {
+		if emb.table.Grad.At(3, j) != 0 {
+			t.Fatal("unused row received gradient")
+		}
+	}
+}
+
+func TestEmbeddingTrainsNeuMFStyleModel(t *testing.T) {
+	// A tiny two-tower-ish recommender: (user, item) id pairs -> embedding
+	// -> MLP -> interact/not. Synthetic rule: users like items with the
+	// same parity.
+	src := rng.New(5)
+	const users, items = 8, 8
+	emb := NewEmbedding(users+items, 4, src)
+	net := NewSequential(emb, NewLinear(8, 16, src), &ReLU{}, NewLinear(16, 2, src))
+	opt := NewAdam()
+
+	var ids [][]float64
+	var labels []int
+	for u := 0; u < users; u++ {
+		for it := 0; it < items; it++ {
+			ids = append(ids, []float64{float64(u), float64(users + it)})
+			if u%2 == it%2 {
+				labels = append(labels, 1)
+			} else {
+				labels = append(labels, 0)
+			}
+		}
+	}
+	x := tensor.FromRows(ids)
+	for epoch := 0; epoch < 200; epoch++ {
+		net.ZeroGrad()
+		logits := net.Forward(x)
+		_, d := SoftmaxCrossEntropy(logits, labels)
+		net.Backward(d)
+		opt.Step(net.Params(), 0.01)
+	}
+	if acc := Accuracy(net.Forward(x), labels); acc < 0.95 {
+		t.Fatalf("NeuMF-style accuracy %v", acc)
+	}
+}

@@ -1,0 +1,245 @@
+// Package nn is a compact, dependency-free neural-network training engine:
+// dense layers with manual backpropagation, classification/regression
+// losses, SGD/Adam/AdamW optimizers, and the learning-rate scaling rules
+// (AdaScale, square-root) used by the paper's workloads (Table 5).
+//
+// The engine produces real gradients so the reproduction can validate the
+// heterogeneous GNS estimators and the batch-weighted all-reduce on actual
+// training runs, not only on synthetic norms.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.T
+	Grad *tensor.T
+}
+
+// Size returns the number of scalar weights.
+func (p *Param) Size() int { return p.W.Rows() * p.W.Cols() }
+
+// Layer is a differentiable network stage. Backward must be called after
+// Forward with the same batch and accumulates into parameter gradients.
+type Layer interface {
+	Forward(x *tensor.T) *tensor.T
+	Backward(dout *tensor.T) *tensor.T
+	Params() []*Param
+}
+
+// Linear is a fully connected layer: y = x W + b.
+type Linear struct {
+	w, b *Param
+	x    *tensor.T // cached input
+}
+
+// NewLinear returns a Linear layer with Xavier/Glorot-initialized weights.
+func NewLinear(in, out int, src *rng.Source) *Linear {
+	std := math.Sqrt(2.0 / float64(in+out))
+	return &Linear{
+		w: &Param{
+			Name: fmt.Sprintf("linear_%dx%d/w", in, out),
+			W:    tensor.Randn(in, out, std, src),
+			Grad: tensor.New(in, out),
+		},
+		b: &Param{
+			Name: fmt.Sprintf("linear_%dx%d/b", in, out),
+			W:    tensor.New(1, out),
+			Grad: tensor.New(1, out),
+		},
+	}
+}
+
+// Forward computes x W + b, caching x for the backward pass.
+func (l *Linear) Forward(x *tensor.T) *tensor.T {
+	l.x = x
+	return x.MatMul(l.w.W).AddRowVector(l.b.W.Row(0))
+}
+
+// Backward accumulates dW = xᵀ dout, db = Σ dout and returns dx = dout Wᵀ.
+func (l *Linear) Backward(dout *tensor.T) *tensor.T {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	l.w.Grad.Add(l.x.Transpose().MatMul(dout))
+	bg := dout.SumColumns()
+	row := l.b.Grad.Row(0)
+	for j := range row {
+		row[j] += bg[j]
+	}
+	return dout.MatMul(l.w.W.Transpose())
+}
+
+// Params returns the layer's weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.w, l.b} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask *tensor.T
+}
+
+// Forward returns max(x, 0).
+func (r *ReLU) Forward(x *tensor.T) *tensor.T {
+	r.mask = tensor.New(x.Rows(), x.Cols())
+	out := x.Clone()
+	for i, v := range x.Data() {
+		if v > 0 {
+			r.mask.Data()[i] = 1
+		} else {
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward masks the upstream gradient.
+func (r *ReLU) Backward(dout *tensor.T) *tensor.T {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	return dout.Clone().Hadamard(r.mask)
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out *tensor.T
+}
+
+// Forward returns tanh(x).
+func (t *Tanh) Forward(x *tensor.T) *tensor.T {
+	t.out = x.Clone().Apply(math.Tanh)
+	return t.out
+}
+
+// Backward computes dout * (1 - tanh²).
+func (t *Tanh) Backward(dout *tensor.T) *tensor.T {
+	if t.out == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	dx := dout.Clone()
+	for i, y := range t.out.Data() {
+		dx.Data()[i] *= 1 - y*y
+	}
+	return dx
+}
+
+// Params returns nil: Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Network is a sequential stack of layers.
+type Network struct {
+	layers []Layer
+}
+
+// NewMLP builds Linear+ReLU stacks with a final Linear, e.g. sizes
+// [in, hidden..., out].
+func NewMLP(sizes []int, src *rng.Source) *Network {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i < len(sizes)-1; i++ {
+		layers = append(layers, NewLinear(sizes[i], sizes[i+1], src))
+		if i < len(sizes)-2 {
+			layers = append(layers, &ReLU{})
+		}
+	}
+	return &Network{layers: layers}
+}
+
+// NewSequential wraps explicit layers.
+func NewSequential(layers ...Layer) *Network { return &Network{layers: layers} }
+
+// Forward runs the full stack.
+func (n *Network) Forward(x *tensor.T) *tensor.T {
+	for _, l := range n.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through the stack, accumulating
+// parameter gradients.
+func (n *Network) Backward(dout *tensor.T) {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		dout = n.layers[i].Backward(dout)
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Size()
+	}
+	return total
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// FlatGrads copies all gradients into one contiguous vector (layer order).
+func (n *Network) FlatGrads() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.Grad.Data()...)
+	}
+	return out
+}
+
+// SetFlatGrads overwrites all gradients from one contiguous vector.
+func (n *Network) SetFlatGrads(v []float64) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("nn: SetFlatGrads length %d != %d", len(v), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.Grad.Data(), v[off:off+p.Size()])
+		off += p.Size()
+	}
+}
+
+// FlatWeights copies all weights into one contiguous vector.
+func (n *Network) FlatWeights() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.W.Data()...)
+	}
+	return out
+}
+
+// SetFlatWeights overwrites all weights from one contiguous vector (used to
+// keep data-parallel replicas in sync).
+func (n *Network) SetFlatWeights(v []float64) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("nn: SetFlatWeights length %d != %d", len(v), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.W.Data(), v[off:off+p.Size()])
+		off += p.Size()
+	}
+}

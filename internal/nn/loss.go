@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"cannikin/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// against integer class labels, and the gradient with respect to the
+// logits (already divided by the batch size, so downstream gradients are
+// per-sample averages as in Eq. 1).
+func SoftmaxCrossEntropy(logits *tensor.T, labels []int) (float64, *tensor.T) {
+	n, c := logits.Rows(), logits.Cols()
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), n))
+	}
+	grad := tensor.New(n, c)
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		label := labels[i]
+		if label < 0 || label >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0, %d)", label, c))
+		}
+		// Numerically stable softmax.
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		g := grad.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			g[j] = e
+			sum += e
+		}
+		for j := range g {
+			g[j] /= sum
+		}
+		loss += -math.Log(math.Max(g[label], 1e-300))
+		g[label] -= 1
+		for j := range g {
+			g[j] /= float64(n)
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.T, labels []int) float64 {
+	n := logits.Rows()
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), n))
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// MSE computes the mean squared error between predictions and targets and
+// the gradient with respect to predictions.
+func MSE(pred, target *tensor.T) (float64, *tensor.T) {
+	if pred.Rows() != target.Rows() || pred.Cols() != target.Cols() {
+		panic("nn: MSE shape mismatch")
+	}
+	n := float64(pred.Rows() * pred.Cols())
+	grad := pred.Clone().Sub(target)
+	loss := grad.SqNorm() / n
+	grad.Scale(2 / n)
+	return loss, grad
+}

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+
+	"cannikin/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param, lr float64)
+}
+
+// SGD is stochastic gradient descent with optional momentum and (coupled)
+// weight decay.
+type SGD struct {
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.T
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(momentum, weightDecay float64) *SGD {
+	return &SGD{Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*Param]*tensor.T)}
+}
+
+// Step applies one update: v = μv + (g + λw); w -= lr·v.
+func (o *SGD) Step(params []*Param, lr float64) {
+	for _, p := range params {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.New(p.W.Rows(), p.W.Cols())
+			o.velocity[p] = v
+		}
+		gd, wd, vd := p.Grad.Data(), p.W.Data(), v.Data()
+		for i := range vd {
+			g := gd[i] + o.WeightDecay*wd[i]
+			vd[i] = o.Momentum*vd[i] + g
+			wd[i] -= lr * vd[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba).
+type Adam struct {
+	Beta1, Beta2, Eps float64
+	// DecoupledDecay applies AdamW-style weight decay when non-zero.
+	DecoupledDecay float64
+
+	m, v map[*Param]*tensor.T
+	t    int
+}
+
+// NewAdam returns Adam with the canonical hyperparameters.
+func NewAdam() *Adam {
+	return &Adam{Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.T), v: make(map[*Param]*tensor.T)}
+}
+
+// NewAdamW returns Adam with decoupled weight decay (Loshchilov & Hutter),
+// the optimizer of the paper's BERT workload.
+func NewAdamW(weightDecay float64) *Adam {
+	a := NewAdam()
+	a.DecoupledDecay = weightDecay
+	return a
+}
+
+// Step applies one Adam update with bias correction.
+func (o *Adam) Step(params []*Param, lr float64) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.W.Rows(), p.W.Cols())
+			o.m[p] = m
+			o.v[p] = tensor.New(p.W.Rows(), p.W.Cols())
+		}
+		v := o.v[p]
+		gd, wd := p.Grad.Data(), p.W.Data()
+		md, vd := m.Data(), v.Data()
+		for i := range wd {
+			g := gd[i]
+			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+			mHat := md[i] / c1
+			vHat := vd[i] / c2
+			wd[i] -= lr * (mHat/(math.Sqrt(vHat)+o.Eps) + o.DecoupledDecay*wd[i])
+		}
+	}
+}
+
+// LRScaler adapts the learning rate when the batch size changes during
+// adaptive batch-size training (Table 5's "LR scaler" column).
+type LRScaler interface {
+	// Scale returns the learning rate for the given batch size, where
+	// baseLR was tuned at baseBatch. noise is the current GNS estimate
+	// (ignored by scalers that don't use it).
+	Scale(baseLR float64, batch, baseBatch int, noise float64) float64
+}
+
+// AdaScale dampens linear LR scaling by the gradient noise scale: the gain
+// over baseLR approaches B/B0 when the noise dominates (φ >> B) and 1 when
+// gradients are clean, mirroring AdaScale's gain rule r ∈ [1, B/B0].
+type AdaScale struct{}
+
+// Scale implements LRScaler.
+func (AdaScale) Scale(baseLR float64, batch, baseBatch int, noise float64) float64 {
+	if batch <= 0 || baseBatch <= 0 {
+		return baseLR
+	}
+	b, b0 := float64(batch), float64(baseBatch)
+	if noise < 0 {
+		noise = 0
+	}
+	gain := (noise + b0) / (noise + b) * (b / b0)
+	return baseLR * gain
+}
+
+// SquareRoot scales the learning rate with sqrt(B/B0), the common rule for
+// adaptive-gradient optimizers (paper's BERT and NeuMF workloads).
+type SquareRoot struct{}
+
+// Scale implements LRScaler.
+func (SquareRoot) Scale(baseLR float64, batch, baseBatch int, _ float64) float64 {
+	if batch <= 0 || baseBatch <= 0 {
+		return baseLR
+	}
+	return baseLR * math.Sqrt(float64(batch)/float64(baseBatch))
+}
+
+// LinearScale scales the learning rate with B/B0 (Goyal et al.).
+type LinearScale struct{}
+
+// Scale implements LRScaler.
+func (LinearScale) Scale(baseLR float64, batch, baseBatch int, _ float64) float64 {
+	if batch <= 0 || baseBatch <= 0 {
+		return baseLR
+	}
+	return baseLR * float64(batch) / float64(baseBatch)
+}

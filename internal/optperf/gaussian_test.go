@@ -1,0 +1,73 @@
+package optperf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cannikin/internal/rng"
+)
+
+func TestGaussianMatchesClosedForm(t *testing.T) {
+	src := rng.New(21)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 1 + s.Intn(16)
+		ds := make([]float64, n)
+		cs := make([]float64, n)
+		for i := range ds {
+			ds[i] = 1e-4 + 1e-2*s.Float64()
+			cs[i] = 1e-3 * s.Float64()
+		}
+		total := float64(n * (1 + s.Intn(100)))
+		bG, muG, err := SolveEqualGaussian(ds, cs, total)
+		if err != nil {
+			return false
+		}
+		bC, muC := solveEqualClosedForm(ds, cs, total)
+		if math.Abs(muG-muC) > 1e-8*math.Abs(muC) {
+			return false
+		}
+		for i := range bG {
+			if math.Abs(bG[i]-bC[i]) > 1e-6*(1+math.Abs(bC[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianSolutionSatisfiesSystem(t *testing.T) {
+	ds := []float64{0.001, 0.002, 0.004}
+	cs := []float64{0.01, 0.02, 0.03}
+	b, mu, err := SolveEqualGaussian(ds, cs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range b {
+		if got := ds[i]*b[i] + cs[i]; math.Abs(got-mu) > 1e-10 {
+			t.Fatalf("node %d equalization violated: %v != %v", i, got, mu)
+		}
+		sum += b[i]
+	}
+	if math.Abs(sum-300) > 1e-8 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestGaussianErrors(t *testing.T) {
+	if _, _, err := SolveEqualGaussian(nil, nil, 10); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, _, err := SolveEqualGaussian([]float64{1}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("mismatched system accepted")
+	}
+	// Singular: a zero slope makes the node's equation unsatisfiable in b.
+	if _, _, err := SolveEqualGaussian([]float64{0, 0}, []float64{1, 1}, 10); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package optperf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Planner implements Section 4.5's engineering around Algorithm 1:
+//
+//   - Total batch size selection: after the initial epoch, OptPerf_init is
+//     computed once for every candidate total batch size; later epochs
+//     reuse the cached values and only re-solve the chosen candidate.
+//   - Overlap state searching: candidates are enumerated small-to-large so
+//     each solve warm-starts from the previous candidate's overlap state,
+//     and later epochs warm-start from the cached state.
+//
+// A Planner is bound to one cluster model revision; UpdateModel installs a
+// newer learned model while retaining warm-start state.
+type Planner struct {
+	model ClusterModel
+	cache map[int]cachedPlan
+	stats SolveStats
+	hits  int
+}
+
+type cachedPlan struct {
+	plan Plan
+	// computeBound is the warm-start hint: how many boundary-search
+	// outliers were assigned compute-bottleneck (approximated by the
+	// solved state count).
+	computeBound int
+}
+
+// NewPlanner returns a planner for the given model.
+func NewPlanner(model ClusterModel) (*Planner, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{model: model, cache: make(map[int]cachedPlan)}, nil
+}
+
+// Model returns the planner's current cluster model.
+func (p *Planner) Model() ClusterModel { return p.model }
+
+// UpdateModel installs a refreshed cluster model. Cached plans are kept as
+// warm-start hints but their times are marked stale by re-solving on next
+// use.
+func (p *Planner) UpdateModel(model ClusterModel) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	p.model = model
+	// Keep the cache only as hints: times must be recomputed lazily.
+	for b, c := range p.cache {
+		c.plan.Time = -1
+		p.cache[b] = c
+	}
+	return nil
+}
+
+// Plan solves OptPerf for one total batch size, reusing cached results when
+// the model has not changed since they were computed.
+func (p *Planner) Plan(totalBatch int) (Plan, error) {
+	if c, ok := p.cache[totalBatch]; ok && c.plan.Time >= 0 {
+		p.hits++
+		return c.plan, nil
+	}
+	var hint *int
+	if c, ok := p.cache[totalBatch]; ok {
+		h := c.computeBound
+		hint = &h
+	}
+	plan, stats, err := solveWithHint(p.model, totalBatch, hint)
+	p.stats.add(stats)
+	if err != nil {
+		return Plan{}, err
+	}
+	p.cache[totalBatch] = cachedPlan{plan: plan, computeBound: plan.NumComputeBound()}
+	return plan, nil
+}
+
+// PlanAll solves OptPerf for every candidate total batch size, enumerating
+// small-to-large so each solve warm-starts from its predecessor's overlap
+// state (larger batches only push nodes toward compute-bottleneck).
+func (p *Planner) PlanAll(candidates []int) ([]Plan, error) {
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	plans := make([]Plan, 0, len(sorted))
+	var prevState *int
+	for _, b := range sorted {
+		if c, ok := p.cache[b]; ok && c.plan.Time >= 0 {
+			p.hits++
+			plans = append(plans, c.plan)
+			h := c.computeBound
+			prevState = &h
+			continue
+		}
+		hint := prevState
+		if c, ok := p.cache[b]; ok {
+			h := c.computeBound
+			hint = &h
+		}
+		plan, stats, err := solveWithHint(p.model, b, hint)
+		p.stats.add(stats)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %d: %w", b, err)
+		}
+		p.cache[b] = cachedPlan{plan: plan, computeBound: plan.NumComputeBound()}
+		plans = append(plans, plan)
+		h := plan.NumComputeBound()
+		prevState = &h
+	}
+	return plans, nil
+}
+
+// Stats returns cumulative solver work counters.
+func (p *Planner) Stats() SolveStats { return p.stats }
+
+// CacheHits returns how many Plan/PlanAll requests were served from cache.
+func (p *Planner) CacheHits() int { return p.hits }
+
+// InvalidateCache drops all cached plans (used when the overlap pattern
+// changed and Section 4.5 requires re-determining every candidate).
+func (p *Planner) InvalidateCache() {
+	p.cache = make(map[int]cachedPlan)
+}

@@ -1,0 +1,190 @@
+package optperf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlannerCaching(t *testing.T) {
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan1, err := p.Plan(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvesAfterFirst := p.Stats().LinearSolves
+	plan2, err := p.Plan(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().LinearSolves != solvesAfterFirst {
+		t.Fatal("cached plan re-solved")
+	}
+	if p.CacheHits() != 1 {
+		t.Fatalf("CacheHits = %d, want 1", p.CacheHits())
+	}
+	if plan1.Time != plan2.Time {
+		t.Fatal("cache returned a different plan")
+	}
+}
+
+func TestPlannerRejectsBadModel(t *testing.T) {
+	bad := threeNodeModel(0.01, 0.004, 0.2)
+	bad.Gamma = 0
+	if _, err := NewPlanner(bad); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	p, err := NewPlanner(threeNodeModel(0.01, 0.004, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpdateModel(bad); err == nil {
+		t.Fatal("UpdateModel accepted invalid model")
+	}
+}
+
+func TestPlannerUpdateModelInvalidatesTimes(t *testing.T) {
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.Plan(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow down node 0 by 2x; the plan must change.
+	m2 := threeNodeModel(0.012, 0.004, 0.2)
+	m2.Nodes[0].Q *= 2
+	m2.Nodes[0].K *= 2
+	if err := p.UpdateModel(m2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := p.Plan(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Time <= before.Time {
+		t.Fatalf("slower node should increase OptPerf: %v <= %v", after.Time, before.Time)
+	}
+	if after.Batches[0] >= before.Batches[0] {
+		t.Fatalf("slower node should lose batch share: %v -> %v", before.Batches, after.Batches)
+	}
+}
+
+func TestPlanAllMatchesIndividualSolves(t *testing.T) {
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	candidates := []int{24, 48, 96, 192, 384}
+
+	warm, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := warm.PlanAll(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(candidates) {
+		t.Fatalf("PlanAll returned %d plans", len(plans))
+	}
+	for i, plan := range plans {
+		cold, err := Solve(m, candidates[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plan.Time-cold.Time) > 1e-12 {
+			t.Fatalf("candidate %d: warm plan %v != cold plan %v", candidates[i], plan.Time, cold.Time)
+		}
+	}
+	// Plans must come back sorted by candidate size.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].TotalBatch <= plans[i-1].TotalBatch {
+			t.Fatal("PlanAll output not sorted by batch size")
+		}
+	}
+}
+
+func TestPlanAllUsesCacheOnSecondCall(t *testing.T) {
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []int{24, 48, 96}
+	if _, err := p.PlanAll(candidates); err != nil {
+		t.Fatal(err)
+	}
+	solves := p.Stats().LinearSolves
+	if _, err := p.PlanAll(candidates); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().LinearSolves != solves {
+		t.Fatal("second PlanAll re-solved cached candidates")
+	}
+	if p.CacheHits() != len(candidates) {
+		t.Fatalf("CacheHits = %d, want %d", p.CacheHits(), len(candidates))
+	}
+}
+
+func TestInvalidateCache(t *testing.T) {
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(48); err != nil {
+		t.Fatal(err)
+	}
+	p.InvalidateCache()
+	solves := p.Stats().LinearSolves
+	if _, err := p.Plan(48); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().LinearSolves == solves {
+		t.Fatal("invalidated cache still served the plan")
+	}
+}
+
+func TestPlannerWarmStartCorrectAfterModelDrift(t *testing.T) {
+	// Warm-start hints from a stale model must not change the result.
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PlanAll([]int{24, 48, 96, 192}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := threeNodeModel(0.020, 0.006, 0.3) // quite different constants
+	m2.Nodes[2].Q *= 1.5
+	if err := p.UpdateModel(m2); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{24, 48, 96, 192} {
+		warmPlan, err := p.Plan(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Solve(m2, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(warmPlan.Time-cold.Time) > 1e-12 {
+			t.Fatalf("B=%d: warm %v != cold %v", b, warmPlan.Time, cold.Time)
+		}
+	}
+}
+
+func TestModelAccessor(t *testing.T) {
+	m := threeNodeModel(0.012, 0.004, 0.2)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Model(); len(got.Nodes) != 3 || got.To != m.To {
+		t.Fatal("Model accessor returned wrong model")
+	}
+}

@@ -1,0 +1,232 @@
+package optperf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cannikin/internal/rng"
+)
+
+// randomModel draws a well-formed heterogeneous cluster model.
+func randomModel(s *rng.Source, n int) ClusterModel {
+	nodes := make([]NodeModel, n)
+	for i := range nodes {
+		speed := 1 + 5*s.Float64()
+		nodes[i] = NodeModel{
+			Q: (0.0001 + 0.0004*s.Float64()) * speed,
+			S: 0.001 + 0.006*s.Float64(),
+			K: (0.0002 + 0.0008*s.Float64()) * speed,
+			M: 0.001 + 0.004*s.Float64(),
+		}
+	}
+	return ClusterModel{
+		Nodes: nodes,
+		Gamma: 0.05 + 0.9*s.Float64(),
+		To:    0.05 * s.Float64(),
+		Tu:    0.02 * s.Float64(),
+	}
+}
+
+func TestPropertySolveMatchesWaterfill(t *testing.T) {
+	// Algorithm 1 (with its check/boundary-search structure) and the
+	// waterfill reference must agree on the continuous optimum.
+	src := rng.New(1)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(12)
+		m := randomModel(s, n)
+		total := float64(n * (2 + s.Intn(50)))
+
+		var stats SolveStats
+		b1, t1 := solveContinuous(m, total, nil, &stats)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		b2 := waterfill(m, idx, total)
+		// Clamp waterfill to the minimum like the active-set loop does.
+		feasible := true
+		for _, v := range b2 {
+			if v < minLocalBatch-1e-6 {
+				feasible = false
+			}
+		}
+		if !feasible {
+			return true // waterfill reference unconstrained; skip
+		}
+		t2 := m.PredictTimeFloat(b2)
+		_ = b1
+		return t1 <= t2*(1+1e-6) && t2 <= t1*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRoundingPreservesInvariants(t *testing.T) {
+	src := rng.New(2)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(10)
+		m := randomModel(s, n)
+		for i := range m.Nodes {
+			if s.Float64() < 0.5 {
+				m.Nodes[i].MaxBatch = 2 + s.Intn(200)
+			}
+		}
+		capTotal, bounded := m.Capacity()
+		total := n * (1 + s.Intn(60))
+		if bounded && total > capTotal {
+			total = capTotal
+		}
+		if total < n {
+			return true
+		}
+		plan, err := Solve(m, total)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, b := range plan.Batches {
+			if b < minLocalBatch {
+				return false
+			}
+			if c := m.Nodes[i].MaxBatch; c > 0 && b > c {
+				return false
+			}
+			sum += b
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPredictTimeMonotoneInLoad(t *testing.T) {
+	// Adding a sample to any node never decreases the predicted batch time
+	// for that node's own contribution, hence never decreases Eq. 7 when
+	// all other nodes are unchanged.
+	src := rng.New(3)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(8)
+		m := randomModel(s, n)
+		batches := make([]int, n)
+		for i := range batches {
+			batches[i] = 1 + s.Intn(100)
+		}
+		before := m.PredictTime(batches)
+		i := s.Intn(n)
+		batches[i]++
+		after := m.PredictTime(batches)
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOptPerfMonotoneInTotalBatch(t *testing.T) {
+	// The optimal batch time never decreases when the total batch grows.
+	src := rng.New(4)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(8)
+		m := randomModel(s, n)
+		b := n * (1 + s.Intn(40))
+		p1, err1 := Solve(m, b)
+		p2, err2 := Solve(m, b+n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p2.Time >= p1.Time-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyProportionalAllocation(t *testing.T) {
+	src := rng.New(5)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 1 + s.Intn(12)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = 0.001 + 0.02*s.Float64()
+		}
+		total := n * (1 + s.Intn(50))
+		alloc, err := ProportionalAllocation(times, total, nil)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, b := range alloc {
+			if b < 1 {
+				return false
+			}
+			sum += b
+		}
+		if sum != total {
+			return false
+		}
+		// Faster nodes (smaller per-sample time) never get *fewer* samples
+		// than slower ones (within rounding slack of 1).
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if times[i] < times[j] && alloc[i]+1 < alloc[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySolveScaleInvariance(t *testing.T) {
+	// Scaling every time coefficient by a constant scales OptPerf by the
+	// same constant and leaves the allocation unchanged.
+	src := rng.New(6)
+	f := func(seed uint16) bool {
+		s := src.Split(string(rune(seed)))
+		n := 2 + s.Intn(6)
+		m := randomModel(s, n)
+		total := n * (2 + s.Intn(30))
+		p1, err := Solve(m, total)
+		if err != nil {
+			return false
+		}
+		const scale = 3.5
+		m2 := m
+		m2.Nodes = append([]NodeModel(nil), m.Nodes...)
+		for i := range m2.Nodes {
+			m2.Nodes[i].Q *= scale
+			m2.Nodes[i].S *= scale
+			m2.Nodes[i].K *= scale
+			m2.Nodes[i].M *= scale
+		}
+		m2.To *= scale
+		m2.Tu *= scale
+		p2, err := Solve(m2, total)
+		if err != nil {
+			return false
+		}
+		if math.Abs(p2.Time-scale*p1.Time) > 1e-9*p2.Time {
+			return false
+		}
+		for i := range p1.Batches {
+			if p1.Batches[i] != p2.Batches[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package optperf
+
+import (
+	"testing"
+
+	"cannikin/internal/rng"
+)
+
+// TestScalabilityLargeClusters exercises the solver at sizes far beyond
+// the paper's 16-GPU testbed (the paper claims "high scalability"):
+// solutions must stay optimal against random adversaries at n = 64 and
+// n = 128.
+func TestScalabilityLargeClusters(t *testing.T) {
+	src := rng.New(71)
+	for _, n := range []int{64, 128} {
+		s := src.Split(string(rune(n)))
+		m := randomModel(s, n)
+		total := n * 24
+		plan, err := Solve(m, total)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sum := 0
+		for _, b := range plan.Batches {
+			sum += b
+		}
+		if sum != total {
+			t.Fatalf("n=%d: sum %d != %d", n, sum, total)
+		}
+		for r := 0; r < 25; r++ {
+			alloc := randomAllocation(s, n, total)
+			if tr := m.PredictTime(alloc); tr < plan.Time*(1-1e-9) {
+				t.Fatalf("n=%d: random allocation beats solver: %v < %v", n, tr, plan.Time)
+			}
+		}
+	}
+}
+
+// TestPlannerScalabilityCandidateSweep verifies a full candidate sweep on
+// a 128-node model stays well-behaved (bounded solver work, all plans
+// consistent).
+func TestPlannerScalabilityCandidateSweep(t *testing.T) {
+	src := rng.New(73)
+	m := randomModel(src, 128)
+	p, err := NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []int{256, 512, 1024, 2048, 4096, 8192}
+	plans, err := p.PlanAll(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, plan := range plans {
+		if plan.Time < prev {
+			t.Fatalf("OptPerf decreased with batch size: %v after %v", plan.Time, prev)
+		}
+		prev = plan.Time
+	}
+	work := p.Stats().LinearSolves + p.Stats().BoundarySearchSteps
+	// Bound: a handful of solves per candidate even at this scale.
+	if work > 30*len(candidates) {
+		t.Fatalf("solver work %d too high for %d candidates", work, len(candidates))
+	}
+}
+
+func BenchmarkSolve64(b *testing.B) {
+	m := randomModel(rng.New(75), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m, 64*24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve128(b *testing.B) {
+	m := randomModel(rng.New(76), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m, 128*24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

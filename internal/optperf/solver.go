@@ -1,0 +1,498 @@
+package optperf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// minLocalBatch is the smallest local batch a participating node may get:
+// synchronized data parallelism requires every node to contribute each step.
+const minLocalBatch = 1
+
+// SolveStats counts the work Algorithm 1 performed; the trainer charges
+// these against the epoch as scheduling overhead (Table 6).
+type SolveStats struct {
+	// LinearSolves is the number of equalization systems solved.
+	LinearSolves int
+	// BoundarySearchSteps is the number of mixed-bottleneck probes.
+	BoundarySearchSteps int
+	// WaterfillFallbacks counts how often the reference solver was needed.
+	WaterfillFallbacks int
+}
+
+func (s *SolveStats) add(o SolveStats) {
+	s.LinearSolves += o.LinearSolves
+	s.BoundarySearchSteps += o.BoundarySearchSteps
+	s.WaterfillFallbacks += o.WaterfillFallbacks
+}
+
+// Solve computes OptPerf and the optimal local batch sizes for total batch
+// size B using Algorithm 1, then rounds to a feasible integer allocation.
+func Solve(model ClusterModel, totalBatch int) (Plan, error) {
+	p, _, err := solveWithHint(model, totalBatch, nil)
+	return p, err
+}
+
+// solveWithHint runs the full pipeline, optionally warm-starting the
+// mixed-bottleneck boundary search, and reports solver work.
+func solveWithHint(model ClusterModel, totalBatch int, hint *int) (Plan, SolveStats, error) {
+	var stats SolveStats
+	if err := model.Validate(); err != nil {
+		return Plan{}, stats, err
+	}
+	n := len(model.Nodes)
+	if totalBatch < n*minLocalBatch {
+		return Plan{}, stats, fmt.Errorf("%w: total batch %d below %d nodes x min %d", ErrInfeasible, totalBatch, n, minLocalBatch)
+	}
+	if capTotal, bounded := model.Capacity(); bounded && totalBatch > capTotal {
+		return Plan{}, stats, fmt.Errorf("%w: total batch %d exceeds capacity %d", ErrInfeasible, totalBatch, capTotal)
+	}
+
+	cont, contTime := solveContinuous(model, float64(totalBatch), hint, &stats)
+
+	batches, err := roundAllocation(model, cont, totalBatch)
+	if err != nil {
+		return Plan{}, stats, err
+	}
+	localSearch(model, batches)
+
+	plan := Plan{
+		TotalBatch:     totalBatch,
+		Batches:        batches,
+		Ratios:         make([]float64, n),
+		Time:           model.PredictTime(batches),
+		ContinuousTime: contTime,
+		States:         make([]Bottleneck, n),
+	}
+	for i, b := range batches {
+		plan.Ratios[i] = float64(b) / float64(totalBatch)
+		plan.States[i] = model.NodeState(i, float64(b))
+	}
+	return plan, stats, nil
+}
+
+// solveContinuous finds the relaxed optimum with caps and minimums handled
+// by an active-set (waterfilling) outer loop around Algorithm 1.
+func solveContinuous(model ClusterModel, totalBatch float64, hint *int, stats *SolveStats) (b []float64, optPerf float64) {
+	n := len(model.Nodes)
+	b = make([]float64, n)
+	pinned := make([]bool, n)
+	remaining := totalBatch
+	free := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		free = append(free, i)
+	}
+
+	for len(free) > 0 {
+		sub, subStats, ok := algorithm1(model, free, remaining, hint)
+		stats.add(subStats)
+		if !ok {
+			// Inconsistent boundary search (can happen with extreme
+			// coefficient spreads): fall back to the provably optimal
+			// waterfill on the per-node time envelope.
+			sub = waterfill(model, free, remaining)
+			stats.WaterfillFallbacks++
+		}
+		// Pin violators of box constraints and re-solve for the rest.
+		var repinned bool
+		// Handle cap violations first: they free up batch for others.
+		for idx, i := range free {
+			if cap := model.Nodes[i].cap(); sub[idx] > cap {
+				b[i] = cap
+				pinned[i] = true
+				remaining -= cap
+				repinned = true
+			}
+		}
+		if !repinned {
+			for idx, i := range free {
+				if sub[idx] < minLocalBatch {
+					b[i] = minLocalBatch
+					pinned[i] = true
+					remaining -= minLocalBatch
+					repinned = true
+				}
+			}
+		}
+		if !repinned {
+			for idx, i := range free {
+				b[i] = sub[idx]
+			}
+			break
+		}
+		next := free[:0]
+		for _, i := range free {
+			if !pinned[i] {
+				next = append(next, i)
+			}
+		}
+		free = next
+	}
+
+	return b, model.PredictTimeFloat(b)
+}
+
+// algorithm1 is the paper's overlap-state search over the given node subset
+// with no box constraints. It returns the equalized allocation, or ok=false
+// when the boundary search cannot find a consistent partition.
+func algorithm1(model ClusterModel, idx []int, total float64, hint *int) (b []float64, stats SolveStats, ok bool) {
+	k := len(idx)
+	gamma, to := model.Gamma, model.To
+
+	computeD := func(i int) (d, c float64) { // equal t_compute system
+		nm := model.Nodes[i]
+		return nm.Q + nm.K, nm.S + nm.M
+	}
+	commD := func(i int) (d, c float64) { // equal syncStart system
+		nm := model.Nodes[i]
+		return nm.Q + gamma*nm.K, nm.S + gamma*nm.M
+	}
+
+	solveEqual := func(ds, cs []float64) (mu float64, bs []float64) {
+		stats.LinearSolves++
+		var sumInvD, sumCD float64
+		for i := range ds {
+			sumInvD += 1 / ds[i]
+			sumCD += cs[i] / ds[i]
+		}
+		mu = (total + sumCD) / sumInvD
+		bs = make([]float64, len(ds))
+		for i := range ds {
+			bs[i] = (mu - cs[i]) / ds[i]
+		}
+		return mu, bs
+	}
+
+	computeBound := func(i int, bi float64) bool {
+		return (1-gamma)*model.Nodes[i].P(bi) >= to
+	}
+
+	ds := make([]float64, k)
+	cs := make([]float64, k)
+	check1 := func() (bs []float64, valid bool) { // all compute-bottleneck
+		for j, i := range idx {
+			ds[j], cs[j] = computeD(i)
+		}
+		_, bs = solveEqual(ds, cs)
+		for j, i := range idx {
+			if !computeBound(i, bs[j]) {
+				return bs, false
+			}
+		}
+		return bs, true
+	}
+	check2 := func() (bs []float64, valid bool) { // all comm-bottleneck
+		for j, i := range idx {
+			ds[j], cs[j] = commD(i)
+		}
+		_, bs = solveEqual(ds, cs)
+		for j, i := range idx {
+			if computeBound(i, bs[j]) {
+				return bs, false
+			}
+		}
+		return bs, true
+	}
+
+	// Section 4.5 warm start: begin from the previous candidate's overlap
+	// state. A hint of 0 (all communication-bottleneck) reverses the check
+	// order; either way both checks run before the mixed search so their
+	// agreement classification stays available.
+	var b1, b2 []float64
+	var ok1, ok2 bool
+	if hint != nil && *hint == 0 {
+		if b2, ok2 = check2(); ok2 {
+			return b2, stats, true
+		}
+		if b1, ok1 = check1(); ok1 {
+			return b1, stats, true
+		}
+	} else {
+		if b1, ok1 = check1(); ok1 {
+			return b1, stats, true
+		}
+		if b2, ok2 = check2(); ok2 {
+			return b2, stats, true
+		}
+	}
+
+	// Mixed bottleneck. Nodes that agree across both checks keep that
+	// state; the outliers are ordered by how compute-leaning they are at
+	// the Check-1 solution and a boundary is searched among them.
+	type entry struct {
+		node  int // index into idx
+		score float64
+	}
+	var fixedCompute, fixedComm []int
+	var outliers []entry
+	for j, i := range idx {
+		c1 := computeBound(i, b1[j])
+		c2 := computeBound(i, b2[j])
+		switch {
+		case c1 && c2:
+			fixedCompute = append(fixedCompute, j)
+		case !c1 && !c2:
+			fixedComm = append(fixedComm, j)
+		default:
+			outliers = append(outliers, entry{node: j, score: (1-gamma)*model.Nodes[i].P(b1[j]) - to})
+		}
+	}
+	sort.Slice(outliers, func(a, b int) bool { return outliers[a].score > outliers[b].score })
+
+	trySplit := func(t int) (bs []float64, valid bool, wantMore bool) {
+		stats.BoundarySearchSteps++
+		for j := range idx {
+			ds[j], cs[j] = commD(idx[j])
+			cs[j] += to // comm side solves syncStart + To = mu
+		}
+		assignCompute := make([]bool, k)
+		for _, j := range fixedCompute {
+			assignCompute[j] = true
+		}
+		for _, e := range outliers[:t] {
+			assignCompute[e.node] = true
+		}
+		for j := range idx {
+			if assignCompute[j] {
+				ds[j], cs[j] = computeD(idx[j])
+			}
+		}
+		mu, bs := solveEqual(ds, cs)
+		_ = mu
+		valid = true
+		computeViolated, commViolated := false, false
+		for j, i := range idx {
+			isComputeSide := assignCompute[j]
+			actual := computeBound(i, bs[j])
+			if isComputeSide && !actual {
+				computeViolated = true
+				valid = false
+			}
+			if !isComputeSide && actual {
+				commViolated = true
+				valid = false
+			}
+		}
+		// Too many compute-assigned nodes -> shrink t; too few -> grow.
+		wantMore = commViolated && !computeViolated
+		return bs, valid, wantMore
+	}
+
+	lo, hi := 0, len(outliers)
+	if hint != nil {
+		t := *hint
+		if t < lo {
+			t = lo
+		}
+		if t > hi {
+			t = hi
+		}
+		if bs, valid, _ := trySplit(t); valid {
+			return bs, stats, true
+		}
+	}
+	for lo <= hi {
+		t := (lo + hi) / 2
+		bs, valid, wantMore := trySplit(t)
+		if valid {
+			return bs, stats, true
+		}
+		if wantMore {
+			lo = t + 1
+		} else {
+			hi = t - 1
+		}
+	}
+	// Exhaustive scan as a last resort before the waterfill fallback.
+	for t := 0; t <= len(outliers); t++ {
+		if bs, valid, _ := trySplit(t); valid {
+			return bs, stats, true
+		}
+	}
+	return nil, stats, false
+}
+
+// waterfill equalizes each node's batch-time envelope
+// f_i(b) = max(compute path, comm path) by bisection on the target time.
+// It is the provably optimal reference solver (each f_i is increasing and
+// convex, so equalized times minimize the maximum).
+func waterfill(model ClusterModel, idx []int, total float64) []float64 {
+	tcomm := model.TComm()
+	batchAt := func(i int, tau float64) float64 {
+		nm := model.Nodes[i]
+		// compute path: (Q+K) b + S + M + Tu = tau
+		bCompute := (tau - model.Tu - nm.S - nm.M) / (nm.Q + nm.K)
+		// comm path: (Q + gamma K) b + S + gamma M + TComm = tau
+		bComm := (tau - tcomm - nm.S - model.Gamma*nm.M) / (nm.Q + model.Gamma*nm.K)
+		return math.Min(bCompute, bComm)
+	}
+	sumAt := func(tau float64) float64 {
+		s := 0.0
+		for _, i := range idx {
+			s += math.Max(batchAt(i, tau), 0)
+		}
+		return s
+	}
+	lo, hi := 0.0, 1.0
+	for sumAt(hi) < total {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if sumAt(mid) < total {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out := make([]float64, len(idx))
+	for j, i := range idx {
+		out[j] = math.Max(batchAt(i, hi), 0)
+	}
+	// Normalize tiny bisection residue onto the fastest node.
+	diff := total
+	for _, v := range out {
+		diff -= v
+	}
+	if len(out) > 0 {
+		out[0] += diff
+	}
+	return out
+}
+
+// roundAllocation converts a continuous allocation to integers that sum to
+// totalBatch, respect caps, and keep every node at minLocalBatch or more,
+// using largest-remainder apportionment.
+func roundAllocation(model ClusterModel, cont []float64, totalBatch int) ([]int, error) {
+	n := len(cont)
+	batches := make([]int, n)
+	assigned := 0
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, 0, n)
+	for i, v := range cont {
+		fl := int(math.Floor(v))
+		if fl < minLocalBatch {
+			fl = minLocalBatch
+		}
+		if c := model.Nodes[i].cap(); float64(fl) > c {
+			fl = int(c)
+		}
+		batches[i] = fl
+		assigned += fl
+		fracs = append(fracs, frac{i: i, f: v - math.Floor(v)})
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	// Distribute any shortfall to the largest remainders (respecting caps);
+	// remove any overshoot from the smallest remainders (respecting mins).
+	for assigned < totalBatch {
+		progressed := false
+		for _, fr := range fracs {
+			if assigned == totalBatch {
+				break
+			}
+			if float64(batches[fr.i]+1) <= model.Nodes[fr.i].cap() {
+				batches[fr.i]++
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("%w: rounding cannot reach total %d", ErrInfeasible, totalBatch)
+		}
+	}
+	for assigned > totalBatch {
+		progressed := false
+		for j := len(fracs) - 1; j >= 0; j-- {
+			if assigned == totalBatch {
+				break
+			}
+			i := fracs[j].i
+			if batches[i] > minLocalBatch {
+				batches[i]--
+				assigned--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("%w: rounding cannot reduce to total %d", ErrInfeasible, totalBatch)
+		}
+	}
+	return batches, nil
+}
+
+// localSearch greedily moves single samples off the critical node while it
+// strictly improves the predicted batch time.
+func localSearch(model ClusterModel, batches []int) {
+	n := len(batches)
+	for iter := 0; iter < 4*n; iter++ {
+		// Find the critical (slowest) node.
+		worst, worstT := -1, -1.0
+		for i, b := range batches {
+			if t := model.NodeTime(i, float64(b)); t > worstT {
+				worst, worstT = i, t
+			}
+		}
+		if batches[worst] <= minLocalBatch {
+			return
+		}
+		bestJ, bestT := -1, worstT
+		for j := range batches {
+			if j == worst || float64(batches[j]+1) > model.Nodes[j].cap() {
+				continue
+			}
+			batches[worst]--
+			batches[j]++
+			if t := model.PredictTime(batches); t < bestT {
+				bestJ, bestT = j, t
+			}
+			batches[worst]++
+			batches[j]--
+		}
+		if bestJ < 0 {
+			return
+		}
+		batches[worst]--
+		batches[bestJ]++
+	}
+}
+
+// ProportionalAllocation implements Eq. 8: before performance models exist
+// (the first two epochs), local batches are assigned inversely proportional
+// to the measured per-sample compute times. Caps may be nil for unlimited.
+func ProportionalAllocation(perSampleTime []float64, totalBatch int, caps []int) ([]int, error) {
+	n := len(perSampleTime)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrInfeasible)
+	}
+	if totalBatch < n*minLocalBatch {
+		return nil, fmt.Errorf("%w: total batch %d below %d nodes", ErrInfeasible, totalBatch, n)
+	}
+	weights := make([]float64, n)
+	var sumW float64
+	for i, t := range perSampleTime {
+		if t <= 0 {
+			return nil, fmt.Errorf("optperf: node %d has non-positive per-sample time %v", i, t)
+		}
+		weights[i] = 1 / t
+		sumW += weights[i]
+	}
+	cont := make([]float64, n)
+	for i := range cont {
+		cont[i] = weights[i] / sumW * float64(totalBatch)
+	}
+	m := ClusterModel{Nodes: make([]NodeModel, n), Gamma: 0.5}
+	for i := range m.Nodes {
+		m.Nodes[i] = NodeModel{Q: perSampleTime[i], K: perSampleTime[i], MaxBatch: 0}
+		if caps != nil {
+			m.Nodes[i].MaxBatch = caps[i]
+		}
+	}
+	return roundAllocation(m, cont, totalBatch)
+}

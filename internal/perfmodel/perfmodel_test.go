@@ -1,0 +1,284 @@
+package perfmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cannikin/internal/gpu"
+	"cannikin/internal/rng"
+	"cannikin/internal/stats"
+)
+
+func TestNodeLearnerNeedsTwoDistinctBatches(t *testing.T) {
+	var l NodeLearner
+	if l.HasModel() {
+		t.Fatal("empty learner claims model")
+	}
+	l.Observe(32, 0.01, 0.02)
+	l.Observe(32, 0.011, 0.019)
+	if l.HasModel() {
+		t.Fatal("single batch size suffices for a line?")
+	}
+	if _, err := l.Fit(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("Fit err = %v, want ErrNoModel", err)
+	}
+	l.Observe(64, 0.02, 0.04)
+	if !l.HasModel() {
+		t.Fatal("two distinct batch sizes should fit")
+	}
+	if _, err := l.Fit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLearnerIgnoresInvalid(t *testing.T) {
+	var l NodeLearner
+	l.Observe(0, 1, 1)
+	l.Observe(-3, 1, 1)
+	l.Observe(10, 0, 1)
+	l.Observe(10, 1, -1)
+	if l.Observations() != 0 {
+		t.Fatalf("invalid observations recorded: %d", l.Observations())
+	}
+}
+
+func TestNodeLearnerRecoversExactModel(t *testing.T) {
+	var l NodeLearner
+	// a(b) = 0.0005 b + 0.004 ; P(b) = 0.001 b + 0.002
+	for _, b := range []int{8, 16, 32, 64} {
+		l.Observe(b, 0.0005*float64(b)+0.004, 0.001*float64(b)+0.002)
+	}
+	m, err := l.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Q-0.0005) > 1e-12 || math.Abs(m.S-0.004) > 1e-12 ||
+		math.Abs(m.K-0.001) > 1e-12 || math.Abs(m.M-0.002) > 1e-12 {
+		t.Fatalf("fit = %+v", m)
+	}
+}
+
+func TestNodeLearnerLearnsFromNoisyDevice(t *testing.T) {
+	// End-to-end with the gpu substrate: learned coefficients must land
+	// within a few percent of the device's ground truth.
+	src := rng.New(3)
+	dev, err := gpu.NewDevice("n0", "V100", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := gpu.JobProfile{
+		Name:              "test",
+		FwdFLOPsPerSample: 4e9,
+		BwdFLOPsPerSample: 8e9,
+		BytesPerSample:    500e3,
+		ParamBytes:        100e6,
+		UpdateFLOPs:       1e8,
+		MemPerSampleBytes: 20e6,
+		ModelMemBytes:     300e6,
+	}
+	var l NodeLearner
+	for _, b := range []int{16, 24, 32, 48, 64, 96} {
+		for rep := 0; rep < 20; rep++ {
+			meas := dev.MeasureCompute(profile, b)
+			l.Observe(b, meas.A, meas.P)
+		}
+	}
+	m, err := l.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dev.Coeffs(profile)
+	if stats.RelErr(m.Q, truth.Q) > 0.05 || stats.RelErr(m.K, truth.K) > 0.05 {
+		t.Fatalf("per-sample coefficients off: got Q=%v K=%v want Q=%v K=%v", m.Q, m.K, truth.Q, truth.K)
+	}
+	if stats.RelErr(m.Compute(64), truth.Compute(64)) > 0.03 {
+		t.Fatalf("predicted compute(64) off: %v vs %v", m.Compute(64), truth.Compute(64))
+	}
+}
+
+func TestPerSampleTime(t *testing.T) {
+	var l NodeLearner
+	if _, err := l.PerSampleTime(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v", err)
+	}
+	l.Observe(10, 0.06, 0.04) // 0.01 s/sample
+	got, err := l.PerSampleTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("PerSampleTime = %v, want 0.01", got)
+	}
+	l.EndEpoch()
+	got, err = l.PerSampleTime()
+	if err != nil || math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("after EndEpoch: %v, %v", got, err)
+	}
+}
+
+func TestEndEpochSnapshotsRecentRate(t *testing.T) {
+	var l NodeLearner
+	// Epoch 0: slow (0.02 s/sample). Epoch 1: fast (0.01 s/sample).
+	for i := 0; i < 30; i++ {
+		l.Observe(10, 0.1, 0.1)
+	}
+	l.EndEpoch()
+	for i := 0; i < 10; i++ {
+		l.Observe(10, 0.06, 0.04)
+	}
+	l.EndEpoch()
+	got, err := l.PerSampleTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("PerSampleTime = %v, want recent 0.01", got)
+	}
+}
+
+func TestDriftDetectionDropsStaleHistory(t *testing.T) {
+	var l NodeLearner
+	// Two epochs of a stable model: a(b)=0.001b+0.004, P(b)=0.002b+0.002.
+	for _, b := range []int{8, 16, 8, 16} {
+		l.Observe(b, 0.001*float64(b)+0.004, 0.002*float64(b)+0.002)
+	}
+	l.EndEpoch()
+	if l.Drifted() {
+		t.Fatal("drift flagged on consistent history")
+	}
+	// A consistent epoch must not drop anything.
+	l.Observe(12, 0.001*12+0.004, 0.002*12+0.002)
+	l.EndEpoch()
+	if l.Drifted() {
+		t.Fatal("drift flagged on a consistent epoch")
+	}
+	kept := l.Observations()
+	// The node halves in speed: the epoch contradicts the model.
+	for _, b := range []int{8, 16} {
+		l.Observe(b, 2*(0.001*float64(b)+0.004), 2*(0.002*float64(b)+0.002))
+	}
+	l.EndEpoch()
+	if !l.Drifted() {
+		t.Fatal("2x slowdown not flagged as drift")
+	}
+	if l.Observations() >= kept {
+		t.Fatalf("stale history retained: %d observations", l.Observations())
+	}
+	// The surviving history reflects the new speed.
+	m, err := l.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelErr(m.Compute(16), 2*(0.001*16+0.004)+2*(0.002*16+0.002)) > 0.05 {
+		t.Fatalf("refitted model wrong: compute(16) = %v", m.Compute(16))
+	}
+}
+
+func TestClusterLearnerModel(t *testing.T) {
+	c := NewClusterLearner(2)
+	if c.Nodes() != 2 {
+		t.Fatalf("Nodes = %d", c.Nodes())
+	}
+	if c.HasModel() {
+		t.Fatal("fresh learner claims model")
+	}
+	for _, b := range []int{8, 16} {
+		c.Node(0).Observe(b, 0.0005*float64(b)+0.004, 0.001*float64(b)+0.002)
+		c.Node(1).Observe(b, 0.001*float64(b)+0.005, 0.002*float64(b)+0.003)
+	}
+	if c.HasModel() {
+		t.Fatal("model without communication observations")
+	}
+	c.ObserveComm(CommObservation{Gamma: 0.25, GammaVar: 1e-4, To: 0.02, ToVar: 1e-6, Tu: 0.005, TuVar: 1e-7})
+	c.ObserveComm(CommObservation{Gamma: 0.27, GammaVar: 1e-4, To: 0.021, ToVar: 1e-6, Tu: 0.0052, TuVar: 1e-7})
+	if !c.HasModel() {
+		t.Fatal("learner should have model now")
+	}
+	m, err := c.Model([]int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[0].MaxBatch != 100 || m.Nodes[1].MaxBatch != 200 {
+		t.Fatal("caps not propagated")
+	}
+	if m.Gamma < 0.24 || m.Gamma > 0.28 {
+		t.Fatalf("gamma = %v", m.Gamma)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("learned model invalid: %v", err)
+	}
+}
+
+func TestClusterLearnerModelErrors(t *testing.T) {
+	c := NewClusterLearner(2)
+	if _, err := c.Model(nil); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("no comm obs: err = %v", err)
+	}
+	c.ObserveComm(CommObservation{Gamma: 0.25, To: 0.02, Tu: 0.005})
+	if _, err := c.Model(nil); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("no node models: err = %v", err)
+	}
+}
+
+func TestIVWBeatsPlainAveraging(t *testing.T) {
+	// Nodes with heterogeneous measurement precision: the IVW-combined
+	// gamma must be closer to truth than the plain mean when one noisy
+	// node reports a wild value.
+	build := func(useIVW bool) float64 {
+		c := NewClusterLearner(3)
+		c.UseIVW = useIVW
+		for _, b := range []int{8, 16} {
+			for i := 0; i < 3; i++ {
+				c.Node(i).Observe(b, 0.001*float64(b)+0.004, 0.002*float64(b)+0.002)
+			}
+		}
+		// Truth gamma = 0.25. Two precise nodes, one wildly wrong noisy node.
+		c.ObserveComm(CommObservation{Gamma: 0.251, GammaVar: 1e-6, To: 0.02, ToVar: 1e-8, Tu: 0.005, TuVar: 1e-8})
+		c.ObserveComm(CommObservation{Gamma: 0.249, GammaVar: 1e-6, To: 0.02, ToVar: 1e-8, Tu: 0.005, TuVar: 1e-8})
+		c.ObserveComm(CommObservation{Gamma: 0.60, GammaVar: 0.04, To: 0.05, ToVar: 1e-3, Tu: 0.012, TuVar: 1e-4})
+		m, err := c.Model(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Gamma
+	}
+	ivw := build(true)
+	plain := build(false)
+	if math.Abs(ivw-0.25) >= math.Abs(plain-0.25) {
+		t.Fatalf("IVW gamma %v not closer to 0.25 than plain %v", ivw, plain)
+	}
+	if math.Abs(ivw-0.25) > 0.01 {
+		t.Fatalf("IVW gamma %v too far from truth", ivw)
+	}
+}
+
+func TestPerSampleTimes(t *testing.T) {
+	c := NewClusterLearner(2)
+	c.Node(0).Observe(10, 0.05, 0.05) // 0.01/sample
+	if _, err := c.PerSampleTimes(); err == nil {
+		t.Fatal("missing node 1 data accepted")
+	}
+	c.Node(1).Observe(10, 0.1, 0.1) // 0.02/sample
+	ts, err := c.PerSampleTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ts[0]-0.01) > 1e-12 || math.Abs(ts[1]-0.02) > 1e-12 {
+		t.Fatalf("PerSampleTimes = %v", ts)
+	}
+}
+
+func TestFitClampsNonPhysical(t *testing.T) {
+	var l NodeLearner
+	// Observations implying a negative intercept for a(b).
+	l.Observe(10, 0.001, 0.010)
+	l.Observe(20, 0.004, 0.021)
+	m, err := l.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.S < 0 || m.M < 0 || m.Q < 0 || m.K <= 0 {
+		t.Fatalf("non-physical model: %+v", m)
+	}
+}

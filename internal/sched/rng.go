@@ -1,0 +1,12 @@
+package sched
+
+import (
+	"fmt"
+
+	"cannikin/internal/rng"
+)
+
+// rngFor derives a deterministic per-job randomness source.
+func rngFor(seed uint64, jobSeq int) *rng.Source {
+	return rng.New(seed).Split(fmt.Sprintf("job/%d", jobSeq))
+}

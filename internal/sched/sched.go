@@ -1,0 +1,247 @@
+// Package sched implements the small dynamic-resource job scheduler
+// sketched in the paper's Discussion (Section 6): jobs queue for GPUs, the
+// scheduler allocates a (possibly heterogeneous) subset, and the training
+// system — Cannikin — runs the job efficiently on whatever mix it received.
+//
+// Existing schedulers restrict each job to homogeneous GPUs (Sia allocates
+// heterogeneously across jobs but homogeneously within one); Cannikin
+// removes that restriction. Both allocation policies are implemented so
+// the utilization benefit can be measured.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cannikin/internal/cluster"
+	"cannikin/internal/gpu"
+	"cannikin/internal/simnet"
+	"cannikin/internal/simtime"
+	"cannikin/internal/trainer"
+	"cannikin/internal/workload"
+)
+
+// Policy selects the allocation constraint.
+type Policy int
+
+// Allocation policies.
+const (
+	// Heterogeneous lets a job span mixed GPU models (Cannikin).
+	Heterogeneous Policy = iota + 1
+	// HomogeneousOnly restricts each job to a single GPU model.
+	HomogeneousOnly
+)
+
+// Job is one queued training job.
+type Job struct {
+	ID       string
+	Workload workload.Workload
+	// GPUs is the number of devices requested.
+	GPUs int
+	// SubmitAt is the submission instant.
+	SubmitAt simtime.Time
+}
+
+// Record is a completed job's schedule entry.
+type Record struct {
+	ID       string
+	Start    simtime.Time
+	Finish   simtime.Time
+	Wait     simtime.Duration
+	Devices  []string
+	Converge float64 // training time in seconds
+}
+
+// SystemFactory builds a fresh training system per job.
+type SystemFactory func() trainer.System
+
+// Scheduler runs queued jobs over a shared device pool on a simulated
+// timeline.
+type Scheduler struct {
+	policy  Policy
+	factory SystemFactory
+	seed    uint64
+
+	devices []*gpu.Device
+	busy    []bool
+	engine  *simtime.Engine
+	queue   []Job
+	records []Record
+	failed  []error
+	jobSeq  int
+}
+
+// New creates a scheduler over the device pool.
+func New(devices []*gpu.Device, policy Policy, factory SystemFactory, seed uint64) (*Scheduler, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("sched: empty device pool")
+	}
+	if policy != Heterogeneous && policy != HomogeneousOnly {
+		return nil, fmt.Errorf("sched: invalid policy %d", policy)
+	}
+	if factory == nil {
+		return nil, errors.New("sched: nil system factory")
+	}
+	return &Scheduler{
+		policy:  policy,
+		factory: factory,
+		seed:    seed,
+		devices: devices,
+		busy:    make([]bool, len(devices)),
+		engine:  simtime.NewEngine(),
+	}, nil
+}
+
+// Submit enqueues a job at its submission instant.
+func (s *Scheduler) Submit(job Job) error {
+	if job.GPUs < 1 || job.GPUs > len(s.devices) {
+		return fmt.Errorf("sched: job %s requests %d of %d GPUs", job.ID, job.GPUs, len(s.devices))
+	}
+	if err := job.Workload.Validate(); err != nil {
+		return err
+	}
+	s.engine.ScheduleAt(job.SubmitAt, func() {
+		s.queue = append(s.queue, job)
+		s.dispatch()
+	})
+	return nil
+}
+
+// Run drains the timeline and returns the completed job records sorted by
+// finish time. It fails if any job could not run.
+func (s *Scheduler) Run() ([]Record, error) {
+	s.engine.Run()
+	if len(s.queue) > 0 {
+		return nil, fmt.Errorf("sched: %d jobs never allocated (pool too constrained)", len(s.queue))
+	}
+	if len(s.failed) > 0 {
+		return nil, s.failed[0]
+	}
+	sort.Slice(s.records, func(i, j int) bool { return s.records[i].Finish < s.records[j].Finish })
+	return s.records, nil
+}
+
+// Makespan returns the finish time of the last job (zero before Run).
+func (s *Scheduler) Makespan() simtime.Time {
+	var last simtime.Time
+	for _, r := range s.records {
+		if r.Finish > last {
+			last = r.Finish
+		}
+	}
+	return last
+}
+
+// dispatch starts every queue-head job that can be allocated (FIFO order,
+// no backfilling: a blocked head blocks the queue, keeping things fair).
+func (s *Scheduler) dispatch() {
+	for len(s.queue) > 0 {
+		job := s.queue[0]
+		alloc, ok := s.allocate(job.GPUs)
+		if !ok {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.start(job, alloc)
+	}
+}
+
+// allocate picks device indices for a job under the policy, preferring
+// faster devices. It reports ok=false when the job cannot run now.
+func (s *Scheduler) allocate(n int) ([]int, bool) {
+	type cand struct {
+		idx   int
+		model string
+		speed float64
+	}
+	var free []cand
+	for i, d := range s.devices {
+		if !s.busy[i] {
+			free = append(free, cand{idx: i, model: d.Model.Name, speed: d.Model.EffTFLOPS * d.SpeedFraction})
+		}
+	}
+	if len(free) < n {
+		return nil, false
+	}
+	sort.Slice(free, func(i, j int) bool {
+		if free[i].speed != free[j].speed {
+			return free[i].speed > free[j].speed
+		}
+		return free[i].idx < free[j].idx
+	})
+	if s.policy == Heterogeneous {
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			out[i] = free[i].idx
+		}
+		return out, true
+	}
+	// Homogeneous-only: find the fastest model with n free devices.
+	byModel := map[string][]int{}
+	for _, c := range free {
+		byModel[c.model] = append(byModel[c.model], c.idx)
+	}
+	bestModel, bestSpeed := "", -1.0
+	for _, c := range free {
+		if len(byModel[c.model]) >= n && c.speed > bestSpeed {
+			bestModel, bestSpeed = c.model, c.speed
+		}
+	}
+	if bestModel == "" {
+		return nil, false
+	}
+	return byModel[bestModel][:n], true
+}
+
+// start marks devices busy, trains the job, and schedules its completion.
+func (s *Scheduler) start(job Job, alloc []int) {
+	devs := make([]*gpu.Device, len(alloc))
+	names := make([]string, len(alloc))
+	for i, idx := range alloc {
+		s.busy[idx] = true
+		devs[i] = s.devices[idx]
+		names[i] = s.devices[idx].ID
+	}
+	s.jobSeq++
+	ring := simnet.UniformRing(len(devs), 10, 20e-6)
+	src := rngFor(s.seed, s.jobSeq)
+	cl, err := cluster.New(fmt.Sprintf("job-%s", job.ID), devs, ring, src)
+	if err != nil {
+		s.fail(job, alloc, err)
+		return
+	}
+	res, err := trainer.Run(trainer.Config{
+		Cluster:  cl,
+		Workload: job.Workload,
+		System:   s.factory(),
+		Seed:     s.seed + uint64(s.jobSeq),
+	})
+	if err != nil {
+		s.fail(job, alloc, err)
+		return
+	}
+	start := s.engine.Now()
+	duration := simtime.FromSeconds(res.TotalTime)
+	s.engine.Schedule(duration, func() {
+		for _, idx := range alloc {
+			s.busy[idx] = false
+		}
+		s.records = append(s.records, Record{
+			ID:       job.ID,
+			Start:    start,
+			Finish:   s.engine.Now(),
+			Wait:     start.Sub(job.SubmitAt),
+			Devices:  names,
+			Converge: res.TotalTime,
+		})
+		s.dispatch()
+	})
+}
+
+func (s *Scheduler) fail(job Job, alloc []int, err error) {
+	for _, idx := range alloc {
+		s.busy[idx] = false
+	}
+	s.failed = append(s.failed, fmt.Errorf("sched: job %s: %w", job.ID, err))
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"cannikin/internal/gpu"
+	"cannikin/internal/rng"
+	"cannikin/internal/simtime"
+	"cannikin/internal/trainer"
+	"cannikin/internal/workload"
+)
+
+func testPool(t *testing.T) []*gpu.Device {
+	t.Helper()
+	src := rng.New(100)
+	models := []string{"A100", "A100", "V100", "V100", "RTX6000", "RTX6000", "RTX6000", "RTX6000"}
+	devices := make([]*gpu.Device, len(models))
+	for i, m := range models {
+		d, err := gpu.NewDevice(m+"-"+string(rune('a'+i)), m, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[i] = d
+	}
+	return devices
+}
+
+func cifarJob(t *testing.T, id string, gpus int, at simtime.Time) Job {
+	t.Helper()
+	w, err := workload.Get("cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{ID: id, Workload: w, GPUs: gpus, SubmitAt: at}
+}
+
+func cannikinFactory() trainer.System { return trainer.NewCannikin() }
+
+func TestNewValidation(t *testing.T) {
+	pool := testPool(t)
+	if _, err := New(nil, Heterogeneous, cannikinFactory, 1); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := New(pool, Policy(99), cannikinFactory, 1); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if _, err := New(pool, Heterogeneous, nil, 1); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := New(testPool(t), Heterogeneous, cannikinFactory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "too-big", 99, 0)); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if err := s.Submit(cifarJob(t, "zero", 0, 0)); err == nil {
+		t.Fatal("zero-GPU job accepted")
+	}
+}
+
+func TestSingleJobRuns(t *testing.T) {
+	s, err := New(testPool(t), Heterogeneous, cannikinFactory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "j1", 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	r := recs[0]
+	if r.Wait != 0 {
+		t.Fatalf("job waited %v on an empty pool", r.Wait)
+	}
+	if len(r.Devices) != 4 {
+		t.Fatalf("allocated %d devices", len(r.Devices))
+	}
+	if r.Converge <= 0 || r.Finish <= r.Start {
+		t.Fatalf("suspicious record %+v", r)
+	}
+	// Greedy heterogeneous allocation should grab the A100s first.
+	joined := strings.Join(r.Devices, " ")
+	if !strings.Contains(joined, "A100") {
+		t.Fatalf("fastest GPUs not preferred: %v", r.Devices)
+	}
+}
+
+func TestQueueingWhenPoolBusy(t *testing.T) {
+	s, err := New(testPool(t), Heterogeneous, cannikinFactory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 6-GPU jobs cannot overlap on 8 GPUs.
+	if err := s.Submit(cifarJob(t, "j1", 6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "j2", 6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1].Start < recs[0].Finish {
+		t.Fatalf("jobs overlapped: %v starts before %v finishes", recs[1].Start, recs[0].Finish)
+	}
+	if recs[1].Wait <= 0 {
+		t.Fatal("second job reports no wait")
+	}
+}
+
+func TestParallelJobsWhenTheyFit(t *testing.T) {
+	s, err := New(testPool(t), Heterogeneous, cannikinFactory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "j1", 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "j2", 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Wait != 0 {
+		t.Fatal("first job waited")
+	}
+	// Both should start immediately.
+	for _, r := range recs {
+		if r.Start != 0 {
+			t.Fatalf("job %s started at %v, want 0", r.ID, r.Start)
+		}
+	}
+}
+
+func TestHomogeneousPolicyRestrictsModels(t *testing.T) {
+	s, err := New(testPool(t), HomogeneousOnly, cannikinFactory, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "j1", 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only RTX6000 has 4 devices; all allocated devices share one model.
+	prefix := recs[0].Devices[0][:4]
+	for _, d := range recs[0].Devices {
+		if d[:4] != prefix {
+			t.Fatalf("mixed models under homogeneous policy: %v", recs[0].Devices)
+		}
+	}
+}
+
+func TestHeterogeneousPolicyImprovesUtilization(t *testing.T) {
+	// A 6-GPU job cannot run homogeneously on this pool (max 4 of a kind)
+	// but runs fine heterogeneously.
+	het, err := New(testPool(t), Heterogeneous, cannikinFactory, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := het.Submit(cifarJob(t, "wide", 6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := het.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	hom, err := New(testPool(t), HomogeneousOnly, cannikinFactory, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hom.Submit(cifarJob(t, "wide", 6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hom.Run(); err == nil {
+		t.Fatal("homogeneous policy ran a 6-GPU job on a 4-per-model pool")
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	s, err := New(testPool(t), Heterogeneous, cannikinFactory, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(cifarJob(t, "j1", 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() <= 0 {
+		t.Fatal("zero makespan")
+	}
+}

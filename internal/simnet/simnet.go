@@ -1,0 +1,136 @@
+// Package simnet models the cluster interconnect and the ring all-reduce
+// used for gradient synchronization (Section 3.2.2 of the paper).
+//
+// PyTorch DDP splits the gradient into fixed-size buckets; each bucket is
+// synchronized with a bandwidth-optimal ring all-reduce as soon as every
+// node has finished computing it, so all buckets except the last overlap
+// with backpropagation. In-flight all-reduces on one process group
+// serialize, so the per-batch communication time decomposes as
+//
+//	T_comm = T_o + T_u
+//
+// where T_u is the (non-overlappable) last-bucket time and T_o covers all
+// earlier buckets. Both are constants for a fixed model size and network,
+// which is exactly what Cannikin learns online.
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBucketBytes matches PyTorch DDP's 25 MB gradient bucket cap.
+const DefaultBucketBytes = 25 << 20
+
+// RingSpec describes the all-reduce ring: per-node link bandwidths and a
+// uniform per-hop latency. A heterogeneous cluster may have heterogeneous
+// links; the ring is throttled by its slowest link.
+type RingSpec struct {
+	// LinkGBps has one entry per node: that node's bidirectional link
+	// bandwidth in GB/s.
+	LinkGBps []float64
+	// LatencyS is the one-hop message latency in seconds.
+	LatencyS float64
+}
+
+// Validate checks the spec is simulatable.
+func (s RingSpec) Validate() error {
+	if len(s.LinkGBps) < 1 {
+		return fmt.Errorf("simnet: ring needs at least one node")
+	}
+	for i, bw := range s.LinkGBps {
+		if bw <= 0 {
+			return fmt.Errorf("simnet: node %d has non-positive bandwidth %v", i, bw)
+		}
+	}
+	if s.LatencyS < 0 {
+		return fmt.Errorf("simnet: negative latency %v", s.LatencyS)
+	}
+	return nil
+}
+
+// Nodes returns the ring size.
+func (s RingSpec) Nodes() int { return len(s.LinkGBps) }
+
+// bottleneckBps returns the slowest link in bytes/second.
+func (s RingSpec) bottleneckBps() float64 {
+	minBw := math.Inf(1)
+	for _, bw := range s.LinkGBps {
+		if bw < minBw {
+			minBw = bw
+		}
+	}
+	return minBw * 1e9
+}
+
+// AllReduceTime returns the time for one ring all-reduce of size bytes
+// across the ring: 2(n-1)/n of the payload crosses the bottleneck link,
+// plus 2(n-1) hop latencies (reduce-scatter then all-gather).
+func (s RingSpec) AllReduceTime(bytes float64) float64 {
+	n := float64(s.Nodes())
+	if n == 1 {
+		return 0
+	}
+	return 2*(n-1)/n*bytes/s.bottleneckBps() + 2*(n-1)*s.LatencyS
+}
+
+// BucketPlan is the gradient bucket schedule for one model on one ring.
+type BucketPlan struct {
+	NumBuckets  int
+	BucketBytes float64
+	// PerBucket is the all-reduce time of one bucket.
+	PerBucket float64
+	// To is the synchronization time of all buckets except the last; Tu is
+	// the last bucket's. TComm = To + Tu.
+	To, Tu, TComm float64
+}
+
+// PlanBuckets computes the bucket schedule for a model of paramBytes
+// gradients with the given bucket cap (use DefaultBucketBytes for DDP's
+// default). It returns an error for invalid inputs.
+func PlanBuckets(spec RingSpec, paramBytes, bucketBytes float64) (BucketPlan, error) {
+	if err := spec.Validate(); err != nil {
+		return BucketPlan{}, err
+	}
+	if paramBytes <= 0 {
+		return BucketPlan{}, fmt.Errorf("simnet: non-positive gradient size %v", paramBytes)
+	}
+	if bucketBytes <= 0 {
+		return BucketPlan{}, fmt.Errorf("simnet: non-positive bucket size %v", bucketBytes)
+	}
+	nb := int(math.Ceil(paramBytes / bucketBytes))
+	if nb < 1 {
+		nb = 1
+	}
+	per := spec.AllReduceTime(paramBytes / float64(nb))
+	plan := BucketPlan{
+		NumBuckets:  nb,
+		BucketBytes: paramBytes / float64(nb),
+		PerBucket:   per,
+		Tu:          per,
+		To:          per * float64(nb-1),
+	}
+	plan.TComm = plan.To + plan.Tu
+	return plan, nil
+}
+
+// OverlapGamma returns the overlap ratio γ: the fraction of
+// backpropagation that must complete before the first gradient bucket is
+// ready for synchronization. Gradients become available in reverse layer
+// order, so with nb equal buckets the first is ready after 1/nb of the
+// backward pass.
+func OverlapGamma(numBuckets int) float64 {
+	if numBuckets < 1 {
+		return 1
+	}
+	return 1 / float64(numBuckets)
+}
+
+// UniformRing builds a ring of n nodes with identical links.
+func UniformRing(n int, gbps, latencyS float64) RingSpec {
+	links := make([]float64, n)
+	for i := range links {
+		links[i] = gbps
+	}
+	return RingSpec{LinkGBps: links, LatencyS: latencyS}
+}

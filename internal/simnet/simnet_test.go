@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingSpecValidate(t *testing.T) {
+	if err := (RingSpec{}).Validate(); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if err := (RingSpec{LinkGBps: []float64{1, 0}}).Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if err := (RingSpec{LinkGBps: []float64{1}, LatencyS: -1}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if err := UniformRing(4, 10, 1e-5).Validate(); err != nil {
+		t.Fatalf("valid ring rejected: %v", err)
+	}
+}
+
+func TestAllReduceSingleNodeFree(t *testing.T) {
+	s := UniformRing(1, 10, 1e-5)
+	if got := s.AllReduceTime(1e9); got != 0 {
+		t.Fatalf("single-node all-reduce time = %v, want 0", got)
+	}
+}
+
+func TestAllReduceBandwidthTerm(t *testing.T) {
+	// 4 nodes, 10 GB/s, zero latency, 1 GB payload:
+	// 2*3/4 * 1e9 / 1e10 = 0.15 s.
+	s := UniformRing(4, 10, 0)
+	if got := s.AllReduceTime(1e9); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("all-reduce time = %v, want 0.15", got)
+	}
+}
+
+func TestAllReduceLatencyTerm(t *testing.T) {
+	s := UniformRing(5, 10, 0.001)
+	small := s.AllReduceTime(1) // bandwidth term negligible
+	if math.Abs(small-2*4*0.001) > 1e-6 {
+		t.Fatalf("latency-dominated time = %v, want %v", small, 0.008)
+	}
+}
+
+func TestAllReduceBottleneckLink(t *testing.T) {
+	fast := RingSpec{LinkGBps: []float64{100, 100, 100, 100}}
+	slow := RingSpec{LinkGBps: []float64{100, 100, 100, 1}}
+	if slow.AllReduceTime(1e9) <= fast.AllReduceTime(1e9) {
+		t.Fatal("slow link did not throttle the ring")
+	}
+	// The slow ring should behave like a uniform 1 GB/s ring.
+	uniform := UniformRing(4, 1, 0)
+	if math.Abs(slow.AllReduceTime(1e9)-uniform.AllReduceTime(1e9)) > 1e-12 {
+		t.Fatal("bottleneck link does not determine ring time")
+	}
+}
+
+func TestAllReduceScalesWithBytes(t *testing.T) {
+	s := UniformRing(8, 10, 0)
+	if got := s.AllReduceTime(2e9) / s.AllReduceTime(1e9); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("time not linear in payload: ratio %v", got)
+	}
+}
+
+func TestPlanBucketsDecomposition(t *testing.T) {
+	s := UniformRing(4, 10, 1e-5)
+	plan, err := PlanBuckets(s, 104e6, DefaultBucketBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 104 MB / 25 MiB ~= 4 buckets.
+	if plan.NumBuckets != 4 {
+		t.Fatalf("NumBuckets = %d, want 4", plan.NumBuckets)
+	}
+	if math.Abs(plan.TComm-(plan.To+plan.Tu)) > 1e-15 {
+		t.Fatal("TComm != To + Tu")
+	}
+	if math.Abs(plan.Tu-plan.PerBucket) > 1e-15 {
+		t.Fatal("Tu != per-bucket time")
+	}
+	if math.Abs(plan.To-3*plan.PerBucket) > 1e-15 {
+		t.Fatal("To != (nb-1) * per-bucket time")
+	}
+	if math.Abs(plan.BucketBytes*float64(plan.NumBuckets)-104e6) > 1 {
+		t.Fatal("bucket bytes do not cover the gradient")
+	}
+}
+
+func TestPlanBucketsSmallModelOneBucket(t *testing.T) {
+	s := UniformRing(4, 10, 1e-5)
+	plan, err := PlanBuckets(s, 5e6, DefaultBucketBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumBuckets != 1 {
+		t.Fatalf("NumBuckets = %d, want 1", plan.NumBuckets)
+	}
+	if plan.To != 0 {
+		t.Fatalf("To = %v, want 0 for a single bucket", plan.To)
+	}
+	if plan.Tu != plan.TComm {
+		t.Fatal("single bucket: Tu must equal TComm")
+	}
+}
+
+func TestPlanBucketsErrors(t *testing.T) {
+	s := UniformRing(2, 10, 0)
+	if _, err := PlanBuckets(s, 0, DefaultBucketBytes); err == nil {
+		t.Fatal("zero gradient size accepted")
+	}
+	if _, err := PlanBuckets(s, 1e6, 0); err == nil {
+		t.Fatal("zero bucket size accepted")
+	}
+	if _, err := PlanBuckets(RingSpec{}, 1e6, DefaultBucketBytes); err == nil {
+		t.Fatal("invalid ring accepted")
+	}
+}
+
+func TestPlanBucketsMoreBucketsForBiggerModels(t *testing.T) {
+	s := UniformRing(4, 10, 1e-5)
+	small, _ := PlanBuckets(s, 20e6, DefaultBucketBytes)  // NeuMF-scale
+	large, _ := PlanBuckets(s, 440e6, DefaultBucketBytes) // BERT-scale
+	if large.NumBuckets <= small.NumBuckets {
+		t.Fatalf("bucket counts: large %d <= small %d", large.NumBuckets, small.NumBuckets)
+	}
+}
+
+func TestOverlapGamma(t *testing.T) {
+	if OverlapGamma(1) != 1 {
+		t.Fatal("gamma with 1 bucket must be 1 (no overlap possible)")
+	}
+	if OverlapGamma(4) != 0.25 {
+		t.Fatalf("gamma(4) = %v, want 0.25", OverlapGamma(4))
+	}
+	if OverlapGamma(0) != 1 {
+		t.Fatal("gamma with invalid bucket count should be 1")
+	}
+}
+
+func TestUniformRing(t *testing.T) {
+	s := UniformRing(3, 12.5, 2e-5)
+	if s.Nodes() != 3 || s.LatencyS != 2e-5 {
+		t.Fatalf("UniformRing = %+v", s)
+	}
+	for _, bw := range s.LinkGBps {
+		if bw != 12.5 {
+			t.Fatal("non-uniform bandwidth")
+		}
+	}
+}

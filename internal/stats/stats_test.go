@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cannikin/internal/rng"
+)
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if fit.ResidualVar > 1e-20 {
+		t.Fatalf("exact fit has residual variance %v", fit.ResidualVar)
+	}
+}
+
+func TestFitLineTwoPoints(t *testing.T) {
+	fit, err := FitLine([]float64{0, 10}, []float64{5, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-5) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, err := FitLine([]float64{3, 3, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("identical xs: err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("single point: err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestFitLineRecoversNoisyLine(t *testing.T) {
+	s := rng.New(5)
+	const n = 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Float64() * 100
+		ys[i] = 3.5*xs[i] + 7 + s.Norm(0, 2)
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3.5) > 0.01 {
+		t.Fatalf("slope = %v, want ~3.5", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-7) > 0.5 {
+		t.Fatalf("intercept = %v, want ~7", fit.Intercept)
+	}
+	if RelErr(fit.ResidualVar, 4) > 0.2 {
+		t.Fatalf("residual var = %v, want ~4", fit.ResidualVar)
+	}
+}
+
+func TestFitLineWeightedIgnoresZeroWeight(t *testing.T) {
+	xs := []float64{1, 2, 3, 100}
+	ys := []float64{3, 5, 7, -1000} // last point is an outlier
+	ws := []float64{1, 1, 1, 0}
+	fit, err := FitLineWeighted(xs, ys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-1) > 1e-9 {
+		t.Fatalf("weighted fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if fit.N != 3 {
+		t.Fatalf("N = %d, want 3", fit.N)
+	}
+}
+
+func TestFitLineWeightedRejectsNegative(t *testing.T) {
+	_, err := FitLineWeighted([]float64{1, 2}, []float64{1, 2}, []float64{1, -1})
+	if err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestFitLineWeightedFavorsPreciseData(t *testing.T) {
+	// Two clusters of points implying different lines; heavy weights should win.
+	xs := []float64{0, 1, 0, 1}
+	ys := []float64{0, 1, 10, 12}
+	fit, err := FitLineWeighted(xs, ys, []float64{100, 100, 0.001, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1) > 0.05 || math.Abs(fit.Intercept-0) > 0.05 {
+		t.Fatalf("fit = %+v, want ~slope 1 intercept 0", fit)
+	}
+}
+
+func TestInverseVarianceMean(t *testing.T) {
+	obs := []Observation{
+		{Value: 10, Variance: 1},
+		{Value: 20, Variance: 4},
+	}
+	got, err := InverseVarianceMean(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w1 = 1, w2 = 0.25 -> (10 + 5)/1.25 = 12
+	if math.Abs(got.Value-12) > 1e-12 {
+		t.Fatalf("value = %v, want 12", got.Value)
+	}
+	if math.Abs(got.Variance-0.8) > 1e-12 {
+		t.Fatalf("variance = %v, want 0.8", got.Variance)
+	}
+}
+
+func TestInverseVarianceMeanBeatsPlainMean(t *testing.T) {
+	// Statistical property: IVW estimator has lower squared error than the
+	// plain mean when variances are heterogeneous.
+	s := rng.New(77)
+	const trials = 3000
+	truth := 5.0
+	var ivwSE, meanSE float64
+	for i := 0; i < trials; i++ {
+		obs := []Observation{
+			{Value: s.Norm(truth, 0.1), Variance: 0.01},
+			{Value: s.Norm(truth, 2.0), Variance: 4.0},
+			{Value: s.Norm(truth, 1.0), Variance: 1.0},
+		}
+		ivw, err := InverseVarianceMean(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := (obs[0].Value + obs[1].Value + obs[2].Value) / 3
+		ivwSE += (ivw.Value - truth) * (ivw.Value - truth)
+		meanSE += (plain - truth) * (plain - truth)
+	}
+	if ivwSE >= meanSE {
+		t.Fatalf("IVW MSE %v >= plain-mean MSE %v", ivwSE/trials, meanSE/trials)
+	}
+}
+
+func TestInverseVarianceMeanNoVariances(t *testing.T) {
+	got, err := InverseVarianceMean([]Observation{{Value: 2}, {Value: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 3 {
+		t.Fatalf("fallback mean = %v, want 3", got.Value)
+	}
+}
+
+func TestInverseVarianceMeanEmpty(t *testing.T) {
+	if _, err := InverseVarianceMean(nil); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestInverseVarianceMeanZeroVarianceTreatedAsPrecise(t *testing.T) {
+	obs := []Observation{
+		{Value: 1, Variance: 0}, // near-exact
+		{Value: 100, Variance: 1e6},
+	}
+	got, err := InverseVarianceMean(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Value-1) > 1 {
+		t.Fatalf("value = %v, want ~1 (precise observation dominates)", got.Value)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.Mean() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(3)
+	if w.Var() != 0 {
+		t.Fatal("variance with one sample should be 0")
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 2 + s.Intn(100)
+		var w Welford
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Norm(0, 10)
+			w.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		direct := ss / float64(n-1)
+		return math.Abs(w.Var()-direct) < 1e-8 && math.Abs(w.Mean()-mean) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMA(t *testing.T) {
+	e := NewEMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EMA claims initialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first value = %v, want 10", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("value = %v, want 15", e.Value())
+	}
+}
+
+func TestEMAPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewEMA(%v) did not panic", alpha)
+				}
+			}()
+			NewEMA(alpha)
+		}()
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Fatalf("RelErr = %v", RelErr(11, 10))
+	}
+	if RelErr(1, 0) <= 0 {
+		t.Fatal("RelErr with zero want should be positive")
+	}
+}

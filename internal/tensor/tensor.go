@@ -1,0 +1,225 @@
+// Package tensor implements the minimal dense 2-D tensor used by the pure
+// Go neural-network engine (internal/nn). Tensors are row-major float64
+// matrices shaped (rows x cols); in training, rows index batch samples and
+// cols index features.
+//
+// The package favors clarity over raw speed: the engine exists to produce
+// *real gradients* for validating the GNS machinery and the weighted
+// all-reduce at MLP scale, not to win benchmarks.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"cannikin/internal/rng"
+)
+
+// T is a dense row-major matrix.
+type T struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero tensor of the given shape.
+func New(rows, cols int) *T {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &T{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a tensor from row slices (copied).
+func FromRows(rows [][]float64) *T {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("tensor: FromRows requires non-empty input")
+	}
+	t := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != t.cols {
+			panic(fmt.Sprintf("tensor: ragged row %d", i))
+		}
+		copy(t.Row(i), r)
+	}
+	return t
+}
+
+// Randn fills a new tensor with N(0, std) entries from src.
+func Randn(rows, cols int, std float64, src *rng.Source) *T {
+	t := New(rows, cols)
+	for i := range t.data {
+		t.data[i] = src.Norm(0, std)
+	}
+	return t
+}
+
+// Rows returns the row count.
+func (t *T) Rows() int { return t.rows }
+
+// Cols returns the column count.
+func (t *T) Cols() int { return t.cols }
+
+// At returns the element (i, j).
+func (t *T) At(i, j int) float64 { return t.data[i*t.cols+j] }
+
+// Set assigns element (i, j).
+func (t *T) Set(i, j int, v float64) { t.data[i*t.cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (t *T) Row(i int) []float64 { return t.data[i*t.cols : (i+1)*t.cols] }
+
+// Data returns the underlying flat storage (mutable view).
+func (t *T) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *T) Clone() *T {
+	c := New(t.rows, t.cols)
+	copy(c.data, t.data)
+	return c
+}
+
+// Zero resets all elements to 0.
+func (t *T) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// MatMul returns t * other ((r x c) * (c x k) -> (r x k)).
+func (t *T) MatMul(other *T) *T {
+	if t.cols != other.rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", t.rows, t.cols, other.rows, other.cols))
+	}
+	out := New(t.rows, other.cols)
+	for i := 0; i < t.rows; i++ {
+		ti := t.data[i*t.cols : (i+1)*t.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, a := range ti {
+			if a == 0 {
+				continue
+			}
+			ok := other.data[k*other.cols : (k+1)*other.cols]
+			for j := range oi {
+				oi[j] += a * ok[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a transposed copy.
+func (t *T) Transpose() *T {
+	out := New(t.cols, t.rows)
+	for i := 0; i < t.rows; i++ {
+		for j := 0; j < t.cols; j++ {
+			out.Set(j, i, t.At(i, j))
+		}
+	}
+	return out
+}
+
+// AddRowVector adds v to every row in place (v length must equal Cols).
+func (t *T) AddRowVector(v []float64) *T {
+	if len(v) != t.cols {
+		panic("tensor: AddRowVector length mismatch")
+	}
+	for i := 0; i < t.rows; i++ {
+		row := t.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+	return t
+}
+
+// Add adds other element-wise in place and returns t.
+func (t *T) Add(other *T) *T {
+	t.assertSameShape(other)
+	for i := range t.data {
+		t.data[i] += other.data[i]
+	}
+	return t
+}
+
+// Sub subtracts other element-wise in place and returns t.
+func (t *T) Sub(other *T) *T {
+	t.assertSameShape(other)
+	for i := range t.data {
+		t.data[i] -= other.data[i]
+	}
+	return t
+}
+
+// Hadamard multiplies element-wise in place and returns t.
+func (t *T) Hadamard(other *T) *T {
+	t.assertSameShape(other)
+	for i := range t.data {
+		t.data[i] *= other.data[i]
+	}
+	return t
+}
+
+// Scale multiplies every element by s in place and returns t.
+func (t *T) Scale(s float64) *T {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// Apply maps f over every element in place and returns t.
+func (t *T) Apply(f func(float64) float64) *T {
+	for i := range t.data {
+		t.data[i] = f(t.data[i])
+	}
+	return t
+}
+
+// SumColumns returns the per-column sums (length Cols) — the bias gradient
+// reduction.
+func (t *T) SumColumns() []float64 {
+	out := make([]float64, t.cols)
+	for i := 0; i < t.rows; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// SqNorm returns the squared Frobenius norm.
+func (t *T) SqNorm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *T) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// SliceRows returns a copy of rows [from, to).
+func (t *T) SliceRows(from, to int) *T {
+	if from < 0 || to > t.rows || from >= to {
+		panic(fmt.Sprintf("tensor: SliceRows [%d, %d) of %d rows", from, to, t.rows))
+	}
+	out := New(to-from, t.cols)
+	copy(out.data, t.data[from*t.cols:to*t.cols])
+	return out
+}
+
+func (t *T) assertSameShape(other *T) {
+	if t.rows != other.rows || t.cols != other.cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", t.rows, t.cols, other.rows, other.cols))
+	}
+}

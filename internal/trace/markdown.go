@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FprintMarkdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) FprintMarkdown(w io.Writer) error {
+	esc := func(s string) string {
+		return strings.ReplaceAll(s, "|", "\\|")
+	}
+	row := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := row(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	if err := row(rule); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FprintMarkdown renders the figure as a Markdown section with its data
+// table (x column plus one column per series; cells before a series'
+// first point are em-dashes).
+func (f *Figure) FprintMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", f.Title); err != nil {
+		return err
+	}
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	t := NewTable(append([]string{f.XLabel}, names(f.Series)...)...)
+	for _, x := range sorted {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, formatFloat(x))
+		for _, s := range f.Series {
+			if s.Len() == 0 || x < s.X[0] {
+				row = append(row, "—")
+				continue
+			}
+			row = append(row, formatFloat(s.YAt(x)))
+		}
+		t.AddRow(row...)
+	}
+	if err := t.FprintMarkdown(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

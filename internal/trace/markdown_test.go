@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("a|b", "1")
+	var sb strings.Builder
+	if err := tab.FprintMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "| name | value |" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "| --- | --- |" {
+		t.Fatalf("rule %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `a\|b`) {
+		t.Fatalf("pipe not escaped: %q", lines[2])
+	}
+}
+
+func TestFigureMarkdown(t *testing.T) {
+	f := NewFigure("a figure", "x", "y")
+	s1 := f.AddSeries("s1")
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := f.AddSeries("s2")
+	s2.Add(2, 99) // starts later: x=1 cell must be a dash
+	var sb strings.Builder
+	if err := f.FprintMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "### a figure") {
+		t.Fatalf("missing heading:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 | 10 | — |") {
+		t.Fatalf("missing placeholder row:\n%s", out)
+	}
+	if !strings.Contains(out, "| 2 | 20 | 99 |") {
+		t.Fatalf("missing data row:\n%s", out)
+	}
+}

@@ -1,0 +1,236 @@
+// Package trace provides the small recording and rendering toolkit the
+// experiment harness uses to print the paper's tables and figure series:
+// named (x, y) series, aligned text tables, and CSV output.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one named line of a figure: paired x/y values.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value at the largest x <= q (step interpolation), or
+// the first y when q precedes the series.
+func (s *Series) YAt(q float64) float64 {
+	if len(s.X) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(s.X, q)
+	if idx < len(s.X) && s.X[idx] == q {
+		return s.Y[idx]
+	}
+	if idx == 0 {
+		return s.Y[0]
+	}
+	return s.Y[idx-1]
+}
+
+// Last returns the final point; it panics on an empty series.
+func (s *Series) Last() (x, y float64) {
+	if len(s.X) == 0 {
+		panic("trace: Last on empty series")
+	}
+	return s.X[len(s.X)-1], s.Y[len(s.Y)-1]
+}
+
+// Figure is a set of series sharing axes (one paper figure or panel).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries registers and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Get returns the named series, or nil.
+func (f *Figure) Get(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Fprint renders the figure as aligned columns: x then one column per
+// series, sampling each series at the union of x values.
+func (f *Figure) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", f.Title); err != nil {
+		return err
+	}
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	t := NewTable(append([]string{f.XLabel}, names(f.Series)...)...)
+	for _, x := range sorted {
+		row := make([]string, 0, len(f.Series)+1)
+		row = append(row, formatFloat(x))
+		for _, s := range f.Series {
+			if s.Len() == 0 || x < s.X[0] {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, formatFloat(s.YAt(x)))
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(w)
+}
+
+func names(ss []*Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Table is an aligned text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded, long rows panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("trace: row has %d cells for %d headers", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowValues appends one row of formatted arbitrary values.
+func (t *Table) AddRowValues(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = formatFloat(x)
+		case string:
+			cells[i] = x
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FprintCSV renders the table as CSV.
+func (t *Table) FprintCSV(w io.Writer) error {
+	rows := append([][]string{t.Headers}, t.Rows...)
+	for _, row := range rows {
+		quoted := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			quoted[i] = c
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(quoted, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case v == float64(int64(v)) && abs < 1e9:
+		return strconv.FormatInt(int64(v), 10)
+	case abs >= 0.01 && abs < 1e6:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 5, 64)
+	}
+}

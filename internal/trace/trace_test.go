@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndLast(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	x, y := s.Last()
+	if x != 2 || y != 20 {
+		t.Fatalf("Last = (%v, %v)", x, y)
+	}
+}
+
+func TestSeriesLastPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Last on empty did not panic")
+		}
+	}()
+	(&Series{}).Last()
+}
+
+func TestSeriesYAt(t *testing.T) {
+	s := Series{X: []float64{1, 3, 5}, Y: []float64{10, 30, 50}}
+	tests := []struct{ q, want float64 }{
+		{0, 10}, {1, 10}, {2, 10}, {3, 30}, {4, 30}, {5, 50}, {99, 50},
+	}
+	for _, tt := range tests {
+		if got := s.YAt(tt.q); got != tt.want {
+			t.Errorf("YAt(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if (&Series{}).YAt(1) != 0 {
+		t.Error("empty YAt should be 0")
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	a := f.AddSeries("a")
+	a.Add(1, 2)
+	if f.Get("a") != a {
+		t.Fatal("Get returned wrong series")
+	}
+	if f.Get("missing") != nil {
+		t.Fatal("Get on missing should be nil")
+	}
+}
+
+func TestFigureFprint(t *testing.T) {
+	f := NewFigure("convergence", "time", "acc")
+	a := f.AddSeries("cannikin")
+	a.Add(1, 0.5)
+	a.Add(3, 0.9)
+	b := f.AddSeries("ddp")
+	b.Add(2, 0.4)
+	var sb strings.Builder
+	if err := f.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# convergence", "time", "cannikin", "ddp", "0.9000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Union of x values: 1, 2, 3 -> 3 data lines + header + rule + title.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", lines, out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	var sb strings.Builder
+	if err := tab.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// The value column starts at the same offset on data rows.
+	if strings.Index(lines[2], "1") == -1 || strings.Index(lines[3], "22") == -1 {
+		t.Fatal("values missing")
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("missing rule line: %q", lines[1])
+	}
+}
+
+func TestTableAddRowValidation(t *testing.T) {
+	tab := NewTable("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row accepted")
+		}
+	}()
+	tab.AddRow("1", "2")
+}
+
+func TestTableAddRowValues(t *testing.T) {
+	tab := NewTable("s", "f", "i")
+	tab.AddRowValues("x", 1.5, 7)
+	if tab.Rows[0][0] != "x" || tab.Rows[0][1] != "1.5000" || tab.Rows[0][2] != "7" {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("x,y", `say "hi"`)
+	var sb strings.Builder
+	if err := tab.FprintCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := map[float64]string{
+		3:       "3",
+		3.14159: "3.1416",
+		1e-9:    "1e-09",
+		2e9:     "2e+09",
+	}
+	for in, want := range tests {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package trainer
+
+import (
+	"fmt"
+
+	"cannikin/internal/gns"
+	"cannikin/internal/goodput"
+	"cannikin/internal/optperf"
+	"cannikin/internal/perfmodel"
+	"cannikin/internal/stats"
+)
+
+// Cannikin implements the paper's system (Section 4):
+//
+//   - Epoch 0 trains with an even split at the initial batch size; epoch 1
+//     uses the Eq. 8 inverse-proportional bootstrap, giving every node two
+//     distinct local batch sizes to fit its compute model.
+//   - From epoch 2 on, the learned cluster model predicts OptPerf for every
+//     total-batch-size candidate (cached as OptPerf_init and warm-started,
+//     Section 4.5), the goodput-maximizing candidate is selected using the
+//     heterogeneous GNS (Theorem 4.1), and the epoch runs with the OptPerf
+//     local batch ratios.
+//   - Gradients are aggregated with batch-proportional weights (Eq. 9) and
+//     the communication constants are combined across nodes by inverse-
+//     variance weighting.
+type Cannikin struct {
+	// UseIVW toggles inverse-variance weighting of the communication
+	// constants (disable for the Section 5.3 ablation).
+	UseIVW bool
+	// UseOptimalGNS toggles the Theorem 4.1 weighted GNS estimator
+	// (disable to fall back to naive averaging, for ablations).
+	UseOptimalGNS bool
+	// FixedBatch pins the total batch size (the paper's Section 5.2.2
+	// fixed-batch evaluation); 0 enables adaptive batch sizing.
+	FixedBatch int
+
+	learner *perfmodel.ClusterLearner
+	planner *optperf.Planner
+	tracker *gns.Tracker
+	// Per-node per-epoch communication-constant accumulators.
+	commGamma, commTo, commTu []stats.Welford
+	lastPlan                  optperf.Plan
+	solvesSeen                int
+	// initPlans caches OptPerf_init: each candidate's predicted batch time
+	// from the initialization sweep (Section 4.5).
+	initPlans []goodput.Candidate
+	// overlapSignature tracks the candidate overlap states to detect
+	// pattern changes (Section 4.5 "Total batch size selection").
+	overlapSignature map[int]int
+}
+
+var _ System = (*Cannikin)(nil)
+
+// NewCannikin returns the full system with all optimizations enabled.
+func NewCannikin() *Cannikin {
+	return &Cannikin{
+		UseIVW:           true,
+		UseOptimalGNS:    true,
+		tracker:          gns.NewTracker(0.05),
+		overlapSignature: make(map[int]int),
+	}
+}
+
+// Name implements System.
+func (c *Cannikin) Name() string { return "cannikin" }
+
+// PlanEpoch implements System.
+func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
+	n := env.Cluster.N()
+	if c.learner == nil {
+		c.learner = perfmodel.NewClusterLearner(n)
+		c.commGamma = make([]stats.Welford, n)
+		c.commTo = make([]stats.Welford, n)
+		c.commTu = make([]stats.Welford, n)
+	}
+	c.learner.UseIVW = c.UseIVW
+
+	baseTotal := env.MinTotal
+	if c.FixedBatch > 0 {
+		baseTotal = c.FixedBatch
+		if baseTotal < env.MinTotal {
+			baseTotal = env.MinTotal
+		}
+		if baseTotal > env.MaxTotal {
+			baseTotal = env.MaxTotal
+		}
+	}
+
+	switch {
+	case epoch == 0:
+		// Even split at the initial batch size.
+		local, err := env.EvenSplit(baseTotal)
+		if err != nil {
+			return Plan{}, err
+		}
+		return Plan{TotalBatch: baseTotal, Local: local}, nil
+
+	case epoch == 1 || !c.learner.HasModel():
+		// Eq. 8 bootstrap: inverse-proportional to measured per-sample
+		// time, at a growing batch so every node keeps seeing distinct
+		// local sizes until its compute model can be fitted.
+		perSample, err := c.learner.PerSampleTimes()
+		if err != nil {
+			return Plan{}, fmt.Errorf("cannikin bootstrap: %w", err)
+		}
+		total := baseTotal * (2 + epoch) / 2
+		if floor := 2 * env.Cluster.N(); total < floor {
+			// With tiny initial batches every node holds a single sample
+			// and no second distinct size exists; two samples per node
+			// unblocks model fitting.
+			total = floor
+		}
+		if c.FixedBatch > 0 {
+			// Fixed-batch mode keeps the total: the Eq. 8 proportional
+			// allocation already differs from the even split, and
+			// forceDistinct covers any coincidences.
+			total = baseTotal
+		}
+		if total > env.MaxTotal {
+			total = env.MaxTotal
+		}
+		local, err := optperf.ProportionalAllocation(perSample, total, env.Caps)
+		if err != nil {
+			return Plan{}, fmt.Errorf("cannikin bootstrap: %w", err)
+		}
+		c.forceDistinct(env, local)
+		return Plan{TotalBatch: total, Local: local}, nil
+	}
+
+	// Learned-model path.
+	model, err := c.learner.Model(env.Caps)
+	if err != nil {
+		return Plan{}, fmt.Errorf("cannikin model: %w", err)
+	}
+	if c.planner == nil {
+		c.planner, err = optperf.NewPlanner(model)
+		if err != nil {
+			return Plan{}, err
+		}
+	} else if err := c.planner.UpdateModel(model); err != nil {
+		return Plan{}, err
+	}
+	solvesBefore := c.plannerWork()
+
+	if c.FixedBatch > 0 {
+		// Fixed-batch mode: predict OptPerf directly for the pinned size.
+		chosen, err := c.planner.Plan(baseTotal)
+		if err != nil {
+			return Plan{}, err
+		}
+		c.lastPlan = chosen
+		solves := c.plannerWork() - solvesBefore
+		c.solvesSeen += solves
+		return Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}, nil
+	}
+
+	// Section 4.5 "Total batch size selection": in the initialization epoch
+	// OptPerf_init is computed for every candidate; later epochs select the
+	// total batch size from the cached OptPerf_init and only re-determine
+	// OptPerf for the chosen candidate, unless the overlap pattern drifted.
+	if c.initPlans == nil {
+		if err := c.computeInitPlans(env); err != nil {
+			return Plan{}, err
+		}
+	}
+	sel, err := goodput.Select(c.initPlans, c.tracker.Noise(), env.Workload.InitBatch)
+	if err != nil {
+		return Plan{}, fmt.Errorf("cannikin goodput: %w", err)
+	}
+	chosen, err := c.planner.Plan(sel.Batch)
+	if err != nil {
+		return Plan{}, err
+	}
+	if prev, ok := c.overlapSignature[chosen.TotalBatch]; ok && prev != chosen.NumComputeBound() {
+		// Overlap pattern changed: re-determine every candidate
+		// (Section 4.5), then re-select.
+		c.planner.InvalidateCache()
+		if err := c.computeInitPlans(env); err != nil {
+			return Plan{}, err
+		}
+		if sel, err = goodput.Select(c.initPlans, c.tracker.Noise(), env.Workload.InitBatch); err != nil {
+			return Plan{}, fmt.Errorf("cannikin goodput: %w", err)
+		}
+		if chosen, err = c.planner.Plan(sel.Batch); err != nil {
+			return Plan{}, err
+		}
+	} else {
+		// Refresh OptPerf_init for the chosen candidate only.
+		for i := range c.initPlans {
+			if c.initPlans[i].Batch == chosen.TotalBatch {
+				c.initPlans[i].Time = chosen.Time
+			}
+		}
+	}
+	c.overlapSignature[chosen.TotalBatch] = chosen.NumComputeBound()
+	// Reconfiguration stickiness: model refreshes wiggle the optimal
+	// allocation by a sample or two; reloading every node's data index for
+	// a sub-1% predicted gain costs more than it saves.
+	if c.lastPlan.TotalBatch == chosen.TotalBatch && len(c.lastPlan.Batches) == len(chosen.Batches) {
+		prevTime := c.planner.Model().PredictTime(c.lastPlan.Batches)
+		if prevTime <= chosen.Time*1.01 {
+			chosen.Batches = c.lastPlan.Batches
+			chosen.Time = prevTime
+		}
+	}
+	c.lastPlan = chosen
+	solves := c.plannerWork() - solvesBefore
+	c.solvesSeen += solves
+	return Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}, nil
+}
+
+// forceDistinct perturbs a bootstrap allocation so every node trains at a
+// local batch size it has not seen, moving single samples between nodes to
+// preserve the total: fitting a node's linear compute model needs two
+// distinct sizes. Nodes stuck at the minimum borrow from the richest donor.
+func (c *Cannikin) forceDistinct(env *Env, local []int) {
+	needsChange := func(i int) bool {
+		l := c.learner.Node(i)
+		return l.Observations() > 0 && l.DistinctBatches() < 2 && l.SeenBatch(local[i])
+	}
+	pending := make(map[int]bool)
+	for i := range local {
+		if needsChange(i) {
+			pending[i] = true
+		}
+	}
+	richestDonor := func(exclude int) int {
+		best := -1
+		for j := range local {
+			if j == exclude || pending[j] || local[j] <= 1 {
+				continue
+			}
+			if best < 0 || local[j] > local[best] {
+				best = j
+			}
+		}
+		return best
+	}
+	for i := range local {
+		if !pending[i] {
+			continue
+		}
+		switch {
+		case local[i] < env.Caps[i]:
+			if j := richestDonor(i); j >= 0 {
+				local[i]++
+				local[j]--
+				delete(pending, i)
+				continue
+			}
+		}
+		if local[i] > 1 {
+			// Give a sample to any non-pending node with headroom.
+			for j := range local {
+				if j != i && !pending[j] && local[j] < env.Caps[j] {
+					local[i]--
+					local[j]++
+					delete(pending, i)
+					break
+				}
+			}
+		}
+	}
+	// Any still-pending nodes pair among themselves (+1/-1).
+	var rest []int
+	for i := range local {
+		if pending[i] {
+			rest = append(rest, i)
+		}
+	}
+	for k := 0; k+1 < len(rest); k += 2 {
+		a, b := rest[k], rest[k+1]
+		if local[a] < env.Caps[a] && local[b] > 1 {
+			local[a]++
+			local[b]--
+		} else if local[b] < env.Caps[b] && local[a] > 1 {
+			local[b]++
+			local[a]--
+		}
+	}
+}
+
+// computeInitPlans solves OptPerf for every candidate (the initialization
+// sweep of Section 4.5) and records the overlap signatures.
+func (c *Cannikin) computeInitPlans(env *Env) error {
+	plans, err := c.planner.PlanAll(env.Candidates)
+	if err != nil {
+		return fmt.Errorf("cannikin optperf init: %w", err)
+	}
+	c.initPlans = make([]goodput.Candidate, len(plans))
+	for i, p := range plans {
+		c.initPlans[i] = goodput.Candidate{Batch: p.TotalBatch, Time: p.Time}
+		c.overlapSignature[p.TotalBatch] = p.NumComputeBound()
+	}
+	return nil
+}
+
+// plannerWork totals the solver effort counters.
+func (c *Cannikin) plannerWork() int {
+	s := c.planner.Stats()
+	return s.LinearSolves + s.BoundarySearchSteps
+}
+
+// ObserveStep implements System: feed the per-node compute and comm
+// measurements to the learners, and the gradient norms to the GNS tracker.
+func (c *Cannikin) ObserveStep(env *Env, obs StepObs) {
+	for i, ns := range obs.Step.PerNode {
+		c.learner.Node(i).Observe(ns.Batch, ns.A, ns.P)
+		c.commGamma[i].Add(ns.Gamma)
+		c.commTo[i].Add(ns.To)
+		c.commTu[i].Add(ns.Tu)
+	}
+	if obs.GNS != nil {
+		var est gns.Estimate
+		var err error
+		if c.UseOptimalGNS {
+			est, err = gns.EstimateOptimal(*obs.GNS)
+		} else {
+			est, err = gns.EstimateNaive(*obs.GNS)
+		}
+		if err == nil {
+			c.tracker.Observe(est)
+		}
+	}
+}
+
+// ObserveEpochEnd implements System: each node reports its epoch-level
+// communication-constant observation with an honest variance, then the
+// accumulators reset.
+func (c *Cannikin) ObserveEpochEnd(env *Env) {
+	for i := range c.commGamma {
+		if c.commGamma[i].N() < 2 {
+			continue
+		}
+		nObs := float64(c.commGamma[i].N())
+		c.learner.ObserveComm(perfmodel.CommObservation{
+			Gamma: c.commGamma[i].Mean(), GammaVar: c.commGamma[i].Var() / nObs,
+			To: c.commTo[i].Mean(), ToVar: c.commTo[i].Var() / nObs,
+			Tu: c.commTu[i].Mean(), TuVar: c.commTu[i].Var() / nObs,
+		})
+		c.commGamma[i] = stats.Welford{}
+		c.commTo[i] = stats.Welford{}
+		c.commTu[i] = stats.Welford{}
+	}
+	c.learner.EndEpoch()
+	if c.learner.AnyDrifted() {
+		// A node's resources changed: every cached OptPerf prediction is
+		// stale. Drop them and re-determine from the fresh model.
+		c.initPlans = nil
+		if c.planner != nil {
+			c.planner.InvalidateCache()
+		}
+	}
+}
+
+// Noise exposes the smoothed heterogeneous GNS estimate.
+func (c *Cannikin) Noise() float64 { return c.tracker.Noise() }
+
+// PlanningWork returns the cumulative solver operations spent planning
+// (the quantity Table 6's overhead model charges).
+func (c *Cannikin) PlanningWork() int { return c.solvesSeen }
+
+// LastPlan returns the most recent OptPerf plan (for experiments).
+func (c *Cannikin) LastPlan() optperf.Plan { return c.lastPlan }
+
+// LearnedModel returns the current learned cluster model, or an error
+// before enough epochs have run.
+func (c *Cannikin) LearnedModel(env *Env) (optperf.ClusterModel, error) {
+	if c.learner == nil {
+		return optperf.ClusterModel{}, fmt.Errorf("cannikin: no observations yet")
+	}
+	return c.learner.Model(env.Caps)
+}

@@ -1,0 +1,49 @@
+package trainer
+
+// DDP reproduces PyTorch DistributedDataParallel as evaluated in the
+// paper: a fixed total batch size split evenly across the (heterogeneous)
+// nodes, with no adaptation of any kind. Its performance loss comes from
+// both the straggler effect (even split) and the fixed batch size.
+type DDP struct {
+	// FixedBatch overrides the default total batch (max(B0, n)).
+	FixedBatch int
+}
+
+var _ System = (*DDP)(nil)
+
+// NewDDP returns the baseline with the workload-default fixed batch.
+func NewDDP() *DDP { return &DDP{} }
+
+// Name implements System.
+func (d *DDP) Name() string { return "pytorch-ddp" }
+
+// Batch returns the fixed total batch for the environment.
+func (d *DDP) Batch(env *Env) int {
+	b := d.FixedBatch
+	if b <= 0 {
+		b = env.Workload.InitBatch
+	}
+	if b < env.MinTotal {
+		b = env.MinTotal
+	}
+	if b > env.MaxTotal {
+		b = env.MaxTotal
+	}
+	return b
+}
+
+// PlanEpoch implements System: the same even split every epoch.
+func (d *DDP) PlanEpoch(env *Env, epoch int) (Plan, error) {
+	total := d.Batch(env)
+	local, err := env.EvenSplit(total)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{TotalBatch: total, Local: local}, nil
+}
+
+// ObserveStep implements System (DDP adapts nothing).
+func (d *DDP) ObserveStep(*Env, StepObs) {}
+
+// ObserveEpochEnd implements System.
+func (d *DDP) ObserveEpochEnd(*Env) {}

@@ -1,0 +1,233 @@
+// Package workload defines the five evaluation workloads of the paper's
+// Table 5 — model sizes, datasets, optimizers, learning-rate scalers,
+// initial batch sizes, and target metrics — together with the simulator
+// parameterizations derived from the architectures: per-sample FLOPs, data
+// volumes, memory footprints, and convergence profiles.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cannikin/internal/convergence"
+	"cannikin/internal/gpu"
+)
+
+// OptimizerKind names the optimizer of Table 5.
+type OptimizerKind string
+
+// Optimizers used by the evaluation workloads.
+const (
+	OptSGD   OptimizerKind = "sgd"
+	OptAdam  OptimizerKind = "adam"
+	OptAdamW OptimizerKind = "adamw"
+)
+
+// ScalerKind names the LR scaling rule of Table 5.
+type ScalerKind string
+
+// Learning-rate scalers used by the evaluation workloads.
+const (
+	ScalerAdaScale   ScalerKind = "adascale"
+	ScalerSquareRoot ScalerKind = "square-root"
+)
+
+// Workload is one end-to-end training task.
+type Workload struct {
+	// Name is the short task key ("cifar10", "imagenet", ...).
+	Name string
+	// Task and Dataset describe the Table 5 row.
+	Task, Dataset, ModelName string
+	// Params is the parameter count (for display; bytes live in Profile).
+	Params    float64
+	Optimizer OptimizerKind
+	Scaler    ScalerKind
+	// InitBatch is B0, the user-configured initial total batch size.
+	InitBatch int
+	// MaxBatch is the upper limit of the total batch size range (further
+	// constrained by cluster memory at runtime).
+	MaxBatch int
+	// DatasetSize is the number of samples per epoch.
+	DatasetSize int
+	// Profile parameterizes the compute/memory simulator.
+	Profile gpu.JobProfile
+	// Convergence parameterizes the statistical progress model.
+	Convergence convergence.Model
+}
+
+// Validate checks internal consistency.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if w.InitBatch <= 0 || w.MaxBatch < w.InitBatch {
+		return fmt.Errorf("workload %s: batch range [%d, %d]", w.Name, w.InitBatch, w.MaxBatch)
+	}
+	if w.DatasetSize <= 0 {
+		return fmt.Errorf("workload %s: dataset size %d", w.Name, w.DatasetSize)
+	}
+	if err := w.Profile.Validate(); err != nil {
+		return fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	if err := w.Convergence.Validate(); err != nil {
+		return fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	if w.Convergence.BaseBatch != w.InitBatch {
+		return fmt.Errorf("workload %s: convergence base batch %d != init batch %d", w.Name, w.Convergence.BaseBatch, w.InitBatch)
+	}
+	return nil
+}
+
+// table is the Table 5 catalog. FLOPs and memory figures are derived from
+// the published architectures; convergence budgets are scaled so epoch
+// counts to target match canonical training recipes.
+var table = map[string]Workload{
+	"imagenet": {
+		Name: "imagenet", Task: "Image Classification", Dataset: "ImageNet", ModelName: "ResNet-50",
+		Params: 25.6e6, Optimizer: OptSGD, Scaler: ScalerAdaScale,
+		InitBatch: 100, MaxBatch: 3200, DatasetSize: 1_281_167,
+		Profile: gpu.JobProfile{
+			Name:              "imagenet-resnet50",
+			CPUWorkPerSample:  300e-6, // JPEG decode + augmentation
+			FwdFLOPsPerSample: 4.1e9,
+			BwdFLOPsPerSample: 8.2e9,
+			BytesPerSample:    602e3, // 224x224x3 bytes + decode overhead
+			ParamBytes:        25.6e6 * 4,
+			UpdateFLOPs:       6 * 25.6e6,
+			MemPerSampleBytes: 24e6,
+			ModelMemBytes:     4 * 25.6e6 * 4,
+		},
+		Convergence: convergence.Model{
+			BaseBatch:     100,
+			TargetSamples: 1_281_167 * 62, // ~62 effective epochs to 75% top-1
+			Phi0:          1200, Phi1: 18000,
+			MetricName: "top1-acc", MetricStart: 0.02, MetricTarget: 0.75,
+			Direction: convergence.HigherIsBetter,
+			GradSq0:   8,
+		},
+	},
+	"cifar10": {
+		Name: "cifar10", Task: "Image Classification", Dataset: "CIFAR-10", ModelName: "ResNet-18",
+		Params: 11e6, Optimizer: OptSGD, Scaler: ScalerAdaScale,
+		InitBatch: 64, MaxBatch: 4096, DatasetSize: 50_000,
+		Profile: gpu.JobProfile{
+			Name:              "cifar10-resnet18",
+			CPUWorkPerSample:  15e-6,  // light augmentation
+			FwdFLOPsPerSample: 0.56e9, // CIFAR-variant ResNet-18
+			BwdFLOPsPerSample: 1.12e9,
+			BytesPerSample:    3.1e3,
+			ParamBytes:        11e6 * 4,
+			UpdateFLOPs:       6 * 11e6,
+			MemPerSampleBytes: 2.2e6,
+			ModelMemBytes:     4 * 11e6 * 4,
+		},
+		Convergence: convergence.Model{
+			BaseBatch:     64,
+			TargetSamples: 50_000 * 55, // ~55 effective epochs to 94% top-1
+			Phi0:          250, Phi1: 4200,
+			MetricName: "top1-acc", MetricStart: 0.10, MetricTarget: 0.94,
+			Direction: convergence.HigherIsBetter,
+			GradSq0:   12,
+		},
+	},
+	"librispeech": {
+		Name: "librispeech", Task: "Speech Recognition", Dataset: "LibriSpeech", ModelName: "DeepSpeech2",
+		Params: 52e6, Optimizer: OptSGD, Scaler: ScalerAdaScale,
+		InitBatch: 12, MaxBatch: 768, DatasetSize: 281_241,
+		Profile: gpu.JobProfile{
+			Name:              "librispeech-deepspeech2",
+			CPUWorkPerSample:  500e-6, // spectrogram extraction
+			FwdFLOPsPerSample: 19e9,   // long spectrogram sequences
+			BwdFLOPsPerSample: 38e9,
+			BytesPerSample:    1.8e6,
+			ParamBytes:        52e6 * 4,
+			UpdateFLOPs:       6 * 52e6,
+			MemPerSampleBytes: 110e6,
+			ModelMemBytes:     4 * 52e6 * 4,
+		},
+		Convergence: convergence.Model{
+			BaseBatch:     12,
+			TargetSamples: 281_241 * 16, // ~16 effective epochs to WER 40
+			Phi0:          90, Phi1: 1400,
+			MetricName: "wer", MetricStart: 1.0, MetricTarget: 0.40,
+			Direction: convergence.LowerIsBetter,
+			GradSq0:   20,
+		},
+	},
+	"squad": {
+		Name: "squad", Task: "Question Answering", Dataset: "SQuAD", ModelName: "BERT",
+		Params: 110e6, Optimizer: OptAdamW, Scaler: ScalerSquareRoot,
+		InitBatch: 9, MaxBatch: 576, DatasetSize: 87_599,
+		Profile: gpu.JobProfile{
+			Name:              "squad-bert",
+			CPUWorkPerSample:  25e-6, // tokenization
+			FwdFLOPsPerSample: 29e9,  // BERT-base, 384-token sequences
+			BwdFLOPsPerSample: 58e9,
+			BytesPerSample:    6.2e3,
+			ParamBytes:        110e6 * 4,
+			UpdateFLOPs:       10 * 110e6,
+			MemPerSampleBytes: 190e6,
+			ModelMemBytes:     6 * 110e6 * 4,
+		},
+		Convergence: convergence.Model{
+			BaseBatch:     9,
+			TargetSamples: 87_599 * 3, // ~3 effective epochs of fine-tuning to F1 88
+			Phi0:          40, Phi1: 650,
+			MetricName: "f1", MetricStart: 0.12, MetricTarget: 0.88,
+			Direction: convergence.HigherIsBetter,
+			GradSq0:   30,
+		},
+	},
+	"movielens": {
+		Name: "movielens", Task: "Recommendation", Dataset: "MovieLens", ModelName: "NeuMF",
+		Params: 5.2e6, Optimizer: OptAdam, Scaler: ScalerSquareRoot,
+		InitBatch: 64, MaxBatch: 16384, DatasetSize: 994_169,
+		Profile: gpu.JobProfile{
+			Name:              "movielens-neumf",
+			CPUWorkPerSample:  1e-6,    // ID lookup
+			FwdFLOPsPerSample: 0.012e9, // embedding lookups + small MLP
+			BwdFLOPsPerSample: 0.024e9,
+			BytesPerSample:    24,
+			ParamBytes:        5.2e6 * 4,
+			UpdateFLOPs:       10 * 5.2e6,
+			MemPerSampleBytes: 0.3e6,
+			ModelMemBytes:     6 * 5.2e6 * 4,
+		},
+		Convergence: convergence.Model{
+			BaseBatch:     64,
+			TargetSamples: 994_169 * 9, // ~9 effective epochs to HR@10 = 69%
+			Phi0:          500, Phi1: 9000,
+			MetricName: "hit-rate", MetricStart: 0.20, MetricTarget: 0.69,
+			Direction: convergence.HigherIsBetter,
+			GradSq0:   6,
+		},
+	},
+}
+
+// Names returns the workload keys in deterministic order.
+func Names() []string {
+	names := make([]string, 0, len(table))
+	for k := range table {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, error) {
+	w, ok := table[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workload: unknown %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// All returns every workload in deterministic order.
+func All() []Workload {
+	out := make([]Workload, 0, len(table))
+	for _, name := range Names() {
+		out = append(out, table[name])
+	}
+	return out
+}

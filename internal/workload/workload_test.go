@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"cannikin/internal/cluster"
+	"cannikin/internal/rng"
+)
+
+func TestTable5Catalog(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("catalog has %d workloads, want 5", len(names))
+	}
+	for _, name := range names {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTable5Values(t *testing.T) {
+	// Spot-check the paper's Table 5 rows.
+	tests := []struct {
+		name      string
+		model     string
+		params    float64
+		optimizer OptimizerKind
+		scaler    ScalerKind
+		b0        int
+	}{
+		{"imagenet", "ResNet-50", 25.6e6, OptSGD, ScalerAdaScale, 100},
+		{"cifar10", "ResNet-18", 11e6, OptSGD, ScalerAdaScale, 64},
+		{"librispeech", "DeepSpeech2", 52e6, OptSGD, ScalerAdaScale, 12},
+		{"squad", "BERT", 110e6, OptAdamW, ScalerSquareRoot, 9},
+		{"movielens", "NeuMF", 5.2e6, OptAdam, ScalerSquareRoot, 64},
+	}
+	for _, tt := range tests {
+		w, err := Get(tt.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.ModelName != tt.model || w.Params != tt.params {
+			t.Errorf("%s: model %s/%v", tt.name, w.ModelName, w.Params)
+		}
+		if w.Optimizer != tt.optimizer || w.Scaler != tt.scaler {
+			t.Errorf("%s: optimizer %s scaler %s", tt.name, w.Optimizer, w.Scaler)
+		}
+		if w.InitBatch != tt.b0 {
+			t.Errorf("%s: B0 = %d, want %d", tt.name, w.InitBatch, tt.b0)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("mnist"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAllOrdered(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatal("All not sorted")
+		}
+	}
+}
+
+func TestWorkloadsFitOnEvaluationClusters(t *testing.T) {
+	// Every workload must be runnable on cluster B at its initial batch
+	// size: capacity >= InitBatch and >= one sample per node.
+	src := rng.New(1)
+	b, err := cluster.PresetB(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range All() {
+		caps := b.Caps(w.Profile)
+		for i, c := range caps {
+			if c < 1 {
+				t.Errorf("%s: node %d cannot fit one sample", w.Name, i)
+			}
+		}
+		if cap := b.Capacity(w.Profile); cap < w.InitBatch {
+			t.Errorf("%s: cluster capacity %d below B0 %d", w.Name, cap, w.InitBatch)
+		}
+	}
+}
+
+func TestLargerModelsLongerCompute(t *testing.T) {
+	src := rng.New(2)
+	c, err := cluster.PresetA(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bert, _ := Get("squad")
+	neumf, _ := Get("movielens")
+	d := c.Devices[0]
+	tb := d.Coeffs(bert.Profile).Compute(16)
+	tn := d.Coeffs(neumf.Profile).Compute(16)
+	if tb <= tn*10 {
+		t.Fatalf("BERT per-batch %v not much larger than NeuMF %v", tb, tn)
+	}
+}
+
+func TestValidateCatchesMismatchedBaseBatch(t *testing.T) {
+	w, _ := Get("cifar10")
+	w.Convergence.BaseBatch = 128
+	if w.Validate() == nil {
+		t.Fatal("mismatched base batch accepted")
+	}
+	w, _ = Get("cifar10")
+	w.MaxBatch = w.InitBatch - 1
+	if w.Validate() == nil {
+		t.Fatal("inverted batch range accepted")
+	}
+	w, _ = Get("cifar10")
+	w.DatasetSize = 0
+	if w.Validate() == nil {
+		t.Fatal("zero dataset accepted")
+	}
+	w, _ = Get("cifar10")
+	w.Name = ""
+	if w.Validate() == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestBatchRangesAreMeaningful(t *testing.T) {
+	for _, w := range All() {
+		if w.MaxBatch < 8*w.InitBatch {
+			t.Errorf("%s: batch range [%d, %d] too narrow for adaptive training", w.Name, w.InitBatch, w.MaxBatch)
+		}
+	}
+}

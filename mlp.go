@@ -1,0 +1,305 @@
+package cannikin
+
+import (
+	"errors"
+	"fmt"
+
+	"cannikin/internal/allreduce"
+	"cannikin/internal/data"
+	"cannikin/internal/gns"
+	"cannikin/internal/nn"
+	"cannikin/internal/rng"
+)
+
+// MLPConfig configures a *real* data-parallel training run: an MLP trained
+// on synthetic data across simulated workers with heterogeneous local batch
+// sizes, batch-weighted ring all-reduce (Eq. 9), and the Theorem 4.1
+// heterogeneous GNS estimator running on the actual gradients.
+type MLPConfig struct {
+	// LocalBatches are the per-worker local batch sizes; their count sets
+	// the number of data-parallel workers.
+	LocalBatches []int
+	// Hidden lists hidden-layer widths (default [32]).
+	Hidden []int
+	// Dim, Classes, Samples shape the synthetic blob dataset
+	// (defaults 8, 4, 4096).
+	Dim, Classes, Samples int
+	// Noise is the blob spread (default 0.6).
+	Noise float64
+	// Epochs is the number of training passes (default 10).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.05).
+	LearningRate float64
+	// Momentum is the SGD momentum (default 0.9).
+	Momentum float64
+	// Seed drives all randomness.
+	Seed uint64
+	// NaiveGNS switches the GNS aggregation to plain averaging (the
+	// homogeneous-cluster rule) instead of Theorem 4.1 weights.
+	NaiveGNS bool
+	// GrowthEpoch, when positive, doubles every local batch size at that
+	// epoch — adaptive batch-size training in miniature. The learning rate
+	// is rescaled by Scaler.
+	GrowthEpoch int
+	// Scaler picks the LR rescaling rule on batch growth: "adascale"
+	// (gain damped by the live GNS estimate), "sqrt", "linear", or ""
+	// (keep the learning rate).
+	Scaler string
+}
+
+func (c *MLPConfig) defaults() error {
+	if len(c.LocalBatches) == 0 {
+		return errors.New("cannikin: MLPConfig needs at least one worker batch")
+	}
+	for i, b := range c.LocalBatches {
+		if b < 1 {
+			return fmt.Errorf("cannikin: worker %d local batch %d", i, b)
+		}
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{32}
+	}
+	if c.Dim == 0 {
+		c.Dim = 8
+	}
+	if c.Classes == 0 {
+		c.Classes = 4
+	}
+	if c.Samples == 0 {
+		c.Samples = 4096
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.6
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Dim < 1 || c.Classes < 2 || c.Samples < 1 || c.Epochs < 1 || c.LearningRate <= 0 {
+		return fmt.Errorf("cannikin: invalid MLP config %+v", *c)
+	}
+	return nil
+}
+
+// MLPResult reports a real training run.
+type MLPResult struct {
+	// Workers is the number of data-parallel replicas.
+	Workers int
+	// GlobalBatch is the per-step total batch (sum of local batches).
+	GlobalBatch int
+	// EpochLoss and EpochAccuracy are measured on the full dataset after
+	// each epoch.
+	EpochLoss     []float64
+	EpochAccuracy []float64
+	// NoiseEstimate is the smoothed gradient noise scale after each epoch,
+	// estimated from the real per-worker gradient norms.
+	NoiseEstimate []float64
+	// BatchSchedule and LRSchedule record the per-epoch global batch size
+	// and learning rate (they change when GrowthEpoch fires).
+	BatchSchedule []int
+	LRSchedule    []float64
+	// FinalAccuracy is the last epoch's accuracy.
+	FinalAccuracy float64
+	// Steps is the total number of synchronized steps executed.
+	Steps int
+}
+
+// TrainMLP runs real heterogeneous data-parallel training: every worker
+// holds a replica of the model, computes gradients on its (differently
+// sized) shard, and the replicas synchronize with a batch-weighted ring
+// all-reduce. Replica consistency is enforced, so the run is exactly
+// equivalent to single-node training on the concatenated batch.
+func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	ds, err := data.SyntheticBlobs(cfg.Samples, cfg.Dim, cfg.Classes, cfg.Noise, src)
+	if err != nil {
+		return nil, err
+	}
+	loader := data.NewHeteroLoader(ds, src)
+
+	nWorkers := len(cfg.LocalBatches)
+	globalBatch := 0
+	for _, b := range cfg.LocalBatches {
+		globalBatch += b
+	}
+	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.Classes)
+
+	// All replicas start from identical weights, synchronized the way DDP
+	// does it: rank 0 broadcasts its initialization over the ring.
+	replicas := make([]*nn.Network, nWorkers)
+	weightBufs := make([][]float64, nWorkers)
+	for i := range replicas {
+		replicas[i] = nn.NewMLP(sizes, src.Split(fmt.Sprintf("init-%d", i)))
+		weightBufs[i] = replicas[i].FlatWeights()
+	}
+	if err := allreduce.Broadcast(weightBufs, 0); err != nil {
+		return nil, err
+	}
+	for i := range replicas {
+		replicas[i].SetFlatWeights(weightBufs[i])
+	}
+	opts := make([]*nn.SGD, nWorkers)
+	for i := range opts {
+		opts[i] = nn.NewSGD(cfg.Momentum, 0)
+	}
+
+	tracker := gns.NewTracker(0.1)
+	res := &MLPResult{Workers: nWorkers, GlobalBatch: globalBatch}
+	weights := make([]float64, nWorkers)
+	for i, b := range cfg.LocalBatches {
+		weights[i] = float64(b) / float64(globalBatch)
+	}
+
+	fullX, fullLabels := ds.Batch(identity(ds.Len()))
+
+	var scaler nn.LRScaler
+	switch cfg.Scaler {
+	case "adascale":
+		scaler = nn.AdaScale{}
+	case "sqrt":
+		scaler = nn.SquareRoot{}
+	case "linear":
+		scaler = nn.LinearScale{}
+	case "":
+	default:
+		return nil, fmt.Errorf("cannikin: unknown LR scaler %q", cfg.Scaler)
+	}
+
+	localBatches := append([]int(nil), cfg.LocalBatches...)
+	baseBatch := globalBatch
+	lr := cfg.LearningRate
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.GrowthEpoch > 0 && epoch == cfg.GrowthEpoch {
+			for i := range localBatches {
+				localBatches[i] *= 2
+			}
+			globalBatch *= 2
+			for i, b := range localBatches {
+				weights[i] = float64(b) / float64(globalBatch)
+			}
+			if scaler != nil {
+				lr = scaler.Scale(cfg.LearningRate, globalBatch, baseBatch, tracker.Noise())
+			}
+		}
+		stepsPerEpoch := cfg.Samples / globalBatch
+		if stepsPerEpoch < 1 {
+			stepsPerEpoch = 1
+		}
+		for s := 0; s < stepsPerEpoch; s++ {
+			xs, labels, err := loader.NextGlobalBatch(localBatches)
+			if err != nil {
+				return nil, err
+			}
+			grads := make([][]float64, nWorkers)
+			sample := gns.Sample{
+				Batches:      make([]int, nWorkers),
+				LocalSqNorms: make([]float64, nWorkers),
+			}
+			for i, net := range replicas {
+				net.ZeroGrad()
+				logits := net.Forward(xs[i])
+				_, dlogits := nn.SoftmaxCrossEntropy(logits, labels[i])
+				net.Backward(dlogits)
+				grads[i] = net.FlatGrads()
+				sample.Batches[i] = xs[i].Rows()
+				sample.LocalSqNorms[i] = sqNorm(grads[i])
+			}
+			// Batch-weighted ring all-reduce (Eq. 9). Weights must track
+			// the actual shard sizes (the final partial batch shrinks).
+			stepWeights := weights
+			if got := sum(sample.Batches); got != globalBatch {
+				stepWeights = make([]float64, nWorkers)
+				for i, b := range sample.Batches {
+					stepWeights[i] = float64(b) / float64(got)
+				}
+			}
+			if err := allreduce.AllReduce(grads, stepWeights); err != nil {
+				return nil, err
+			}
+			sample.GlobalSqNorm = sqNorm(grads[0])
+			if nWorkers >= 2 {
+				var est gns.Estimate
+				var gerr error
+				if cfg.NaiveGNS {
+					est, gerr = gns.EstimateNaive(sample)
+				} else {
+					est, gerr = gns.EstimateOptimal(sample)
+				}
+				if gerr == nil {
+					tracker.Observe(est)
+				}
+			}
+			for i, net := range replicas {
+				net.SetFlatGrads(grads[i])
+				opts[i].Step(net.Params(), lr)
+			}
+			res.Steps++
+		}
+		logits := replicas[0].Forward(fullX)
+		loss, _ := nn.SoftmaxCrossEntropy(logits, fullLabels)
+		res.EpochLoss = append(res.EpochLoss, loss)
+		res.EpochAccuracy = append(res.EpochAccuracy, nn.Accuracy(logits, fullLabels))
+		res.NoiseEstimate = append(res.NoiseEstimate, tracker.Noise())
+		res.BatchSchedule = append(res.BatchSchedule, globalBatch)
+		res.LRSchedule = append(res.LRSchedule, lr)
+	}
+	res.FinalAccuracy = res.EpochAccuracy[len(res.EpochAccuracy)-1]
+
+	// Replica-consistency invariant: weighted all-reduce keeps every
+	// replica bit-identical.
+	ref := replicas[0].FlatWeights()
+	for i := 1; i < nWorkers; i++ {
+		if d := maxAbsDiff(ref, replicas[i].FlatWeights()); d > 1e-9 {
+			return nil, fmt.Errorf("cannikin: replica %d diverged by %g", i, d)
+		}
+	}
+	return res, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sqNorm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

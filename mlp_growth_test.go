@@ -1,0 +1,80 @@
+package cannikin
+
+import (
+	"testing"
+)
+
+func TestTrainMLPBatchGrowth(t *testing.T) {
+	res, err := TrainMLP(MLPConfig{
+		LocalBatches: []int{24, 12, 8},
+		Epochs:       12,
+		GrowthEpoch:  6,
+		Scaler:       "adascale",
+		Seed:         21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BatchSchedule) != 12 || len(res.LRSchedule) != 12 {
+		t.Fatalf("schedules missing: %d/%d", len(res.BatchSchedule), len(res.LRSchedule))
+	}
+	if res.BatchSchedule[5] != 44 || res.BatchSchedule[6] != 88 {
+		t.Fatalf("batch did not double at growth epoch: %v", res.BatchSchedule)
+	}
+	// AdaScale: the learning rate changes at growth and its gain stays in
+	// (1, 2] (the doubling bound).
+	pre, post := res.LRSchedule[5], res.LRSchedule[6]
+	if post <= pre || post > 2*pre+1e-12 {
+		t.Fatalf("adascale LR out of (lr, 2lr]: %v -> %v", pre, post)
+	}
+	if res.FinalAccuracy < 0.9 {
+		t.Fatalf("final accuracy %v", res.FinalAccuracy)
+	}
+}
+
+func TestTrainMLPGrowthScalers(t *testing.T) {
+	run := func(scaler string) *MLPResult {
+		res, err := TrainMLP(MLPConfig{
+			LocalBatches: []int{16, 16},
+			Epochs:       8,
+			GrowthEpoch:  4,
+			Scaler:       scaler,
+			Seed:         22,
+		})
+		if err != nil {
+			t.Fatalf("%q: %v", scaler, err)
+		}
+		return res
+	}
+	sqrt := run("sqrt")
+	linear := run("linear")
+	keep := run("")
+	// sqrt gain = sqrt(2), linear = 2, none = 1.
+	base := keep.LRSchedule[4]
+	if !(linear.LRSchedule[4] > sqrt.LRSchedule[4] && sqrt.LRSchedule[4] > base) {
+		t.Fatalf("scaler ordering wrong: linear %v sqrt %v none %v",
+			linear.LRSchedule[4], sqrt.LRSchedule[4], base)
+	}
+	if _, err := TrainMLP(MLPConfig{LocalBatches: []int{8}, Scaler: "nope"}); err == nil {
+		t.Fatal("unknown scaler accepted")
+	}
+}
+
+func TestTrainMLPGrowthReducesSteps(t *testing.T) {
+	fixed, err := TrainMLP(MLPConfig{LocalBatches: []int{16, 16}, Epochs: 10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := TrainMLP(MLPConfig{
+		LocalBatches: []int{16, 16}, Epochs: 10, GrowthEpoch: 3, Scaler: "sqrt", Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Steps >= fixed.Steps {
+		t.Fatalf("growth did not reduce steps: %d vs %d", grown.Steps, fixed.Steps)
+	}
+	if grown.FinalAccuracy < fixed.FinalAccuracy-0.05 {
+		t.Fatalf("growth hurt accuracy: %v vs %v", grown.FinalAccuracy, fixed.FinalAccuracy)
+	}
+}

@@ -1,0 +1,145 @@
+package cannikin
+
+import (
+	"errors"
+	"fmt"
+
+	"cannikin/internal/gpu"
+	"cannikin/internal/rng"
+	"cannikin/internal/sched"
+	"cannikin/internal/simtime"
+	"cannikin/internal/trainer"
+	"cannikin/internal/workload"
+)
+
+// AllocationPolicy constrains how the scheduler carves GPUs out of a mixed
+// pool.
+type AllocationPolicy string
+
+// Allocation policies.
+const (
+	// PolicyHeterogeneous lets one job span mixed GPU models — possible
+	// because Cannikin trains efficiently on whatever mix it receives.
+	PolicyHeterogeneous AllocationPolicy = "heterogeneous"
+	// PolicyHomogeneous restricts each job to a single GPU model, like
+	// existing schedulers (Section 6).
+	PolicyHomogeneous AllocationPolicy = "homogeneous"
+)
+
+// JobSpec is one queued training job.
+type JobSpec struct {
+	ID       string
+	Workload string
+	GPUs     int
+	// SubmitAtSeconds is the submission instant on the simulated timeline.
+	SubmitAtSeconds float64
+}
+
+// ScheduleConfig configures a multi-job scheduling run over a shared pool.
+type ScheduleConfig struct {
+	// PoolModels lists the pool's GPU catalog keys (see GPUModels).
+	PoolModels []string
+	Policy     AllocationPolicy
+	Jobs       []JobSpec
+	// System trains each job (default Cannikin).
+	System SystemKind
+	Seed   uint64
+}
+
+// JobRecord is one completed job's schedule entry.
+type JobRecord struct {
+	ID            string
+	StartSeconds  float64
+	FinishSeconds float64
+	WaitSeconds   float64
+	Devices       []string
+}
+
+// ScheduleReport is a completed scheduling run.
+type ScheduleReport struct {
+	Records []JobRecord
+	// MakespanSeconds is the finish time of the last job.
+	MakespanSeconds float64
+	// TotalWaitSeconds sums queueing delay across jobs.
+	TotalWaitSeconds float64
+}
+
+// Schedule runs a stream of training jobs over a shared heterogeneous GPU
+// pool under the chosen allocation policy (Section 6's scheduler
+// integration).
+func Schedule(cfg ScheduleConfig) (*ScheduleReport, error) {
+	if len(cfg.PoolModels) == 0 {
+		return nil, errors.New("cannikin: empty GPU pool")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("cannikin: no jobs")
+	}
+	var policy sched.Policy
+	switch cfg.Policy {
+	case PolicyHeterogeneous, "":
+		policy = sched.Heterogeneous
+	case PolicyHomogeneous:
+		policy = sched.HomogeneousOnly
+	default:
+		return nil, fmt.Errorf("cannikin: unknown policy %q", cfg.Policy)
+	}
+	system := cfg.System
+	if system == "" {
+		system = SystemCannikin
+	}
+	if system == SystemHetPipe {
+		return nil, errors.New("cannikin: the scheduler drives data-parallel systems only")
+	}
+
+	src := rng.New(cfg.Seed).Split("schedule")
+	devices := make([]*gpu.Device, len(cfg.PoolModels))
+	for i, key := range cfg.PoolModels {
+		d, err := gpu.NewDevice(fmt.Sprintf("%s-%d", key, i), key, src)
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = d
+	}
+	s, err := sched.New(devices, policy, func() trainer.System {
+		sys, err := buildSystem(system, 0)
+		if err != nil {
+			// buildSystem only fails for unknown kinds, checked above.
+			panic(err)
+		}
+		return sys
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range cfg.Jobs {
+		w, err := workload.Get(j.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", j.ID, err)
+		}
+		if err := s.Submit(sched.Job{
+			ID:       j.ID,
+			Workload: w,
+			GPUs:     j.GPUs,
+			SubmitAt: simtime.Time(simtime.FromSeconds(j.SubmitAtSeconds)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	recs, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &ScheduleReport{MakespanSeconds: s.Makespan().Seconds()}
+	for _, r := range recs {
+		jr := JobRecord{
+			ID:            r.ID,
+			StartSeconds:  r.Start.Seconds(),
+			FinishSeconds: r.Finish.Seconds(),
+			WaitSeconds:   r.Wait.Seconds(),
+			Devices:       append([]string(nil), r.Devices...),
+		}
+		out.Records = append(out.Records, jr)
+		out.TotalWaitSeconds += jr.WaitSeconds
+	}
+	return out, nil
+}

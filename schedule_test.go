@@ -1,0 +1,98 @@
+package cannikin
+
+import (
+	"strings"
+	"testing"
+)
+
+func schedulePool() []string {
+	return []string{"A100", "A100", "V100", "V100", "RTX6000", "RTX6000", "RTX6000", "RTX6000"}
+}
+
+func TestSchedulePublicAPI(t *testing.T) {
+	rep, err := Schedule(ScheduleConfig{
+		PoolModels: schedulePool(),
+		Policy:     PolicyHeterogeneous,
+		Jobs: []JobSpec{
+			{ID: "a", Workload: "cifar10", GPUs: 4},
+			{ID: "b", Workload: "cifar10", GPUs: 4, SubmitAtSeconds: 1},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 2 {
+		t.Fatalf("%d records", len(rep.Records))
+	}
+	if rep.MakespanSeconds <= 0 {
+		t.Fatal("zero makespan")
+	}
+	for _, r := range rep.Records {
+		if r.FinishSeconds <= r.StartSeconds || len(r.Devices) != 4 {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+}
+
+func TestScheduleHeterogeneousBeatsHomogeneous(t *testing.T) {
+	jobs := []JobSpec{
+		{ID: "a", Workload: "cifar10", GPUs: 4},
+		{ID: "b", Workload: "cifar10", GPUs: 4, SubmitAtSeconds: 1},
+		{ID: "c", Workload: "cifar10", GPUs: 3, SubmitAtSeconds: 2},
+	}
+	run := func(p AllocationPolicy) *ScheduleReport {
+		rep, err := Schedule(ScheduleConfig{PoolModels: schedulePool(), Policy: p, Jobs: jobs, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	het := run(PolicyHeterogeneous)
+	hom := run(PolicyHomogeneous)
+	if het.MakespanSeconds >= hom.MakespanSeconds {
+		t.Fatalf("heterogeneous makespan %v >= homogeneous %v", het.MakespanSeconds, hom.MakespanSeconds)
+	}
+	// Heterogeneous allocations actually mix models.
+	mixed := false
+	for _, r := range het.Records {
+		prefix := strings.Split(r.Devices[0], "-")[0]
+		for _, d := range r.Devices[1:] {
+			if strings.Split(d, "-")[0] != prefix {
+				mixed = true
+			}
+		}
+	}
+	if !mixed {
+		t.Fatal("no mixed allocation under the heterogeneous policy")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := Schedule(ScheduleConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Schedule(ScheduleConfig{PoolModels: schedulePool()}); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	if _, err := Schedule(ScheduleConfig{
+		PoolModels: schedulePool(),
+		Policy:     "magic",
+		Jobs:       []JobSpec{{ID: "a", Workload: "cifar10", GPUs: 1}},
+	}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Schedule(ScheduleConfig{
+		PoolModels: schedulePool(),
+		System:     SystemHetPipe,
+		Jobs:       []JobSpec{{ID: "a", Workload: "cifar10", GPUs: 1}},
+	}); err == nil {
+		t.Fatal("hetpipe accepted by scheduler")
+	}
+	if _, err := Schedule(ScheduleConfig{
+		PoolModels: schedulePool(),
+		Jobs:       []JobSpec{{ID: "a", Workload: "nope", GPUs: 1}},
+	}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
