@@ -1,0 +1,199 @@
+package cannikin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestSentinelErrors(t *testing.T) {
+	base := TrainConfig{
+		Cluster:  ClusterConfig{Preset: "a"},
+		Workload: "cifar10",
+		System:   SystemCannikin,
+	}
+
+	cfg := base
+	cfg.System = "no-such-system"
+	if _, err := Train(cfg); !errors.Is(err, ErrUnknownSystem) {
+		t.Fatalf("unknown system: %v", err)
+	}
+
+	cfg = base
+	cfg.Cluster = ClusterConfig{Preset: "a", Models: []string{"v100"}}
+	if _, err := Train(cfg); !errors.Is(err, ErrBadCluster) {
+		t.Fatalf("preset+models: %v", err)
+	}
+	cfg.Cluster = ClusterConfig{}
+	if _, err := Train(cfg); !errors.Is(err, ErrBadCluster) {
+		t.Fatalf("empty cluster: %v", err)
+	}
+	cfg.Cluster = ClusterConfig{Preset: "no-such-preset"}
+	if _, err := Train(cfg); !errors.Is(err, ErrBadCluster) {
+		t.Fatalf("bad preset: %v", err)
+	}
+
+	for _, b := range []int{-1, 1, 1 << 30} {
+		cfg = base
+		cfg.FixedBatch = b
+		if _, err := Train(cfg); !errors.Is(err, ErrBatchRange) {
+			t.Fatalf("fixed batch %d: %v", b, err)
+		}
+	}
+	cfg = base
+	cfg.System = SystemAdaptDL
+	cfg.FixedBatch = 128
+	if _, err := Train(cfg); !errors.Is(err, ErrBatchRange) {
+		t.Fatalf("adaptdl fixed batch: %v", err)
+	}
+
+	if _, err := Schedule(ScheduleConfig{
+		PoolModels: []string{"V100", "V100"},
+		Jobs:       []JobSpec{{ID: "j", Workload: "cifar10", GPUs: 1}},
+		System:     "no-such-system",
+	}); !errors.Is(err, ErrUnknownSystem) {
+		t.Fatalf("schedule unknown system: %v", err)
+	}
+}
+
+func TestTrainContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range Systems() {
+		_, err := TrainContext(ctx, TrainConfig{
+			Cluster:  ClusterConfig{Preset: "a"},
+			Workload: "cifar10",
+			System:   kind,
+			Seed:     2,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", kind, err)
+		}
+	}
+}
+
+func TestScheduleContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScheduleContext(ctx, ScheduleConfig{
+		PoolModels: []string{"V100", "V100"},
+		Jobs:       []JobSpec{{ID: "j", Workload: "cifar10", GPUs: 2}},
+		Seed:       2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrainOnEpochStreams(t *testing.T) {
+	var seen []EpochReport
+	rep, err := Train(TrainConfig{
+		Cluster:   ClusterConfig{Preset: "a"},
+		Workload:  "cifar10",
+		System:    SystemCannikin,
+		Seed:      4,
+		MaxEpochs: 8,
+		OnEpoch: func(e EpochReport) error {
+			seen = append(seen, e)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(rep.Epochs) {
+		t.Fatalf("hook fired %d times for %d epochs", len(seen), len(rep.Epochs))
+	}
+	for i := range seen {
+		if seen[i].Epoch != i {
+			t.Fatalf("epoch %d reported at position %d", seen[i].Epoch, i)
+		}
+		a, _ := json.Marshal(seen[i])
+		b, _ := json.Marshal(rep.Epochs[i])
+		if string(a) != string(b) {
+			t.Fatalf("epoch %d: streamed report differs from final report", i)
+		}
+	}
+
+	boom := errors.New("boom")
+	_, err = Train(TrainConfig{
+		Cluster:   ClusterConfig{Preset: "a"},
+		Workload:  "cifar10",
+		System:    SystemHetPipe,
+		Seed:      4,
+		MaxEpochs: 8,
+		OnEpoch: func(e EpochReport) error {
+			if e.Epoch == 1 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("hook error not propagated: %v", err)
+	}
+}
+
+// TestTrainDeterministic locks the determinism contract: the same seed must
+// yield a byte-identical Report for every system, with and without chaos.
+func TestTrainDeterministic(t *testing.T) {
+	chaosCfg := ChaosConfig{
+		Events: []ChaosEvent{{Epoch: 3, Node: 0, Kind: ChaosComputeShare, Value: 0.4}},
+		Churn:  0.3,
+	}
+	for _, kind := range Systems() {
+		for _, withChaos := range []bool{false, true} {
+			cfg := TrainConfig{
+				Cluster:   ClusterConfig{Preset: "a"},
+				Workload:  "cifar10",
+				System:    kind,
+				Seed:      11,
+				MaxEpochs: 10,
+			}
+			if withChaos {
+				cfg.Chaos = chaosCfg
+			}
+			a, err := Train(cfg)
+			if err != nil {
+				t.Fatalf("%s chaos=%v: %v", kind, withChaos, err)
+			}
+			b, err := Train(cfg)
+			if err != nil {
+				t.Fatalf("%s chaos=%v rerun: %v", kind, withChaos, err)
+			}
+			ja, _ := json.Marshal(a)
+			jb, _ := json.Marshal(b)
+			if string(ja) != string(jb) {
+				t.Fatalf("%s chaos=%v: same seed produced different reports", kind, withChaos)
+			}
+		}
+	}
+}
+
+func TestTrainChaosAnnotations(t *testing.T) {
+	rep, err := Train(TrainConfig{
+		Cluster:   ClusterConfig{Preset: "a"},
+		Workload:  "cifar10",
+		System:    SystemCannikin,
+		Seed:      6,
+		MaxEpochs: 10,
+		Chaos: ChaosConfig{Events: []ChaosEvent{
+			{Epoch: 3, Node: 1, Kind: ChaosStraggler, Value: 0.5, Duration: 2},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) <= 5 {
+		t.Fatalf("run ended after %d epochs", len(rep.Epochs))
+	}
+	hit := rep.Epochs[3].Events
+	if len(hit) != 1 || hit[0].Kind != ChaosStraggler || hit[0].Node != 1 || hit[0].Revert {
+		t.Fatalf("epoch 3 events = %v", hit)
+	}
+	rec := rep.Epochs[5].Events
+	if len(rec) != 1 || !rec[0].Revert {
+		t.Fatalf("epoch 5 events = %v (want straggler recovery)", rec)
+	}
+}

@@ -17,9 +17,11 @@
 package cannikin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"cannikin/internal/chaos"
 	"cannikin/internal/cluster"
 	"cannikin/internal/gns"
 	"cannikin/internal/gpu"
@@ -27,6 +29,17 @@ import (
 	"cannikin/internal/rng"
 	"cannikin/internal/trainer"
 	"cannikin/internal/workload"
+)
+
+// Sentinel errors returned (wrapped) by Train, TrainContext, Schedule, and
+// ScheduleContext; test with errors.Is.
+var (
+	// ErrUnknownSystem reports a SystemKind outside Systems().
+	ErrUnknownSystem = errors.New("unknown system")
+	// ErrBadCluster reports an invalid or inconsistent ClusterConfig.
+	ErrBadCluster = errors.New("bad cluster config")
+	// ErrBatchRange reports a FixedBatch the workload or system cannot run.
+	ErrBatchRange = errors.New("batch size out of range")
 )
 
 // SystemKind names a training system.
@@ -66,39 +79,115 @@ type ClusterConfig struct {
 func (c ClusterConfig) build(src *rng.Source) (*cluster.Cluster, error) {
 	if c.Preset != "" {
 		if len(c.Models) > 0 {
-			return nil, errors.New("cannikin: set either Preset or Models, not both")
+			return nil, fmt.Errorf("cannikin: set either Preset or Models, not both: %w", ErrBadCluster)
 		}
-		return cluster.Preset(c.Preset, src)
+		cl, err := cluster.Preset(c.Preset, src)
+		if err != nil {
+			return nil, fmt.Errorf("cannikin: %v: %w", err, ErrBadCluster)
+		}
+		return cl, nil
 	}
 	if len(c.Models) == 0 {
-		return nil, errors.New("cannikin: cluster config needs Preset or Models")
+		return nil, fmt.Errorf("cannikin: cluster config needs Preset or Models: %w", ErrBadCluster)
 	}
 	cl, err := cluster.FromModels("custom", c.Models, src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cannikin: %v: %w", err, ErrBadCluster)
 	}
 	if c.CPUSpeeds != nil {
 		if len(c.CPUSpeeds) != len(c.Models) {
-			return nil, fmt.Errorf("cannikin: %d CPU speeds for %d nodes", len(c.CPUSpeeds), len(c.Models))
+			return nil, fmt.Errorf("cannikin: %d CPU speeds for %d nodes: %w", len(c.CPUSpeeds), len(c.Models), ErrBadCluster)
 		}
 		for i, s := range c.CPUSpeeds {
 			if s <= 0 {
-				return nil, fmt.Errorf("cannikin: node %d CPU speed %v", i, s)
+				return nil, fmt.Errorf("cannikin: node %d CPU speed %v: %w", i, s, ErrBadCluster)
 			}
 			cl.Devices[i].CPUSpeed = s
 		}
 	}
 	if c.ComputeShares != nil {
 		if len(c.ComputeShares) != len(c.Models) {
-			return nil, fmt.Errorf("cannikin: %d compute shares for %d nodes", len(c.ComputeShares), len(c.Models))
+			return nil, fmt.Errorf("cannikin: %d compute shares for %d nodes: %w", len(c.ComputeShares), len(c.Models), ErrBadCluster)
 		}
 		for i, s := range c.ComputeShares {
 			if err := cl.Devices[i].SetSharing(s, s/2+0.5); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("cannikin: %v: %w", err, ErrBadCluster)
 			}
 		}
 	}
 	return cl, nil
+}
+
+// ChaosKind names a dynamic-heterogeneity perturbation type.
+type ChaosKind string
+
+// Perturbation kinds for ChaosEvent and ChaosEventRecord.
+const (
+	// ChaosComputeShare sets a node's compute share to Value (absolute
+	// fraction in (0, 1]) — a co-located tenant arriving or leaving.
+	ChaosComputeShare = ChaosKind(chaos.KindComputeShare)
+	// ChaosBandwidth multiplies a node's ring link bandwidth by Value (> 0).
+	ChaosBandwidth = ChaosKind(chaos.KindBandwidth)
+	// ChaosStraggler multiplies a node's compute share by Value (in (0, 1))
+	// for Duration epochs (default 1), then restores it.
+	ChaosStraggler = ChaosKind(chaos.KindStraggler)
+)
+
+// ChaosEvent is one scheduled perturbation of the simulated cluster.
+type ChaosEvent struct {
+	// Epoch is when the event takes effect (before that epoch is planned).
+	Epoch int
+	// Node is the affected node index.
+	Node int
+	Kind ChaosKind
+	// Value is interpreted per Kind; see the ChaosKind constants.
+	Value float64
+	// Duration, when positive, automatically reverts the event after that
+	// many epochs.
+	Duration int
+}
+
+// ChaosConfig enables dynamic-heterogeneity injection during training. The
+// zero value disables it.
+type ChaosConfig struct {
+	// Events are explicit scheduled perturbations.
+	Events []ChaosEvent
+	// Churn, when positive, additionally generates a seeded random event
+	// schedule with that per-epoch probability (in (0, 1]). Generation is
+	// deterministic in the job Seed.
+	Churn float64
+	// FirstEpoch and Horizon bound the generated events (defaults 4 and 32).
+	FirstEpoch int
+	Horizon    int
+}
+
+func (c ChaosConfig) enabled() bool { return len(c.Events) > 0 || c.Churn > 0 }
+
+// schedule lowers the public config to an internal, validated schedule.
+func (c ChaosConfig) schedule(nodes int, seed uint64) (chaos.Schedule, error) {
+	var events []chaos.Event
+	for _, e := range c.Events {
+		events = append(events, chaos.Event{
+			Epoch: e.Epoch, Node: e.Node, Kind: chaos.Kind(e.Kind),
+			Value: e.Value, Duration: e.Duration,
+		})
+	}
+	if c.Churn > 0 {
+		gen, err := chaos.Generate(chaos.Profile{
+			Intensity:  c.Churn,
+			FirstEpoch: c.FirstEpoch,
+			Horizon:    c.Horizon,
+		}, nodes, rng.New(seed))
+		if err != nil {
+			return chaos.Schedule{}, fmt.Errorf("cannikin: %w", err)
+		}
+		events = append(events, gen.Events...)
+	}
+	s := chaos.Schedule{Events: events}
+	if err := s.Validate(nodes); err != nil {
+		return chaos.Schedule{}, fmt.Errorf("cannikin: %w", err)
+	}
+	return s, nil
 }
 
 // TrainConfig configures one training job.
@@ -111,8 +200,26 @@ type TrainConfig struct {
 	// MaxEpochs caps the run (0 = default safety limit).
 	MaxEpochs int
 	// FixedBatch pins the total batch size for systems that support it
-	// (Cannikin, LB-BSP, DDP); 0 keeps each system's default behaviour.
+	// (Cannikin, LB-BSP, DDP, HetPipe); 0 keeps each system's default
+	// behaviour.
 	FixedBatch int
+	// Chaos injects dynamic-heterogeneity events mid-run.
+	Chaos ChaosConfig
+	// OnEpoch, when set, streams each completed epoch's report in order.
+	// Returning an error aborts the run with that error wrapped.
+	OnEpoch func(EpochReport) error
+}
+
+// ChaosEventRecord is one perturbation (or automatic recovery) that took
+// effect at an epoch boundary.
+type ChaosEventRecord struct {
+	Node int
+	Kind ChaosKind
+	// Value is the applied value: the new compute share, the new link
+	// bandwidth in GB/s, or the straggler share multiplier.
+	Value float64
+	// Revert marks the automatic restoration of a transient event.
+	Revert bool
 }
 
 // EpochReport summarizes one training epoch.
@@ -127,6 +234,11 @@ type EpochReport struct {
 	ElapsedTime float64
 	Metric      float64
 	Progress    float64
+	// Events lists the chaos perturbations applied at this epoch's boundary.
+	Events []ChaosEventRecord
+	// Reprofiled counts the nodes this epoch's plan probed to re-learn a
+	// drifted performance model (Cannikin only).
+	Reprofiled int
 }
 
 // Report is a completed training run.
@@ -144,8 +256,19 @@ type Report struct {
 	OverheadFraction float64
 }
 
-// Train runs a full training job on a simulated heterogeneous cluster.
+// Train runs a full training job on a simulated heterogeneous cluster. It
+// is TrainContext with a background context.
 func Train(cfg TrainConfig) (*Report, error) {
+	return TrainContext(context.Background(), cfg)
+}
+
+// TrainContext runs a full training job, checking ctx at every epoch
+// boundary: a canceled context aborts the run with the context's error
+// wrapped (test with errors.Is).
+func TrainContext(ctx context.Context, cfg TrainConfig) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	src := rng.New(cfg.Seed)
 	cl, err := cfg.Cluster.build(src)
 	if err != nil {
@@ -154,6 +277,19 @@ func Train(cfg TrainConfig) (*Report, error) {
 	w, err := workload.Get(cfg.Workload)
 	if err != nil {
 		return nil, err
+	}
+	if err := validateFixedBatch(cfg.FixedBatch, w, cl.N()); err != nil {
+		return nil, err
+	}
+	var sched chaos.Schedule
+	if cfg.Chaos.enabled() {
+		if sched, err = cfg.Chaos.schedule(cl.N(), cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	var hook func(trainer.EpochStats) error
+	if cfg.OnEpoch != nil {
+		hook = func(s trainer.EpochStats) error { return cfg.OnEpoch(toEpochReport(s)) }
 	}
 	var res *trainer.Result
 	if cfg.System == SystemHetPipe {
@@ -165,7 +301,12 @@ func Train(cfg TrainConfig) (*Report, error) {
 		if cfg.FixedBatch > 0 {
 			hp.FixedBatch = cfg.FixedBatch
 		}
-		res, err = hp.Run(env, cfg.Seed, cfg.MaxEpochs)
+		res, err = hp.RunContext(ctx, env, trainer.PipeOpts{
+			Seed:      cfg.Seed,
+			MaxEpochs: cfg.MaxEpochs,
+			Chaos:     sched,
+			OnEpoch:   hook,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -174,18 +315,38 @@ func Train(cfg TrainConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err = trainer.Run(trainer.Config{
+		res, err = trainer.RunContext(ctx, trainer.Config{
 			Cluster:   cl,
 			Workload:  w,
 			System:    sys,
 			Seed:      cfg.Seed,
 			MaxEpochs: cfg.MaxEpochs,
+			Chaos:     sched,
+			OnEpoch:   hook,
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 	return convertResult(res, w), nil
+}
+
+// validateFixedBatch rejects a pinned total batch the workload or cluster
+// cannot run before any simulation time is spent.
+func validateFixedBatch(b int, w workload.Workload, nodes int) error {
+	if b == 0 {
+		return nil
+	}
+	if b < 0 {
+		return fmt.Errorf("cannikin: fixed batch %d: %w", b, ErrBatchRange)
+	}
+	if b > w.MaxBatch {
+		return fmt.Errorf("cannikin: fixed batch %d above workload %s max %d: %w", b, w.Name, w.MaxBatch, ErrBatchRange)
+	}
+	if b < nodes {
+		return fmt.Errorf("cannikin: fixed batch %d below cluster size %d: %w", b, nodes, ErrBatchRange)
+	}
+	return nil
 }
 
 func buildSystem(kind SystemKind, fixedBatch int) (trainer.System, error) {
@@ -196,7 +357,7 @@ func buildSystem(kind SystemKind, fixedBatch int) (trainer.System, error) {
 		return s, nil
 	case SystemAdaptDL:
 		if fixedBatch > 0 {
-			return nil, errors.New("cannikin: AdaptDL does not support a fixed batch")
+			return nil, fmt.Errorf("cannikin: AdaptDL does not support a fixed batch: %w", ErrBatchRange)
 		}
 		return trainer.NewAdaptDL(), nil
 	case SystemLBBSP:
@@ -208,8 +369,32 @@ func buildSystem(kind SystemKind, fixedBatch int) (trainer.System, error) {
 		s.FixedBatch = fixedBatch
 		return s, nil
 	default:
-		return nil, fmt.Errorf("cannikin: unknown system %q", kind)
+		return nil, fmt.Errorf("cannikin: system %q: %w", kind, ErrUnknownSystem)
 	}
+}
+
+func toEpochReport(e trainer.EpochStats) EpochReport {
+	r := EpochReport{
+		Epoch:        e.Epoch,
+		TotalBatch:   e.TotalBatch,
+		LocalBatches: append([]int(nil), e.Local...),
+		AvgBatchTime: e.AvgBatchTime,
+		TrainTime:    e.TrainTime,
+		Overhead:     e.Overhead,
+		ElapsedTime:  e.SimTimeEnd,
+		Metric:       e.Metric,
+		Progress:     e.Progress,
+		Reprofiled:   e.Reprofiled,
+	}
+	for _, a := range e.Events {
+		r.Events = append(r.Events, ChaosEventRecord{
+			Node:   a.Node,
+			Kind:   ChaosKind(a.Kind),
+			Value:  a.Value,
+			Revert: a.Revert,
+		})
+	}
+	return r
 }
 
 func convertResult(res *trainer.Result, w workload.Workload) *Report {
@@ -226,17 +411,7 @@ func convertResult(res *trainer.Result, w workload.Workload) *Report {
 		out.OverheadFraction = res.TotalOverhead / res.TotalTime
 	}
 	for _, e := range res.Epochs {
-		out.Epochs = append(out.Epochs, EpochReport{
-			Epoch:        e.Epoch,
-			TotalBatch:   e.TotalBatch,
-			LocalBatches: append([]int(nil), e.Local...),
-			AvgBatchTime: e.AvgBatchTime,
-			TrainTime:    e.TrainTime,
-			Overhead:     e.Overhead,
-			ElapsedTime:  e.SimTimeEnd,
-			Metric:       e.Metric,
-			Progress:     e.Progress,
-		})
+		out.Epochs = append(out.Epochs, toEpochReport(e))
 	}
 	return out
 }

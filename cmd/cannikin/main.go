@@ -6,6 +6,7 @@
 //	cannikin -cluster b -workload cifar10 -system cannikin
 //	cannikin -cluster a -workload imagenet -system lb-bsp -batch 128 -epochs 16
 //	cannikin -models H100,V100,P100 -workload cifar10 -system cannikin
+//	cannikin -cluster a -workload imagenet -chaos 0.3 -progress
 package main
 
 import (
@@ -39,6 +40,8 @@ func run(args []string, w io.Writer) error {
 		batch       = fs.Int("batch", 0, "fixed total batch size (0 = adaptive/default)")
 		list        = fs.Bool("list", false, "list workloads and GPU models, then exit")
 		csv         = fs.Bool("csv", false, "emit the epoch trace as CSV")
+		chaosChurn  = fs.Float64("chaos", 0, "per-epoch probability of a random resource perturbation, in (0, 1]")
+		progress    = fs.Bool("progress", false, "stream each epoch as it completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,16 +62,29 @@ func run(args []string, w io.Writer) error {
 	} else {
 		cfg.Cluster = cannikin.ClusterConfig{Preset: *clusterName}
 	}
+	if *chaosChurn > 0 {
+		cfg.Chaos = cannikin.ChaosConfig{Churn: *chaosChurn}
+	}
+	if *progress {
+		cfg.OnEpoch = func(e cannikin.EpochReport) error {
+			fmt.Fprintf(w, "epoch %3d  batch %4d  step %.4fs  metric %.4f\n",
+				e.Epoch, e.TotalBatch, e.AvgBatchTime, e.Metric)
+			for _, ev := range e.Events {
+				fmt.Fprintf(w, "  chaos: node %d %s %.3g (revert=%v)\n", ev.Node, ev.Kind, ev.Value, ev.Revert)
+			}
+			return nil
+		}
+	}
 
 	rep, err := cannikin.Train(cfg)
 	if err != nil {
 		return err
 	}
 
-	tab := trace.NewTable("epoch", "batch", "local batches", "avg step (s)", "epoch (s)", "overhead (s)", rep.MetricName)
+	tab := trace.NewTable("epoch", "batch", "local batches", "avg step (s)", "epoch (s)", "overhead (s)", "events", rep.MetricName)
 	for _, e := range rep.Epochs {
 		tab.AddRowValues(e.Epoch, e.TotalBatch, intsToString(e.LocalBatches),
-			e.AvgBatchTime, e.TrainTime, e.Overhead, e.Metric)
+			e.AvgBatchTime, e.TrainTime, e.Overhead, eventsToString(e.Events), e.Metric)
 	}
 	var printErr error
 	if *csv {
@@ -108,4 +124,19 @@ func intsToString(xs []int) string {
 		parts[i] = fmt.Sprint(x)
 	}
 	return strings.Join(parts, "/")
+}
+
+func eventsToString(evs []cannikin.ChaosEventRecord) string {
+	if len(evs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(evs))
+	for i, ev := range evs {
+		s := fmt.Sprintf("n%d:%s=%.3g", ev.Node, ev.Kind, ev.Value)
+		if ev.Revert {
+			s += "(revert)"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, " ")
 }

@@ -72,3 +72,41 @@ func TestIntsToString(t *testing.T) {
 		t.Fatalf("intsToString = %q", got)
 	}
 }
+
+func TestRunProgressStreams(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-cluster", "a", "-epochs", "4", "-progress"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"epoch   0", "epoch   3", "metric"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	// Streamed lines precede the final table.
+	if strings.Index(out, "epoch   0") > strings.Index(out, "local batches") {
+		t.Fatalf("progress lines should precede the trace table:\n%s", out)
+	}
+}
+
+func TestRunChaosChurn(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-cluster", "a", "-workload", "imagenet", "-epochs", "20", "-chaos", "0.8", "-progress"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "chaos: node") {
+		t.Fatalf("chaos events not streamed:\n%s", sb.String())
+	}
+	if err := run([]string{"-chaos", "1.5"}, &sb); err == nil {
+		t.Fatal("chaos churn above 1 accepted")
+	}
+}
+
+func TestEventsToString(t *testing.T) {
+	if got := eventsToString(nil); got != "-" {
+		t.Fatalf("eventsToString(nil) = %q", got)
+	}
+}

@@ -6,7 +6,7 @@
 //	experiments -exp fig10 -quick # trimmed measurement repetitions
 //
 // Available experiments: fig5 fig6 fig7 fig8 fig9 fig10 table6 pred
-// sharing dynamic sched ablations.
+// sharing dynamic recovery sched ablations.
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 	}
 }
 
-var order = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table6", "pred", "sharing", "dynamic", "sched", "ablations"}
+var order = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table6", "pred", "sharing", "dynamic", "recovery", "sched", "ablations"}
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
@@ -173,6 +173,17 @@ func runOne(id string, opt experiments.Options, out renderer) error {
 			return err
 		}
 		fmt.Fprintf(w, "(resource event at epoch %d)\n", eventEpoch)
+		return nil
+	case "recovery":
+		section("Extension: recovery from dynamic heterogeneity (chaos engine)")
+		tab, _, eventEpoch, err := experiments.DynamicRecovery(opt)
+		if err != nil {
+			return err
+		}
+		if err := out.table(tab); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(compute-share event at epoch %d; reference = OptPerf re-solved on the perturbed cluster)\n", eventEpoch)
 		return nil
 	case "sched":
 		section("Extension: heterogeneity-aware job scheduling")

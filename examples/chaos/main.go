@@ -1,0 +1,78 @@
+// Chaos: inject dynamic-heterogeneity events mid-training and watch each
+// system respond. A scheduled compute-share drop plus seeded random churn
+// perturb the simulated cluster; Cannikin detects the drift, re-profiles
+// the changed nodes, and re-solves OptPerf, while DDP keeps its stale even
+// split. The streaming OnEpoch hook prints events as they land, and a
+// context cancels the final run early.
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"cannikin"
+)
+
+func main() {
+	chaosCfg := cannikin.ChaosConfig{
+		// One scripted incident: node 0 loses three quarters of its compute
+		// at epoch 6 (a co-located tenant arrives)...
+		Events: []cannikin.ChaosEvent{
+			{Epoch: 6, Node: 0, Kind: cannikin.ChaosComputeShare, Value: 0.25},
+		},
+		// ...plus background churn: each later epoch has a 20% chance of a
+		// random perturbation, deterministic in the job seed.
+		Churn:      0.2,
+		FirstEpoch: 10,
+		Horizon:    24,
+	}
+
+	fmt.Println("== Cannikin vs DDP under chaos (ImageNet, cluster A, B=128) ==")
+	for _, sys := range []cannikin.SystemKind{cannikin.SystemCannikin, cannikin.SystemDDP} {
+		rep, err := cannikin.Train(cannikin.TrainConfig{
+			Cluster:    cannikin.ClusterConfig{Preset: "a"},
+			Workload:   "imagenet",
+			System:     sys,
+			Seed:       7,
+			MaxEpochs:  28,
+			FixedBatch: 128,
+			Chaos:      chaosCfg,
+			OnEpoch: func(e cannikin.EpochReport) error {
+				for _, ev := range e.Events {
+					verb := "hits"
+					if ev.Revert {
+						verb = "recovers on"
+					}
+					fmt.Printf("  epoch %2d: %s %s node %d (value %.3g)\n",
+						e.Epoch, ev.Kind, verb, ev.Node, ev.Value)
+				}
+				if e.Reprofiled > 0 {
+					fmt.Printf("  epoch %2d: re-profiling %d drifted node(s)\n", e.Epoch, e.Reprofiled)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pre := rep.Epochs[5].AvgBatchTime
+		final := rep.Epochs[len(rep.Epochs)-1].AvgBatchTime
+		fmt.Printf("%-12s batch time before event %.4fs, final %.4fs (%.2fx)\n\n",
+			sys, pre, final, final/pre)
+	}
+
+	// Cancellation: the same API honors a context at every epoch boundary.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := cannikin.TrainContext(ctx, cannikin.TrainConfig{
+		Cluster:  cannikin.ClusterConfig{Preset: "a"},
+		Workload: "cifar10",
+		System:   cannikin.SystemCannikin,
+		Seed:     7,
+	})
+	fmt.Printf("canceled run: errors.Is(err, context.Canceled) = %v\n", errors.Is(err, context.Canceled))
+}

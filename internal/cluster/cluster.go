@@ -111,6 +111,36 @@ func (c *Cluster) SetComputeShare(i int, share float64) error {
 	return c.Devices[i].SetSharing(share, c.Devices[i].MemFraction)
 }
 
+// ComputeShare returns node i's current compute fraction.
+func (c *Cluster) ComputeShare(i int) (float64, error) {
+	if i < 0 || i >= c.N() {
+		return 0, fmt.Errorf("cluster: node %d of %d", i, c.N())
+	}
+	return c.Devices[i].SpeedFraction, nil
+}
+
+// LinkBandwidth returns node i's current ring link bandwidth in GB/s.
+func (c *Cluster) LinkBandwidth(i int) (float64, error) {
+	if i < 0 || i >= c.N() {
+		return 0, fmt.Errorf("cluster: node %d of %d", i, c.N())
+	}
+	return c.Ring.LinkGBps[i], nil
+}
+
+// SetLinkBandwidth changes node i's ring link bandwidth mid-run
+// (congestion or a routing change under dynamic network conditions). The
+// ring's bottleneck, and therefore every subsequent all-reduce, follows.
+func (c *Cluster) SetLinkBandwidth(i int, gbps float64) error {
+	if i < 0 || i >= c.N() {
+		return fmt.Errorf("cluster: node %d of %d", i, c.N())
+	}
+	if gbps <= 0 {
+		return fmt.Errorf("cluster: node %d bandwidth %v GB/s", i, gbps)
+	}
+	c.Ring.LinkGBps[i] = gbps
+	return nil
+}
+
 // NodeStep is one node's observations from one executed batch.
 type NodeStep struct {
 	Batch int

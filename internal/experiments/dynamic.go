@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"cannikin/internal/chaos"
+	"cannikin/internal/optperf"
 	"cannikin/internal/trace"
 	"cannikin/internal/trainer"
 	"cannikin/internal/workload"
@@ -67,4 +69,125 @@ func Dynamic(opt Options) (*trace.Figure, int, error) {
 		return nil, 0, err
 	}
 	return fig, eventEpoch, nil
+}
+
+// RecoveryStat summarizes one system's response to a mid-run resource
+// change, measured against the freshly re-solved OptPerf allocation on the
+// perturbed cluster.
+type RecoveryStat struct {
+	System string
+	// PreEvent, Peak, and Final are the average batch times (seconds)
+	// before the event, at the worst post-event epoch, and at the last
+	// epoch.
+	PreEvent, Peak, Final float64
+	// OptPerfRef is the measured batch time of the OptPerf allocation
+	// re-solved from the perturbed cluster's ground truth — the best any
+	// system could reach after the event.
+	OptPerfRef float64
+	// RecoveryEpoch is the first post-event epoch whose batch time is
+	// within 10% of OptPerfRef (-1 if the system never recovers).
+	RecoveryEpoch int
+}
+
+// DynamicRecovery quantifies the dynamic-heterogeneity response through the
+// chaos engine: node 0 drops to 25% compute mid-run, and each system's
+// batch time is tracked against the freshly re-solved OptPerf reference.
+// Cannikin detects the drift, re-profiles the changed node, and re-solves;
+// the non-adaptive baselines keep their stale allocations. It returns the
+// summary table, the per-system stats, and the event epoch.
+func DynamicRecovery(opt Options) (*trace.Table, []RecoveryStat, int, error) {
+	const (
+		eventEpoch = 8
+		epochs     = 24
+		victim     = 0
+		share      = 0.25
+		fixedBatch = 128
+	)
+	w, err := workload.Get("imagenet")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	schedule := chaos.Schedule{Events: []chaos.Event{
+		{Epoch: eventEpoch, Node: victim, Kind: chaos.KindComputeShare, Value: share},
+	}}
+
+	run := func(name string, sys trainer.System) (RecoveryStat, error) {
+		stat := RecoveryStat{System: name, RecoveryEpoch: -1}
+		c, err := newCluster("a", opt.seed(), "recovery/"+name)
+		if err != nil {
+			return stat, err
+		}
+		// Fresh OptPerf reference: re-solve from the perturbed ground truth
+		// and measure that allocation on a second, identically-built cluster
+		// (the run consumes the first one's noise stream).
+		ref, err := newCluster("a", opt.seed(), "recovery/"+name)
+		if err != nil {
+			return stat, err
+		}
+		if err := ref.SetComputeShare(victim, share); err != nil {
+			return stat, err
+		}
+		model, err := ref.TrueModel(w.Profile)
+		if err != nil {
+			return stat, err
+		}
+		plan, err := optperf.Solve(model, fixedBatch)
+		if err != nil {
+			return stat, err
+		}
+		if stat.OptPerfRef, err = ref.MeasuredTime(w.Profile, plan.Batches, opt.measureSteps()); err != nil {
+			return stat, err
+		}
+
+		res, err := trainer.Run(trainer.Config{
+			Cluster: c, Workload: w, System: sys,
+			Seed: opt.seed(), MaxEpochs: epochs,
+			Chaos: schedule,
+		})
+		if err != nil {
+			return stat, err
+		}
+		if len(res.Epochs) <= eventEpoch+2 {
+			return stat, fmt.Errorf("experiments: %s run too short (%d epochs)", name, len(res.Epochs))
+		}
+		stat.PreEvent = res.Epochs[eventEpoch-1].AvgBatchTime
+		stat.Final = res.Epochs[len(res.Epochs)-1].AvgBatchTime
+		for _, e := range res.Epochs[eventEpoch:] {
+			if e.AvgBatchTime > stat.Peak {
+				stat.Peak = e.AvgBatchTime
+			}
+			if stat.RecoveryEpoch < 0 && e.AvgBatchTime <= 1.10*stat.OptPerfRef {
+				stat.RecoveryEpoch = e.Epoch
+			}
+		}
+		return stat, nil
+	}
+
+	can := trainer.NewCannikin()
+	can.FixedBatch = fixedBatch
+	lbb := trainer.NewLBBSP()
+	lbb.FixedBatch = fixedBatch
+	ddp := trainer.NewDDP()
+	ddp.FixedBatch = fixedBatch
+	systems := []struct {
+		name string
+		sys  trainer.System
+	}{
+		{"cannikin", can},
+		{"lb-bsp", lbb},
+		{"pytorch-ddp", ddp},
+	}
+
+	tab := trace.NewTable("system", "pre-event (s)", "peak (s)", "final (s)", "final/optperf", "recovery epoch")
+	var stats []RecoveryStat
+	for _, s := range systems {
+		stat, err := run(s.name, s.sys)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		stats = append(stats, stat)
+		tab.AddRowValues(stat.System, stat.PreEvent, stat.Peak, stat.Final,
+			stat.Final/stat.OptPerfRef, stat.RecoveryEpoch)
+	}
+	return tab, stats, eventEpoch, nil
 }

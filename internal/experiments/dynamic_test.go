@@ -2,6 +2,47 @@ package experiments
 
 import "testing"
 
+// TestDynamicRecovery is the chaos-engine acceptance check: after a
+// mid-run compute-share drop, Cannikin must return to within 10% of the
+// freshly re-solved OptPerf batch time within a bounded number of epochs,
+// while the unadapted baseline stays degraded.
+func TestDynamicRecovery(t *testing.T) {
+	_, stats, eventEpoch, err := DynamicRecovery(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RecoveryStat{}
+	for _, s := range stats {
+		byName[s.System] = s
+	}
+	can, ok := byName["cannikin"]
+	if !ok {
+		t.Fatal("missing cannikin stats")
+	}
+	// The event visibly degrades the run before recovery.
+	if can.Peak < can.PreEvent*1.2 {
+		t.Fatalf("event had no effect: pre %v peak %v", can.PreEvent, can.Peak)
+	}
+	// Bounded recovery: degraded epoch, targeted re-profile, re-solve.
+	if can.RecoveryEpoch < 0 || can.RecoveryEpoch > eventEpoch+4 {
+		t.Fatalf("cannikin recovery epoch %d (event at %d)", can.RecoveryEpoch, eventEpoch)
+	}
+	if can.Final > 1.10*can.OptPerfRef {
+		t.Fatalf("cannikin final %v above 1.10x fresh OptPerf %v", can.Final, can.OptPerfRef)
+	}
+	// DDP keeps its stale even split: the throttled node paces every batch.
+	ddp, ok := byName["pytorch-ddp"]
+	if !ok {
+		t.Fatal("missing ddp stats")
+	}
+	if ddp.Final < 1.25*ddp.OptPerfRef {
+		t.Fatalf("ddp should stay degraded: final %v vs fresh OptPerf %v", ddp.Final, ddp.OptPerfRef)
+	}
+	if ddp.RecoveryEpoch >= 0 {
+		t.Fatalf("ddp unexpectedly recovered at epoch %d", ddp.RecoveryEpoch)
+	}
+}
+
 func TestDynamicResourceAdaptation(t *testing.T) {
 	fig, eventEpoch, err := Dynamic(quick)
 	if err != nil {

@@ -33,6 +33,13 @@ var ErrNoModel = errors.New("perfmodel: not enough observations to fit model")
 // stale (the underlying resources changed) and discarded.
 const driftThreshold = 0.15
 
+// commDriftThreshold is the relative shift between an epoch's fresh
+// communication-constant estimate and the accumulated one beyond which the
+// comm history is considered stale (the network changed). It is far above
+// the few-percent epoch-to-epoch measurement scatter, so only genuine
+// bandwidth shifts trip it.
+const commDriftThreshold = 0.4
+
 // maxObservations bounds a node's stored measurement history.
 const maxObservations = 4096
 
@@ -228,6 +235,11 @@ type ClusterLearner struct {
 	gamma []stats.Observation
 	to    []stats.Observation
 	tu    []stats.Observation
+	// commEpochStart indexes the first comm observation of the current
+	// epoch; commDrifted reports whether the most recent EndEpoch dropped
+	// stale comm history.
+	commEpochStart int
+	commDrifted    bool
 	// UseIVW selects inverse-variance weighting (Cannikin) vs plain
 	// averaging (the ablation of Section 5.3).
 	UseIVW bool
@@ -255,23 +267,65 @@ func (c *ClusterLearner) ObserveComm(obs CommObservation) {
 	c.tu = append(c.tu, stats.Observation{Value: obs.Tu, Variance: obs.TuVar})
 }
 
-// EndEpoch marks an epoch boundary on every node learner.
+// EndEpoch marks an epoch boundary on every node learner and checks the
+// epoch's communication observations against the accumulated estimate:
+// a large shift means the network itself changed (a per-link bandwidth
+// event), so the stale comm history is dropped and only the current
+// epoch's measurements describe the cluster.
 func (c *ClusterLearner) EndEpoch() {
 	for _, n := range c.nodes {
 		n.EndEpoch()
 	}
+	c.commDrifted = false
+	if c.commEpochStart > 0 && c.commEpochStart < len(c.to) {
+		oldTo, err1 := c.combine(c.to[:c.commEpochStart])
+		oldTu, err2 := c.combine(c.tu[:c.commEpochStart])
+		newTo, err3 := c.combine(c.to[c.commEpochStart:])
+		newTu, err4 := c.combine(c.tu[c.commEpochStart:])
+		if err1 == nil && err2 == nil && err3 == nil && err4 == nil {
+			oldComm, newComm := oldTo+oldTu, newTo+newTu
+			if oldComm > 0 && math.Abs(newComm-oldComm)/oldComm > commDriftThreshold {
+				c.gamma = append([]stats.Observation(nil), c.gamma[c.commEpochStart:]...)
+				c.to = append([]stats.Observation(nil), c.to[c.commEpochStart:]...)
+				c.tu = append([]stats.Observation(nil), c.tu[c.commEpochStart:]...)
+				c.commDrifted = true
+			}
+		}
+	}
+	c.commEpochStart = len(c.to)
 }
 
-// AnyDrifted reports whether any node discarded stale history at the most
-// recent epoch boundary (its resources changed); callers should invalidate
-// plans derived from the old models.
+// AnyDrifted reports whether the most recent epoch boundary discarded
+// stale history — a node's compute resources changed, or the network's
+// communication constants shifted; callers should invalidate plans derived
+// from the old models.
 func (c *ClusterLearner) AnyDrifted() bool {
+	if c.commDrifted {
+		return true
+	}
 	for _, n := range c.nodes {
 		if n.Drifted() {
 			return true
 		}
 	}
 	return false
+}
+
+// CommDrifted reports whether the most recent EndEpoch dropped stale
+// communication history (the network changed).
+func (c *ClusterLearner) CommDrifted() bool { return c.commDrifted }
+
+// DriftedNodes returns the indices of the nodes that discarded stale
+// history at the most recent epoch boundary — the targets for
+// re-profiling.
+func (c *ClusterLearner) DriftedNodes() []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.Drifted() {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // HasModel reports whether every node has a fitted compute model and the
@@ -315,25 +369,14 @@ func (c *ClusterLearner) Model(caps []int) (optperf.ClusterModel, error) {
 		}
 		m.Nodes[i] = nm
 	}
-	combine := func(obs []stats.Observation) (float64, error) {
-		if c.UseIVW {
-			o, err := stats.InverseVarianceMean(obs)
-			return o.Value, err
-		}
-		vals := make([]float64, len(obs))
-		for i, o := range obs {
-			vals[i] = o.Value
-		}
-		return stats.Mean(vals), nil
-	}
 	var err error
-	if m.Gamma, err = combine(c.gamma); err != nil {
+	if m.Gamma, err = c.combine(c.gamma); err != nil {
 		return optperf.ClusterModel{}, err
 	}
-	if m.To, err = combine(c.to); err != nil {
+	if m.To, err = c.combine(c.to); err != nil {
 		return optperf.ClusterModel{}, err
 	}
-	if m.Tu, err = combine(c.tu); err != nil {
+	if m.Tu, err = c.combine(c.tu); err != nil {
 		return optperf.ClusterModel{}, err
 	}
 	m.Gamma = stats.Clamp(m.Gamma, 1e-6, 1)
@@ -344,4 +387,17 @@ func (c *ClusterLearner) Model(caps []int) (optperf.ClusterModel, error) {
 		m.Tu = 0
 	}
 	return m, nil
+}
+
+// combine merges comm observations per the learner's weighting mode.
+func (c *ClusterLearner) combine(obs []stats.Observation) (float64, error) {
+	if c.UseIVW {
+		o, err := stats.InverseVarianceMean(obs)
+		return o.Value, err
+	}
+	vals := make([]float64, len(obs))
+	for i, o := range obs {
+		vals[i] = o.Value
+	}
+	return stats.Mean(vals), nil
 }

@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -62,6 +63,7 @@ type Scheduler struct {
 	policy  Policy
 	factory SystemFactory
 	seed    uint64
+	ctx     context.Context
 
 	devices []*gpu.Device
 	busy    []bool
@@ -87,10 +89,20 @@ func New(devices []*gpu.Device, policy Policy, factory SystemFactory, seed uint6
 		policy:  policy,
 		factory: factory,
 		seed:    seed,
+		ctx:     context.Background(),
 		devices: devices,
 		busy:    make([]bool, len(devices)),
 		engine:  simtime.NewEngine(),
 	}, nil
+}
+
+// SetContext installs the cancellation context checked by each job's
+// training run. A nil ctx resets to the background context.
+func (s *Scheduler) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
 }
 
 // Submit enqueues a job at its submission instant.
@@ -211,7 +223,7 @@ func (s *Scheduler) start(job Job, alloc []int) {
 		s.fail(job, alloc, err)
 		return
 	}
-	res, err := trainer.Run(trainer.Config{
+	res, err := trainer.RunContext(s.ctx, trainer.Config{
 		Cluster:  cl,
 		Workload: job.Workload,
 		System:   s.factory(),

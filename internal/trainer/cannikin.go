@@ -41,6 +41,9 @@ type Cannikin struct {
 	commGamma, commTo, commTu []stats.Welford
 	lastPlan                  optperf.Plan
 	solvesSeen                int
+	// reprofile lists the nodes whose compute model drifted at the last
+	// epoch boundary and therefore need a targeted probe epoch.
+	reprofile []int
 	// initPlans caches OptPerf_init: each candidate's predicted batch time
 	// from the initialization sweep (Section 4.5).
 	initPlans []goodput.Candidate
@@ -96,6 +99,12 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 		return Plan{TotalBatch: baseTotal, Local: local}, nil
 
 	case epoch == 1 || !c.learner.HasModel():
+		// Targeted re-profiling: when specific nodes drifted mid-run,
+		// probe only those, keeping the healthy nodes near their current
+		// allocation instead of re-bootstrapping the whole cluster.
+		if len(c.reprofile) > 0 && len(c.lastPlan.Batches) == n {
+			return c.reprofilePlan(env)
+		}
 		// Eq. 8 bootstrap: inverse-proportional to measured per-sample
 		// time, at a growing batch so every node keeps seeing distinct
 		// local sizes until its compute model can be fitted.
@@ -207,6 +216,93 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 	solves := c.plannerWork() - solvesBefore
 	c.solvesSeen += solves
 	return Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}, nil
+}
+
+// reprofilePlan probes only the drifted nodes (Section 4.5's re-learning,
+// made targeted): healthy nodes keep their last-plan batches — their
+// models are still valid — while each drifted node is reallocated in
+// proportion to its freshly measured per-sample speed, then nudged to an
+// unseen batch size so its linear compute model can refit from two
+// distinct points. The total batch is preserved by balancing the
+// difference across the healthy nodes, and the probe work is charged as
+// bounded re-profile overhead.
+func (c *Cannikin) reprofilePlan(env *Env) (Plan, error) {
+	perSample, err := c.learner.PerSampleTimes()
+	if err != nil {
+		return Plan{}, fmt.Errorf("cannikin reprofile: %w", err)
+	}
+	n := env.Cluster.N()
+	drifted := make(map[int]bool, len(c.reprofile))
+	for _, i := range c.reprofile {
+		drifted[i] = true
+	}
+	probes := len(c.reprofile)
+	c.reprofile = nil
+
+	local := append([]int(nil), c.lastPlan.Batches...)
+	total := 0
+	for _, b := range local {
+		total += b
+	}
+	sumSpeed := 0.0
+	for i := 0; i < n; i++ {
+		if perSample[i] <= 0 {
+			return Plan{}, fmt.Errorf("cannikin reprofile: node %d per-sample time %v", i, perSample[i])
+		}
+		sumSpeed += 1 / perSample[i]
+	}
+	for i := range local {
+		if !drifted[i] {
+			continue
+		}
+		// Eq. 8 proportional target from the drifted epoch's measurements.
+		b := int(float64(total) / (perSample[i] * sumSpeed))
+		if b < 1 {
+			b = 1
+		}
+		if b > env.Caps[i] {
+			b = env.Caps[i]
+		}
+		local[i] = b
+	}
+	// Restore the total on the healthy nodes (every node when the whole
+	// cluster drifted).
+	sum := 0
+	for _, b := range local {
+		sum += b
+	}
+	relaxed := probes >= n
+	for sum != total {
+		progressed := false
+		for i := 0; i < n; i++ {
+			if sum == total {
+				break
+			}
+			if drifted[i] && !relaxed {
+				continue
+			}
+			if sum < total && local[i] < env.Caps[i] {
+				local[i]++
+				sum++
+				progressed = true
+			} else if sum > total && local[i] > 1 {
+				local[i]--
+				sum--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// The healthy nodes alone cannot absorb the difference (caps or
+			// floors); spread the remainder over the probed nodes too.
+			if !relaxed {
+				relaxed = true
+				continue
+			}
+			return Plan{}, fmt.Errorf("cannikin reprofile: cannot rebalance to total %d", total)
+		}
+	}
+	c.forceDistinct(env, local)
+	return Plan{TotalBatch: total, Local: local, Reprofiled: probes}, nil
 }
 
 // forceDistinct perturbs a bootstrap allocation so every node trains at a
@@ -344,12 +440,15 @@ func (c *Cannikin) ObserveEpochEnd(env *Env) {
 	}
 	c.learner.EndEpoch()
 	if c.learner.AnyDrifted() {
-		// A node's resources changed: every cached OptPerf prediction is
-		// stale. Drop them and re-determine from the fresh model.
+		// Resources changed — a node's compute share or a network link:
+		// every cached OptPerf prediction is stale. Drop them and
+		// re-determine from the fresh model, probing the drifted nodes
+		// first.
 		c.initPlans = nil
 		if c.planner != nil {
 			c.planner.InvalidateCache()
 		}
+		c.reprofile = c.learner.DriftedNodes()
 	}
 }
 

@@ -1,0 +1,175 @@
+package trainer
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cannikin/internal/chaos"
+)
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{
+		Cluster:  mustCluster(t, "a", 3),
+		Workload: mustWorkload(t, "cifar10"),
+		System:   NewCannikin(),
+		Seed:     3,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOnEpochStreamsInOrder(t *testing.T) {
+	var seen []int
+	res, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 5),
+		Workload:  mustWorkload(t, "cifar10"),
+		System:    NewDDP(),
+		Seed:      5,
+		MaxEpochs: 6,
+		OnEpoch: func(s EpochStats) error {
+			seen = append(seen, s.Epoch)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Epochs) {
+		t.Fatalf("hook fired %d times for %d epochs", len(seen), len(res.Epochs))
+	}
+	for i, e := range seen {
+		if e != i {
+			t.Fatalf("epoch %d reported at position %d", e, i)
+		}
+	}
+}
+
+func TestOnEpochErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 5),
+		Workload:  mustWorkload(t, "cifar10"),
+		System:    NewDDP(),
+		Seed:      5,
+		MaxEpochs: 6,
+		OnEpoch: func(s EpochStats) error {
+			if s.Epoch == 2 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestChaosEventsAnnotated(t *testing.T) {
+	res, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 9),
+		Workload:  mustWorkload(t, "cifar10"),
+		System:    NewCannikin(),
+		Seed:      9,
+		MaxEpochs: 12,
+		Chaos: chaos.Schedule{Events: []chaos.Event{
+			{Epoch: 4, Node: 0, Kind: chaos.KindComputeShare, Value: 0.3},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) <= 4 {
+		t.Fatalf("run ended after %d epochs", len(res.Epochs))
+	}
+	ev := res.Epochs[4].Events
+	if len(ev) != 1 || ev[0].Kind != chaos.KindComputeShare || ev[0].Node != 0 {
+		t.Fatalf("epoch 4 events = %v", ev)
+	}
+	for i, s := range res.Epochs {
+		if i != 4 && len(s.Events) != 0 {
+			t.Fatalf("epoch %d has stray events %v", i, s.Events)
+		}
+	}
+}
+
+func TestCannikinReprofilesAfterChaos(t *testing.T) {
+	res, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 21),
+		Workload:  mustWorkload(t, "imagenet"),
+		System:    NewCannikin(),
+		Seed:      21,
+		MaxEpochs: 16,
+		Chaos: chaos.Schedule{Events: []chaos.Event{
+			{Epoch: 6, Node: 0, Kind: chaos.KindComputeShare, Value: 0.25},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reprofiled := false
+	for _, s := range res.Epochs {
+		if s.Epoch > 6 && s.Reprofiled > 0 {
+			reprofiled = true
+			if s.Overhead <= 0 {
+				t.Fatalf("epoch %d reprofiled %d nodes with zero overhead", s.Epoch, s.Reprofiled)
+			}
+		}
+	}
+	if !reprofiled {
+		t.Fatal("cannikin never re-profiled after the compute-share drop")
+	}
+}
+
+func TestHetPipeChaosDegrades(t *testing.T) {
+	env, err := NewEnv(mustCluster(t, "a", 13), mustWorkload(t, "cifar10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHetPipe()
+	res, err := h.RunContext(context.Background(), env, PipeOpts{
+		Seed:      13,
+		MaxEpochs: 10,
+		Chaos: chaos.Schedule{Events: []chaos.Event{
+			{Epoch: 3, Node: 0, Kind: chaos.KindComputeShare, Value: 0.25},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) <= 3 {
+		t.Fatalf("run ended after %d epochs", len(res.Epochs))
+	}
+	before := res.Epochs[2].AvgBatchTime
+	after := res.Epochs[3].AvgBatchTime
+	if after <= before*1.5 {
+		t.Fatalf("frozen partition should degrade: before %.4f after %.4f", before, after)
+	}
+	if len(res.Epochs[3].Events) != 1 {
+		t.Fatalf("epoch 3 events = %v", res.Epochs[3].Events)
+	}
+}
+
+func TestLegacyResourceEventsStillApply(t *testing.T) {
+	res, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 17),
+		Workload:  mustWorkload(t, "cifar10"),
+		System:    NewDDP(),
+		Seed:      17,
+		MaxEpochs: 8,
+		Events:    []ResourceEvent{{Epoch: 3, Node: 1, ComputeShare: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) <= 3 {
+		t.Fatalf("run ended after %d epochs", len(res.Epochs))
+	}
+	ev := res.Epochs[3].Events
+	if len(ev) != 1 || ev[0].Kind != chaos.KindComputeShare || ev[0].Node != 1 {
+		t.Fatalf("legacy event not annotated: %v", ev)
+	}
+}

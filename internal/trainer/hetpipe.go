@@ -1,8 +1,10 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 
+	"cannikin/internal/chaos"
 	"cannikin/internal/convergence"
 	"cannikin/internal/rng"
 )
@@ -25,6 +27,12 @@ type HetPipe struct {
 	// StageImbalance models the residual imbalance of a real partition
 	// (perfect proportional splits are unattainable layer-wise).
 	StageImbalance float64
+
+	// fractions freezes the per-node model fraction decided by the offline
+	// profile at job start. HetPipe never re-partitions, so when a node's
+	// resources drift mid-run its stage becomes the pipeline bottleneck —
+	// the stale-allocation degradation path of the dynamic experiments.
+	fractions []float64
 }
 
 // NewHetPipe returns the baseline with a microbatch of 2 and a 10% stage
@@ -71,18 +79,36 @@ func (h *HetPipe) BatchTime(env *Env) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	sumSpeed := 0.0
+	full := make([]float64, n)
 	for i := range model.Nodes {
-		full := model.Nodes[i].Compute(float64(micro))
-		if full <= 0 {
+		full[i] = model.Nodes[i].Compute(float64(micro))
+		if full[i] <= 0 {
 			return 0, fmt.Errorf("hetpipe: node %d non-positive time", i)
 		}
-		sumSpeed += 1 / full
 	}
-	// Balanced stages: each microbatch spends stageTime per stage, where
-	// stageTime = 1/sumSpeed (node i handles a fraction of the model
-	// proportional to its speed). Residual imbalance inflates it.
-	stageTime := (1 + h.StageImbalance) / sumSpeed
+	if len(h.fractions) != n {
+		// Offline profile at job start: node i owns a model fraction
+		// proportional to its speed then, so all stage times balance.
+		sumSpeed := 0.0
+		for i := range full {
+			sumSpeed += 1 / full[i]
+		}
+		h.fractions = make([]float64, n)
+		for i := range full {
+			h.fractions[i] = 1 / (full[i] * sumSpeed)
+		}
+	}
+	// The slowest stage paces the pipeline. With the initial profile the
+	// stages balance exactly; after a mid-run resource drift the frozen
+	// partition leaves the slowed node as the bottleneck. Residual
+	// imbalance inflates it.
+	slowest := 0.0
+	for i := range full {
+		if t := h.fractions[i] * full[i]; t > slowest {
+			slowest = t
+		}
+	}
+	stageTime := (1 + h.StageImbalance) * slowest
 	// Activation hand-off between stages: one microbatch's activations
 	// cross each link.
 	activationBytes := float64(micro) * env.Workload.Profile.MemPerSampleBytes * 0.05
@@ -95,14 +121,42 @@ func (h *HetPipe) BatchTime(env *Env) (float64, error) {
 	return pipeTime + psTime, nil
 }
 
+// PipeOpts configures a HetPipe run.
+type PipeOpts struct {
+	Seed      uint64
+	MaxEpochs int
+	// Chaos schedules dynamic-heterogeneity perturbations; HetPipe's
+	// frozen stage partition cannot adapt to them.
+	Chaos chaos.Schedule
+	// OnEpoch streams each epoch's stats; returning an error aborts.
+	OnEpoch func(EpochStats) error
+}
+
 // Run trains the workload to target with the pipeline model.
 func (h *HetPipe) Run(env *Env, seed uint64, maxEpochs int) (*Result, error) {
+	return h.RunContext(context.Background(), env, PipeOpts{Seed: seed, MaxEpochs: maxEpochs})
+}
+
+// RunContext trains the workload to target with the pipeline model,
+// honoring cancellation and chaos events at epoch boundaries.
+func (h *HetPipe) RunContext(ctx context.Context, env *Env, opt PipeOpts) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxEpochs := opt.MaxEpochs
 	if maxEpochs <= 0 {
 		maxEpochs = 500
 	}
-	state, err := convergence.NewState(env.Workload.Convergence, rng.New(seed))
+	state, err := convergence.NewState(env.Workload.Convergence, rng.New(opt.Seed))
 	if err != nil {
 		return nil, err
+	}
+	var injector *chaos.Injector
+	if !opt.Chaos.Empty() {
+		injector, err = chaos.NewInjector(opt.Chaos, env.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("hetpipe: %w", err)
+		}
 	}
 	batchTime, err := h.BatchTime(env)
 	if err != nil {
@@ -112,6 +166,22 @@ func (h *HetPipe) Run(env *Env, seed uint64, maxEpochs int) (*Result, error) {
 	res := &Result{System: h.Name(), Workload: env.Workload.Name, Cluster: env.Cluster.Name}
 	simTime := 0.0
 	for epoch := 0; epoch < maxEpochs && !state.Done(); epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hetpipe: canceled at epoch %d: %w", epoch, err)
+		}
+		var applied []chaos.Applied
+		if injector != nil {
+			if applied, err = injector.BeginEpoch(epoch); err != nil {
+				return nil, fmt.Errorf("hetpipe: epoch %d: %w", epoch, err)
+			}
+			if len(applied) > 0 {
+				// The cluster changed under the frozen partition: the
+				// slowed stage now paces every batch.
+				if batchTime, err = h.BatchTime(env); err != nil {
+					return nil, err
+				}
+			}
+		}
 		steps := env.Workload.DatasetSize / b
 		if steps < 1 {
 			steps = 1
@@ -125,7 +195,7 @@ func (h *HetPipe) Run(env *Env, seed uint64, maxEpochs int) (*Result, error) {
 				break
 			}
 		}
-		res.Epochs = append(res.Epochs, EpochStats{
+		stats := EpochStats{
 			Epoch:        epoch,
 			TotalBatch:   b,
 			Steps:        steps,
@@ -134,7 +204,14 @@ func (h *HetPipe) Run(env *Env, seed uint64, maxEpochs int) (*Result, error) {
 			SimTimeEnd:   simTime,
 			Metric:       state.Metric(),
 			Progress:     state.Progress(),
-		})
+			Events:       applied,
+		}
+		res.Epochs = append(res.Epochs, stats)
+		if opt.OnEpoch != nil {
+			if err := opt.OnEpoch(stats); err != nil {
+				return nil, fmt.Errorf("hetpipe: epoch %d: %w", epoch, err)
+			}
+		}
 	}
 	res.Converged = state.Done()
 	res.TotalTime = simTime

@@ -13,10 +13,12 @@
 package trainer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"cannikin/internal/chaos"
 	"cannikin/internal/cluster"
 	"cannikin/internal/convergence"
 	"cannikin/internal/gns"
@@ -125,6 +127,10 @@ type Plan struct {
 	// Solves counts the OptPerf-style linear solves spent planning (the
 	// engine charges them as scheduling overhead).
 	Solves int
+	// Reprofiled counts the nodes this plan probes to re-learn a drifted
+	// compute model (the engine charges a bounded per-node re-profile
+	// cost).
+	Reprofiled int
 }
 
 // StepObs is delivered to the system after every simulated step.
@@ -161,6 +167,12 @@ type EpochStats struct {
 	SimTimeEnd float64
 	Metric     float64
 	Progress   float64
+	// Events lists the dynamic-heterogeneity perturbations (and automatic
+	// recoveries) that took effect at this epoch's boundary.
+	Events []chaos.Applied
+	// Reprofiled counts the nodes this epoch's plan probed to re-learn a
+	// drifted performance model.
+	Reprofiled int
 }
 
 // Result is a full training run.
@@ -203,7 +215,15 @@ type Config struct {
 	// Events injects dynamic resource changes — the "sudden changes of
 	// resources" in clusters with dynamic allocation that the paper's
 	// introduction motivates. Each takes effect at its epoch boundary.
+	// Chaos is the richer superset; both may be combined.
 	Events []ResourceEvent
+	// Chaos schedules dynamic-heterogeneity perturbations — compute-share
+	// churn, per-link bandwidth shifts, transient stragglers — applied at
+	// epoch boundaries and annotated on the resulting EpochStats.
+	Chaos chaos.Schedule
+	// OnEpoch, when non-nil, streams each epoch's stats to the caller as
+	// soon as the epoch completes; returning an error aborts the run.
+	OnEpoch func(EpochStats) error
 }
 
 // ResourceEvent changes a node's available compute at an epoch boundary.
@@ -231,16 +251,20 @@ func (c *Config) defaults() {
 // Scheduling-overhead cost model (Section 5.4): each OptPerf-style linear
 // solve costs kappa*(n+1)^3; reconfiguring a node's local batch size and
 // data index costs a fixed per-node term plus a per-sample index term.
+// Re-profiling a drifted node costs a bounded per-node probe term (timer
+// instrumentation plus the model refit).
 const (
 	solveKappa      = 2e-7
 	nodeConfigCost  = 1.5e-3
 	sampleIndexCost = 3e-6
+	reprofileCost   = 2.5e-3
 )
 
 // planOverhead converts planning work into simulated seconds.
 func planOverhead(env *Env, plan Plan, changed bool) float64 {
 	n := float64(env.Cluster.N())
 	cost := float64(plan.Solves) * solveKappa * math.Pow(n+1, 3)
+	cost += float64(plan.Reprofiled) * reprofileCost
 	if changed {
 		cost += n*nodeConfigCost + float64(plan.TotalBatch)*sampleIndexCost
 	}
@@ -249,6 +273,29 @@ func planOverhead(env *Env, plan Plan, changed bool) float64 {
 
 // Run executes a full training job and returns its trace.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// chaosSchedule merges the legacy ResourceEvents with the chaos schedule.
+func (c *Config) chaosSchedule() chaos.Schedule {
+	events := append([]chaos.Event(nil), c.Chaos.Events...)
+	for _, ev := range c.Events {
+		events = append(events, chaos.Event{
+			Epoch: ev.Epoch,
+			Node:  ev.Node,
+			Kind:  chaos.KindComputeShare,
+			Value: ev.ComputeShare,
+		})
+	}
+	return chaos.Schedule{Events: events}
+}
+
+// RunContext executes a full training job and returns its trace.
+// Cancellation is checked at every epoch boundary.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.defaults()
 	if cfg.Cluster == nil || cfg.System == nil {
 		return nil, errors.New("trainer: cluster and system are required")
@@ -261,6 +308,13 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var injector *chaos.Injector
+	if sched := cfg.chaosSchedule(); !sched.Empty() {
+		injector, err = chaos.NewInjector(sched, cfg.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+	}
 
 	res := &Result{
 		System:   cfg.System.Name(),
@@ -271,11 +325,14 @@ func Run(cfg Config) (*Result, error) {
 	var prevLocal []int
 
 	for epoch := 0; epoch < cfg.MaxEpochs && !state.Done(); epoch++ {
-		for _, ev := range cfg.Events {
-			if ev.Epoch == epoch {
-				if err := cfg.Cluster.SetComputeShare(ev.Node, ev.ComputeShare); err != nil {
-					return nil, fmt.Errorf("trainer: resource event at epoch %d: %w", epoch, err)
-				}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("trainer: %s canceled at epoch %d: %w", cfg.System.Name(), epoch, err)
+		}
+		var applied []chaos.Applied
+		if injector != nil {
+			applied, err = injector.BeginEpoch(epoch)
+			if err != nil {
+				return nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
 			}
 		}
 		plan, err := cfg.System.PlanEpoch(env, epoch)
@@ -306,6 +363,8 @@ func Run(cfg Config) (*Result, error) {
 			Epoch:      epoch,
 			TotalBatch: plan.TotalBatch,
 			Local:      append([]int(nil), plan.Local...),
+			Events:     applied,
+			Reprofiled: plan.Reprofiled,
 		}
 		var timeSum float64
 		done := false
@@ -355,6 +414,11 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		res.Epochs = append(res.Epochs, stats)
+		if cfg.OnEpoch != nil {
+			if err := cfg.OnEpoch(stats); err != nil {
+				return nil, fmt.Errorf("trainer: %s epoch %d: %w", cfg.System.Name(), epoch, err)
+			}
+		}
 	}
 	res.Converged = state.Done()
 	res.TotalTime = simTime

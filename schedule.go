@@ -1,6 +1,7 @@
 package cannikin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -66,8 +67,18 @@ type ScheduleReport struct {
 
 // Schedule runs a stream of training jobs over a shared heterogeneous GPU
 // pool under the chosen allocation policy (Section 6's scheduler
-// integration).
+// integration). It is ScheduleContext with a background context.
 func Schedule(cfg ScheduleConfig) (*ScheduleReport, error) {
+	return ScheduleContext(context.Background(), cfg)
+}
+
+// ScheduleContext runs a scheduling run whose training jobs check ctx at
+// every epoch boundary: a canceled context aborts the run with the
+// context's error wrapped.
+func ScheduleContext(ctx context.Context, cfg ScheduleConfig) (*ScheduleReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.PoolModels) == 0 {
 		return nil, errors.New("cannikin: empty GPU pool")
 	}
@@ -90,6 +101,9 @@ func Schedule(cfg ScheduleConfig) (*ScheduleReport, error) {
 	if system == SystemHetPipe {
 		return nil, errors.New("cannikin: the scheduler drives data-parallel systems only")
 	}
+	if _, err := buildSystem(system, 0); err != nil {
+		return nil, err
+	}
 
 	src := rng.New(cfg.Seed).Split("schedule")
 	devices := make([]*gpu.Device, len(cfg.PoolModels))
@@ -111,6 +125,7 @@ func Schedule(cfg ScheduleConfig) (*ScheduleReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.SetContext(ctx)
 	for _, j := range cfg.Jobs {
 		w, err := workload.Get(j.Workload)
 		if err != nil {

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full local check: build, vet, and the test suite with the race detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
