@@ -197,3 +197,65 @@ func TestTrainChaosAnnotations(t *testing.T) {
 		t.Fatalf("epoch 5 events = %v (want straggler recovery)", rec)
 	}
 }
+
+func TestTrainAuditAdvisory(t *testing.T) {
+	rep, err := Train(TrainConfig{
+		Cluster:   ClusterConfig{Preset: "a"},
+		Workload:  "cifar10",
+		System:    SystemCannikin,
+		Seed:      11,
+		MaxEpochs: 8,
+		Audit:     AuditAdvisory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AuditedPlans == 0 {
+		t.Fatal("no plans audited")
+	}
+	if rep.AuditViolations != 0 {
+		t.Fatalf("healthy run reported %d audit violations", rep.AuditViolations)
+	}
+	for _, e := range rep.Epochs {
+		if e.Audit == nil {
+			t.Fatalf("epoch %d missing audit summary", e.Epoch)
+		}
+	}
+}
+
+func TestTrainAuditStrictCleanRun(t *testing.T) {
+	rep, err := Train(TrainConfig{
+		Cluster:   ClusterConfig{Preset: "a"},
+		Workload:  "cifar10",
+		System:    SystemCannikin,
+		Seed:      11,
+		MaxEpochs: 8,
+		Audit:     AuditStrict,
+		Chaos: ChaosConfig{Events: []ChaosEvent{
+			{Epoch: 4, Node: 0, Kind: ChaosComputeShare, Value: 0.4},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("strict audit failed a healthy chaos run: %v", err)
+	}
+	if rep.AuditViolations != 0 {
+		t.Fatalf("%d violations", rep.AuditViolations)
+	}
+}
+
+func TestTrainAuditErrors(t *testing.T) {
+	cfg := TrainConfig{
+		Cluster:  ClusterConfig{Preset: "a"},
+		Workload: "cifar10",
+		System:   SystemCannikin,
+		Audit:    AuditLevel("bogus"),
+	}
+	if _, err := Train(cfg); !errors.Is(err, ErrAudit) {
+		t.Fatalf("bogus audit level: %v", err)
+	}
+	cfg.Audit = AuditAdvisory
+	cfg.System = SystemDDP
+	if _, err := Train(cfg); !errors.Is(err, ErrAudit) {
+		t.Fatalf("auditing a non-OptPerf system: %v", err)
+	}
+}

@@ -40,7 +40,40 @@ var (
 	ErrBadCluster = errors.New("bad cluster config")
 	// ErrBatchRange reports a FixedBatch the workload or system cannot run.
 	ErrBatchRange = errors.New("batch size out of range")
+	// ErrAudit reports a plan-audit failure in strict mode (an OptPerf
+	// solution violated the paper's optimality invariants), or an invalid
+	// audit configuration.
+	ErrAudit = errors.New("audit failed")
 )
+
+// AuditLevel selects how OptPerf plans are verified during training.
+type AuditLevel string
+
+// Audit levels for TrainConfig.Audit.
+const (
+	// AuditNone disables plan auditing (the default).
+	AuditNone AuditLevel = ""
+	// AuditAdvisory checks every fresh plan against the OptPerf optimality
+	// invariants and reports the outcomes in each EpochReport, but never
+	// fails the run.
+	AuditAdvisory AuditLevel = "advisory"
+	// AuditStrict additionally aborts the run with ErrAudit on any
+	// invariant violation.
+	AuditStrict AuditLevel = "strict"
+)
+
+func (l AuditLevel) mode() (optperf.AuditMode, error) {
+	switch l {
+	case AuditNone:
+		return optperf.AuditOff, nil
+	case AuditAdvisory:
+		return optperf.AuditAdvisory, nil
+	case AuditStrict:
+		return optperf.AuditStrict, nil
+	default:
+		return optperf.AuditOff, fmt.Errorf("cannikin: audit level %q: %w", string(l), ErrAudit)
+	}
+}
 
 // SystemKind names a training system.
 type SystemKind string
@@ -205,6 +238,9 @@ type TrainConfig struct {
 	FixedBatch int
 	// Chaos injects dynamic-heterogeneity events mid-run.
 	Chaos ChaosConfig
+	// Audit verifies every fresh OptPerf plan against the paper's
+	// optimality invariants (Cannikin system only; see AuditLevel).
+	Audit AuditLevel
 	// OnEpoch, when set, streams each completed epoch's report in order.
 	// Returning an error aborts the run with that error wrapped.
 	OnEpoch func(EpochReport) error
@@ -239,6 +275,27 @@ type EpochReport struct {
 	// Reprofiled counts the nodes this epoch's plan probed to re-learn a
 	// drifted performance model (Cannikin only).
 	Reprofiled int
+	// Audit summarizes this epoch's plan-audit outcome (nil unless
+	// TrainConfig.Audit is enabled).
+	Audit *AuditSummary
+}
+
+// AuditSummary is one epoch's plan-audit outcome.
+type AuditSummary struct {
+	// Plans is how many freshly solved plans were audited this epoch
+	// (cache-served plans were audited when first solved).
+	Plans int
+	// Violations is the total invariant violations across those plans.
+	Violations int
+	// MaxResidual is the worst residual/tolerance ratio observed (≤ 1 means
+	// everything was within tolerance).
+	MaxResidual float64
+	// ModelFitError is the learner's worst per-node relative fit residual —
+	// the confidence context for reading audit residuals (0 on bootstrap
+	// epochs, before a model exists).
+	ModelFitError float64
+	// Failures describes the violated invariants, one line each (capped).
+	Failures []string
 }
 
 // Report is a completed training run.
@@ -254,6 +311,10 @@ type Report struct {
 	TotalTime    float64
 	// OverheadFraction is scheduling overhead / total time.
 	OverheadFraction float64
+	// AuditedPlans and AuditViolations total the per-epoch audit outcomes
+	// (zero unless TrainConfig.Audit was enabled).
+	AuditedPlans    int
+	AuditViolations int
 }
 
 // Train runs a full training job on a simulated heterogeneous cluster. It
@@ -280,6 +341,13 @@ func TrainContext(ctx context.Context, cfg TrainConfig) (*Report, error) {
 	}
 	if err := validateFixedBatch(cfg.FixedBatch, w, cl.N()); err != nil {
 		return nil, err
+	}
+	auditMode, err := cfg.Audit.mode()
+	if err != nil {
+		return nil, err
+	}
+	if auditMode != optperf.AuditOff && cfg.System != SystemCannikin {
+		return nil, fmt.Errorf("cannikin: system %q does not solve OptPerf plans to audit: %w", cfg.System, ErrAudit)
 	}
 	var sched chaos.Schedule
 	if cfg.Chaos.enabled() {
@@ -311,7 +379,7 @@ func TrainContext(ctx context.Context, cfg TrainConfig) (*Report, error) {
 			return nil, err
 		}
 	} else {
-		sys, err := buildSystem(cfg.System, cfg.FixedBatch)
+		sys, err := buildSystem(cfg.System, cfg.FixedBatch, auditMode)
 		if err != nil {
 			return nil, err
 		}
@@ -325,6 +393,9 @@ func TrainContext(ctx context.Context, cfg TrainConfig) (*Report, error) {
 			OnEpoch:   hook,
 		})
 		if err != nil {
+			if errors.Is(err, optperf.ErrAuditFailed) {
+				return nil, fmt.Errorf("cannikin: %w: %w", ErrAudit, err)
+			}
 			return nil, err
 		}
 	}
@@ -349,11 +420,12 @@ func validateFixedBatch(b int, w workload.Workload, nodes int) error {
 	return nil
 }
 
-func buildSystem(kind SystemKind, fixedBatch int) (trainer.System, error) {
+func buildSystem(kind SystemKind, fixedBatch int, audit optperf.AuditMode) (trainer.System, error) {
 	switch kind {
 	case SystemCannikin:
 		s := trainer.NewCannikin()
 		s.FixedBatch = fixedBatch
+		s.Audit = audit
 		return s, nil
 	case SystemAdaptDL:
 		if fixedBatch > 0 {
@@ -394,6 +466,20 @@ func toEpochReport(e trainer.EpochStats) EpochReport {
 			Revert: a.Revert,
 		})
 	}
+	if e.Audit != nil {
+		s := &AuditSummary{
+			Plans:         e.Audit.Summary.Plans,
+			Violations:    e.Audit.Summary.Violations,
+			MaxResidual:   e.Audit.Summary.MaxViolationRatio,
+			ModelFitError: e.Audit.ModelFitError,
+		}
+		for _, rep := range e.Audit.Summary.Failures {
+			for _, v := range rep.Violations {
+				s.Failures = append(s.Failures, v.String())
+			}
+		}
+		r.Audit = s
+	}
 	return r
 }
 
@@ -411,7 +497,12 @@ func convertResult(res *trainer.Result, w workload.Workload) *Report {
 		out.OverheadFraction = res.TotalOverhead / res.TotalTime
 	}
 	for _, e := range res.Epochs {
-		out.Epochs = append(out.Epochs, toEpochReport(e))
+		r := toEpochReport(e)
+		if r.Audit != nil {
+			out.AuditedPlans += r.Audit.Plans
+			out.AuditViolations += r.Audit.Violations
+		}
+		out.Epochs = append(out.Epochs, r)
 	}
 	return out
 }

@@ -42,6 +42,7 @@ func run(args []string, w io.Writer) error {
 		csv         = fs.Bool("csv", false, "emit the epoch trace as CSV")
 		chaosChurn  = fs.Float64("chaos", 0, "per-epoch probability of a random resource perturbation, in (0, 1]")
 		progress    = fs.Bool("progress", false, "stream each epoch as it completes")
+		audit       = fs.String("audit", "", `verify OptPerf plans against the paper's optimality invariants: "advisory" or "strict"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,12 +66,18 @@ func run(args []string, w io.Writer) error {
 	if *chaosChurn > 0 {
 		cfg.Chaos = cannikin.ChaosConfig{Churn: *chaosChurn}
 	}
+	cfg.Audit = cannikin.AuditLevel(*audit)
 	if *progress {
 		cfg.OnEpoch = func(e cannikin.EpochReport) error {
 			fmt.Fprintf(w, "epoch %3d  batch %4d  step %.4fs  metric %.4f\n",
 				e.Epoch, e.TotalBatch, e.AvgBatchTime, e.Metric)
 			for _, ev := range e.Events {
 				fmt.Fprintf(w, "  chaos: node %d %s %.3g (revert=%v)\n", ev.Node, ev.Kind, ev.Value, ev.Revert)
+			}
+			if e.Audit != nil {
+				for _, f := range e.Audit.Failures {
+					fmt.Fprintf(w, "  audit: %s\n", f)
+				}
 			}
 			return nil
 		}
@@ -81,10 +88,21 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	tab := trace.NewTable("epoch", "batch", "local batches", "avg step (s)", "epoch (s)", "overhead (s)", "events", rep.MetricName)
+	audited := *audit != ""
+	cols := []string{"epoch", "batch", "local batches", "avg step (s)", "epoch (s)", "overhead (s)", "events"}
+	if audited {
+		cols = append(cols, "audit")
+	}
+	cols = append(cols, rep.MetricName)
+	tab := trace.NewTable(cols...)
 	for _, e := range rep.Epochs {
-		tab.AddRowValues(e.Epoch, e.TotalBatch, intsToString(e.LocalBatches),
-			e.AvgBatchTime, e.TrainTime, e.Overhead, eventsToString(e.Events), e.Metric)
+		row := []any{e.Epoch, e.TotalBatch, intsToString(e.LocalBatches),
+			e.AvgBatchTime, e.TrainTime, e.Overhead, eventsToString(e.Events)}
+		if audited {
+			row = append(row, auditToString(e.Audit))
+		}
+		row = append(row, e.Metric)
+		tab.AddRowValues(row...)
 	}
 	var printErr error
 	if *csv {
@@ -97,7 +115,21 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\n%s on %s (%s): converged=%v in %.1fs simulated (overhead %.2f%%)\n",
 		rep.System, rep.Cluster, rep.Workload, rep.Converged, rep.TotalTime, 100*rep.OverheadFraction)
+	if audited {
+		fmt.Fprintf(w, "audit: %d plans checked, %d violations\n", rep.AuditedPlans, rep.AuditViolations)
+	}
 	return nil
+}
+
+// auditToString renders one epoch's audit outcome for the trace table.
+func auditToString(a *cannikin.AuditSummary) string {
+	if a == nil {
+		return "-"
+	}
+	if a.Violations > 0 {
+		return fmt.Sprintf("%d/%d FAIL", a.Violations, a.Plans)
+	}
+	return fmt.Sprintf("%d ok", a.Plans)
 }
 
 func printCatalog(w io.Writer) error {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"cannikin"
 )
 
 func TestRunList(t *testing.T) {
@@ -108,5 +110,45 @@ func TestRunChaosChurn(t *testing.T) {
 func TestEventsToString(t *testing.T) {
 	if got := eventsToString(nil); got != "-" {
 		t.Fatalf("eventsToString(nil) = %q", got)
+	}
+}
+
+func TestRunAuditFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-cluster", "a", "-workload", "cifar10", "-epochs", "5", "-audit", "strict"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"audit", "ok", "plans checked, 0 violations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("audited output missing %q:\n%s", want, out)
+		}
+	}
+	// Without -audit the column must stay absent.
+	sb.Reset()
+	if err := run([]string{"-cluster", "a", "-epochs", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "plans checked") {
+		t.Fatal("audit summary printed without -audit")
+	}
+
+	if err := run([]string{"-audit", "bogus", "-epochs", "2"}, &sb); err == nil {
+		t.Fatal("bogus -audit level accepted")
+	}
+}
+
+func TestAuditToString(t *testing.T) {
+	if got := auditToString(nil); got != "-" {
+		t.Fatalf("nil audit = %q", got)
+	}
+	ok := &cannikin.AuditSummary{Plans: 3}
+	if got := auditToString(ok); got != "3 ok" {
+		t.Fatalf("clean audit = %q", got)
+	}
+	bad := &cannikin.AuditSummary{Plans: 2, Violations: 1}
+	if got := auditToString(bad); got != "1/2 FAIL" {
+		t.Fatalf("failed audit = %q", got)
 	}
 }

@@ -36,7 +36,7 @@ func FuzzSolve(f *testing.F) {
 			}
 		}
 		m := ClusterModel{Nodes: nodes, Gamma: gamma, To: to, Tu: tu}
-		plan, err := Solve(m, total)
+		plan, err := mustAuditedSolve(t, m, total)
 		if err != nil {
 			return // infeasible inputs are fine; panics are not
 		}

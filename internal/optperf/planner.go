@@ -1,6 +1,7 @@
 package optperf
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -17,10 +18,61 @@ import (
 // A Planner is bound to one cluster model revision; UpdateModel installs a
 // newer learned model while retaining warm-start state.
 type Planner struct {
+	// Audit enables per-solve plan verification: every freshly solved plan
+	// is checked against the OptPerf optimality conditions (cache hits were
+	// audited when first solved). In AuditStrict mode a violation fails the
+	// Plan/PlanAll call with an error wrapping ErrAuditFailed.
+	Audit AuditMode
+	// AuditTol overrides the audit tolerances; the zero value means
+	// defaults.
+	AuditTol Tolerances
+
 	model ClusterModel
 	cache map[int]cachedPlan
 	stats SolveStats
 	hits  int
+	audit AuditSummary
+}
+
+// AuditSummary aggregates the audit outcomes of a batch of solves.
+type AuditSummary struct {
+	// Plans is how many freshly solved plans were audited.
+	Plans int
+	// Violations is the total invariant violations across those plans.
+	Violations int
+	// MaxViolationRatio is the worst residual/limit ratio observed.
+	MaxViolationRatio float64
+	// Failures retains the failing reports, capped at 4.
+	Failures []AuditReport
+}
+
+// Add folds one audit report into the summary.
+func (s *AuditSummary) Add(r AuditReport) {
+	s.Plans++
+	if r.OK() {
+		return
+	}
+	s.Violations += len(r.Violations)
+	if ratio := r.MaxViolationRatio(); ratio > s.MaxViolationRatio {
+		s.MaxViolationRatio = ratio
+	}
+	if len(s.Failures) < 4 {
+		s.Failures = append(s.Failures, r)
+	}
+}
+
+// Merge folds another summary into s.
+func (s *AuditSummary) Merge(o AuditSummary) {
+	s.Plans += o.Plans
+	s.Violations += o.Violations
+	if o.MaxViolationRatio > s.MaxViolationRatio {
+		s.MaxViolationRatio = o.MaxViolationRatio
+	}
+	for _, f := range o.Failures {
+		if len(s.Failures) < 4 {
+			s.Failures = append(s.Failures, f)
+		}
+	}
 }
 
 type cachedPlan struct {
@@ -70,8 +122,11 @@ func (p *Planner) Plan(totalBatch int) (Plan, error) {
 		h := c.computeBound
 		hint = &h
 	}
-	plan, stats, err := solveWithHint(p.model, totalBatch, hint)
+	plan, report, stats, err := solveWithHintAudited(p.model, totalBatch, hint, p.Audit, p.AuditTol)
 	p.stats.add(stats)
+	if p.Audit != AuditOff && (err == nil || errors.Is(err, ErrAuditFailed)) {
+		p.audit.Add(report)
+	}
 	if err != nil {
 		return Plan{}, err
 	}
@@ -100,8 +155,11 @@ func (p *Planner) PlanAll(candidates []int) ([]Plan, error) {
 			h := c.computeBound
 			hint = &h
 		}
-		plan, stats, err := solveWithHint(p.model, b, hint)
+		plan, report, stats, err := solveWithHintAudited(p.model, b, hint, p.Audit, p.AuditTol)
 		p.stats.add(stats)
+		if p.Audit != AuditOff && (err == nil || errors.Is(err, ErrAuditFailed)) {
+			p.audit.Add(report)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("candidate %d: %w", b, err)
 		}
@@ -115,6 +173,14 @@ func (p *Planner) PlanAll(candidates []int) ([]Plan, error) {
 
 // Stats returns cumulative solver work counters.
 func (p *Planner) Stats() SolveStats { return p.stats }
+
+// DrainAudit returns the audit outcomes accumulated since the last drain
+// and resets the accumulator.
+func (p *Planner) DrainAudit() AuditSummary {
+	s := p.audit
+	p.audit = AuditSummary{}
+	return s
+}
 
 // CacheHits returns how many Plan/PlanAll requests were served from cache.
 func (p *Planner) CacheHits() int { return p.hits }

@@ -83,7 +83,7 @@ func TestPropertyRoundingPreservesInvariants(t *testing.T) {
 		if total < n {
 			return true
 		}
-		plan, err := Solve(m, total)
+		plan, err := mustAuditedSolve(t, m, total)
 		if err != nil {
 			return false
 		}
@@ -136,8 +136,8 @@ func TestPropertyOptPerfMonotoneInTotalBatch(t *testing.T) {
 		n := 2 + s.Intn(8)
 		m := randomModel(s, n)
 		b := n * (1 + s.Intn(40))
-		p1, err1 := Solve(m, b)
-		p2, err2 := Solve(m, b+n)
+		p1, err1 := mustAuditedSolve(t, m, b)
+		p2, err2 := mustAuditedSolve(t, m, b+n)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -197,7 +197,7 @@ func TestPropertySolveScaleInvariance(t *testing.T) {
 		n := 2 + s.Intn(6)
 		m := randomModel(s, n)
 		total := n * (2 + s.Intn(30))
-		p1, err := Solve(m, total)
+		p1, err := mustAuditedSolve(t, m, total)
 		if err != nil {
 			return false
 		}
@@ -212,7 +212,7 @@ func TestPropertySolveScaleInvariance(t *testing.T) {
 		}
 		m2.To *= scale
 		m2.Tu *= scale
-		p2, err := Solve(m2, total)
+		p2, err := mustAuditedSolve(t, m2, total)
 		if err != nil {
 			return false
 		}

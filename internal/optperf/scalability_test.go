@@ -16,7 +16,7 @@ func TestScalabilityLargeClusters(t *testing.T) {
 		s := src.Split(string(rune(n)))
 		m := randomModel(s, n)
 		total := n * 24
-		plan, err := Solve(m, total)
+		plan, err := mustAuditedSolve(t, m, total)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -34,6 +34,31 @@ func Solve(model ClusterModel, totalBatch int) (Plan, error) {
 	return p, err
 }
 
+// SolveAudited is Solve with the opt-in audit mode: the returned plan is
+// verified against the paper's optimality conditions (see AuditPlan). In
+// AuditStrict mode any violation becomes an error wrapping ErrAuditFailed;
+// in AuditAdvisory mode violations are only recorded in the report. A zero
+// Tolerances value selects the defaults.
+func SolveAudited(model ClusterModel, totalBatch int, mode AuditMode, tol Tolerances) (Plan, AuditReport, error) {
+	plan, report, _, err := solveWithHintAudited(model, totalBatch, nil, mode, tol)
+	return plan, report, err
+}
+
+// solveWithHintAudited is solveWithHint with the opt-in audit mode.
+func solveWithHintAudited(model ClusterModel, totalBatch int, hint *int, mode AuditMode, tol Tolerances) (Plan, AuditReport, SolveStats, error) {
+	plan, stats, err := solveWithHint(model, totalBatch, hint)
+	if err != nil || mode == AuditOff {
+		return plan, AuditReport{}, stats, err
+	}
+	report := AuditPlan(model, plan, tol)
+	if mode == AuditStrict {
+		if aerr := report.Err(); aerr != nil {
+			return plan, report, stats, aerr
+		}
+	}
+	return plan, report, stats, nil
+}
+
 // solveWithHint runs the full pipeline, optionally warm-starting the
 // mixed-bottleneck boundary search, and reports solver work.
 func solveWithHint(model ClusterModel, totalBatch int, hint *int) (Plan, SolveStats, error) {
@@ -353,15 +378,68 @@ func waterfill(model ClusterModel, idx []int, total float64) []float64 {
 	for j, i := range idx {
 		out[j] = math.Max(batchAt(i, hi), 0)
 	}
-	// Normalize tiny bisection residue onto the fastest node.
+	// Normalize the bisection residue across nodes with slack toward their
+	// box bounds. Dumping it all on one node can push that node above its
+	// cap or below minLocalBatch when the residue is large (bisection hit
+	// its range limit on an extreme model).
 	diff := total
 	for _, v := range out {
 		diff -= v
 	}
-	if len(out) > 0 {
-		out[0] += diff
-	}
+	distributeResidue(model, idx, out, diff)
 	return out
+}
+
+// distributeResidue spreads diff over out, adding only up to each node's
+// cap and removing only down to minLocalBatch. Any residue that no node
+// can absorb is left undistributed for the caller's box-constraint pinning
+// to resolve.
+func distributeResidue(model ClusterModel, idx []int, out []float64, diff float64) {
+	for pass := 0; pass < 4 && math.Abs(diff) > 1e-12; pass++ {
+		slacks := make([]float64, len(out))
+		var slackSum float64
+		unbounded := 0
+		for j, i := range idx {
+			if diff > 0 {
+				slacks[j] = model.Nodes[i].cap() - out[j]
+			} else {
+				slacks[j] = out[j] - minLocalBatch
+			}
+			if slacks[j] < 0 {
+				slacks[j] = 0
+			}
+			if math.IsInf(slacks[j], 1) {
+				unbounded++
+			} else {
+				slackSum += slacks[j]
+			}
+		}
+		if diff > 0 && unbounded > 0 {
+			// Uncapped nodes absorb a surplus directly.
+			share := diff / float64(unbounded)
+			for j := range slacks {
+				if math.IsInf(slacks[j], 1) {
+					out[j] += share
+				}
+			}
+			return
+		}
+		if slackSum <= 0 {
+			return // no node can absorb it; the caller's pinning resolves it
+		}
+		want := diff
+		for j := range out {
+			if slacks[j] <= 0 {
+				continue
+			}
+			d := want * slacks[j] / slackSum
+			if math.Abs(d) > slacks[j] {
+				d = math.Copysign(slacks[j], d)
+			}
+			out[j] += d
+			diff -= d
+		}
+	}
 }
 
 // roundAllocation converts a continuous allocation to integers that sum to
@@ -386,7 +464,11 @@ func roundAllocation(model ClusterModel, cont []float64, totalBatch int) ([]int,
 		}
 		batches[i] = fl
 		assigned += fl
-		fracs = append(fracs, frac{i: i, f: v - math.Floor(v)})
+		// Priority is the continuous value minus what the node already
+		// holds: a node clamped up to the minimum got more than it wanted
+		// (negative priority, loses first), a node clamped down to its cap
+		// wants far more (large priority, loses last).
+		fracs = append(fracs, frac{i: i, f: v - float64(fl)})
 	}
 	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
 	// Distribute any shortfall to the largest remainders (respecting caps);
@@ -428,28 +510,45 @@ func roundAllocation(model ClusterModel, cont []float64, totalBatch int) ([]int,
 }
 
 // localSearch greedily moves single samples off the critical node while it
-// strictly improves the predicted batch time.
+// strictly improves the predicted batch time. A critical node sitting at
+// minLocalBatch cannot donate — its time is a fixed floor on Eq. 7 — but
+// that must not end the search: ties are broken so the immovable node is
+// frozen out and an equally slow movable node still gets to donate,
+// keeping the rest of the cluster equalized.
 func localSearch(model ClusterModel, batches []int) {
 	n := len(batches)
+	frozen := make([]bool, n)
 	for iter := 0; iter < 4*n; iter++ {
-		// Find the critical (slowest) node.
+		// Find the critical (slowest) unfrozen node. Ties break toward
+		// nodes at the minimum so they freeze first and movable tied nodes
+		// keep optimizing.
 		worst, worstT := -1, -1.0
 		for i, b := range batches {
-			if t := model.NodeTime(i, float64(b)); t > worstT {
+			if frozen[i] {
+				continue
+			}
+			t := model.NodeTime(i, float64(b))
+			tied := worst >= 0 && t >= worstT*(1-1e-12) &&
+				b <= minLocalBatch && batches[worst] > minLocalBatch
+			if t > worstT || tied {
 				worst, worstT = i, t
 			}
 		}
-		if batches[worst] <= minLocalBatch {
+		if worst < 0 {
 			return
+		}
+		if batches[worst] <= minLocalBatch {
+			frozen[worst] = true
+			continue
 		}
 		bestJ, bestT := -1, worstT
 		for j := range batches {
-			if j == worst || float64(batches[j]+1) > model.Nodes[j].cap() {
+			if j == worst || frozen[j] || float64(batches[j]+1) > model.Nodes[j].cap() {
 				continue
 			}
 			batches[worst]--
 			batches[j]++
-			if t := model.PredictTime(batches); t < bestT {
+			if t := predictUnfrozen(model, batches, frozen); t < bestT {
 				bestJ, bestT = j, t
 			}
 			batches[worst]++
@@ -461,6 +560,21 @@ func localSearch(model ClusterModel, batches []int) {
 		batches[worst]--
 		batches[bestJ]++
 	}
+}
+
+// predictUnfrozen is Eq. 7 restricted to the unfrozen nodes: frozen nodes
+// are min-pinned maxima whose time no move can change.
+func predictUnfrozen(model ClusterModel, batches []int, frozen []bool) float64 {
+	worst := 0.0
+	for i, b := range batches {
+		if frozen[i] {
+			continue
+		}
+		if t := model.NodeTime(i, float64(b)); t > worst {
+			worst = t
+		}
+	}
+	return worst
 }
 
 // ProportionalAllocation implements Eq. 8: before performance models exist

@@ -96,7 +96,7 @@ func TestAllComputeBottleneckEqualizesComputeTime(t *testing.T) {
 	// With To = 0 every node is compute-bottleneck; OptPerf equalizes
 	// t_compute (Appendix A.1).
 	m := threeNodeModel(0, 0.005, 0.25)
-	plan, err := Solve(m, 300)
+	plan, err := mustAuditedSolve(t, m, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestAllCommBottleneckEqualizesSyncStart(t *testing.T) {
 	// Huge To forces every node into the communication-bottleneck pattern;
 	// OptPerf equalizes syncStart (Appendix A.2).
 	m := threeNodeModel(1.0, 0.05, 0.25)
-	plan, err := Solve(m, 60)
+	plan, err := mustAuditedSolve(t, m, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestMixedBottleneckGeneralCase(t *testing.T) {
 		To:    0.020,
 		Tu:    0.005,
 	}
-	plan, err := Solve(m, 200)
+	plan, err := mustAuditedSolve(t, m, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestSolveBeatsBruteForce(t *testing.T) {
 				}
 			}
 		}
-		plan, err := Solve(m, B)
+		plan, err := mustAuditedSolve(t, m, B)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -248,7 +248,7 @@ func TestSolveOptimalAgainstRandomAllocations(t *testing.T) {
 			Tu:    0.01 * src.Float64(),
 		}
 		B := n * (2 + src.Intn(40))
-		plan, err := Solve(m, B)
+		plan, err := mustAuditedSolve(t, m, B)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -287,7 +287,7 @@ func randomAllocation(src *rng.Source, n, total int) []int {
 func TestSolveRespectsCaps(t *testing.T) {
 	m := threeNodeModel(0.01, 0.005, 0.25)
 	m.Nodes[0].MaxBatch = 20 // fast node would normally take far more
-	plan, err := Solve(m, 120)
+	plan, err := mustAuditedSolve(t, m, 120)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestHomogeneousClusterEvenSplit(t *testing.T) {
 		To:    0.01,
 		Tu:    0.004,
 	}
-	plan, err := Solve(m, 128)
+	plan, err := mustAuditedSolve(t, m, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestHomogeneousClusterEvenSplit(t *testing.T) {
 
 func TestRatiosSumToOne(t *testing.T) {
 	m := threeNodeModel(0.01, 0.004, 0.2)
-	plan, err := Solve(m, 100)
+	plan, err := mustAuditedSolve(t, m, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestLargerBatchesMoreComputeBound(t *testing.T) {
 	m := threeNodeModel(0.015, 0.005, 0.15)
 	prev := -1
 	for _, b := range []int{12, 30, 60, 120, 240, 480, 960} {
-		plan, err := Solve(m, b)
+		plan, err := mustAuditedSolve(t, m, b)
 		if err != nil {
 			t.Fatal(err)
 		}

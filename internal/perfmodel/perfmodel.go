@@ -220,6 +220,33 @@ func (l *NodeLearner) Fit() (optperf.NodeModel, error) {
 	return m, nil
 }
 
+// FitError returns the mean relative residual between the fitted compute
+// model and the stored observations. It is the audit harness's confidence
+// signal: a large fit error means plan audits judge the solver against a
+// model that does not describe the node well, so equalization residuals
+// say little about the real cluster. Returns ErrNoModel before a model can
+// be fitted.
+func (l *NodeLearner) FitError() (float64, error) {
+	m, err := l.Fit()
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var count int
+	for i := range l.bs {
+		pred := m.Compute(l.bs[i])
+		if pred <= 0 {
+			continue
+		}
+		sum += math.Abs(l.as[i]+l.ps[i]-pred) / pred
+		count++
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return sum / float64(count), nil
+}
+
 // CommObservation is one node's per-epoch measurement of the cluster
 // communication constants, with the node's own variance estimates.
 type CommObservation struct {
@@ -387,6 +414,18 @@ func (c *ClusterLearner) Model(caps []int) (optperf.ClusterModel, error) {
 		m.Tu = 0
 	}
 	return m, nil
+}
+
+// MaxFitError returns the worst per-node FitError across the cluster, or 0
+// when no node has a fitted model yet.
+func (c *ClusterLearner) MaxFitError() float64 {
+	worst := 0.0
+	for _, n := range c.nodes {
+		if e, err := n.FitError(); err == nil && e > worst {
+			worst = e
+		}
+	}
+	return worst
 }
 
 // combine merges comm observations per the learner's weighting mode.

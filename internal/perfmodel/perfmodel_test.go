@@ -282,3 +282,48 @@ func TestFitClampsNonPhysical(t *testing.T) {
 		t.Fatalf("non-physical model: %+v", m)
 	}
 }
+
+func TestFitError(t *testing.T) {
+	var l NodeLearner
+	if _, err := l.FitError(); err == nil {
+		t.Fatal("FitError without a model must error")
+	}
+	// Exact linear data: fit error ~0.
+	for _, b := range []int{8, 16, 32, 64} {
+		l.Observe(b, 0.0005*float64(b)+0.004, 0.001*float64(b)+0.002)
+	}
+	e, err := l.FitError()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-9 {
+		t.Fatalf("exact data fit error %v", e)
+	}
+	// Inject measurements far off the line: the residual must grow.
+	l.Observe(16, 0.5, 0.5)
+	l.Observe(32, 0.9, 0.9)
+	e2, err := l.FitError()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 < 0.1 {
+		t.Fatalf("noisy data fit error too small: %v", e2)
+	}
+}
+
+func TestClusterMaxFitError(t *testing.T) {
+	c := NewClusterLearner(2)
+	if e := c.MaxFitError(); e != 0 {
+		t.Fatalf("no models yet, want 0, got %v", e)
+	}
+	for _, b := range []int{8, 16} {
+		c.Node(0).Observe(b, 0.0005*float64(b)+0.004, 0.001*float64(b)+0.002)
+	}
+	c.Node(1).Observe(8, 0.01, 0.01)
+	c.Node(1).Observe(16, 0.5, 0.5)
+	c.Node(1).Observe(8, 0.3, 0.3) // same b, wildly different time: bad fit
+	e := c.MaxFitError()
+	if e <= 0 {
+		t.Fatalf("expected positive max fit error, got %v", e)
+	}
+}

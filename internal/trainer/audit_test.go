@@ -1,0 +1,80 @@
+package trainer
+
+import (
+	"testing"
+
+	"cannikin/internal/chaos"
+	"cannikin/internal/optperf"
+)
+
+// TestCannikinAuditedRunCleanUnderChaos runs the full system with strict
+// auditing through a chaos schedule: every epoch — even splits, Eq. 8
+// bootstraps, chaos-triggered re-profiles, and learned-model re-solves —
+// must record an audit outcome with zero invariant violations.
+func TestCannikinAuditedRunCleanUnderChaos(t *testing.T) {
+	sys := NewCannikin()
+	sys.Audit = optperf.AuditStrict
+	res, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 21),
+		Workload:  mustWorkload(t, "imagenet"),
+		System:    sys,
+		Seed:      21,
+		MaxEpochs: 16,
+		Chaos: chaos.Schedule{Events: []chaos.Event{
+			{Epoch: 6, Node: 0, Kind: chaos.KindComputeShare, Value: 0.25},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited, reprofiledAudited := 0, false
+	for _, s := range res.Epochs {
+		if s.Audit == nil {
+			t.Fatalf("epoch %d has no audit record", s.Epoch)
+		}
+		if s.Audit.Summary.Violations != 0 {
+			t.Fatalf("epoch %d: %d audit violations: %+v",
+				s.Epoch, s.Audit.Summary.Violations, s.Audit.Summary.Failures)
+		}
+		audited += s.Audit.Summary.Plans
+		if s.Reprofiled > 0 {
+			reprofiledAudited = true
+		}
+	}
+	if audited == 0 {
+		t.Fatal("no plans were audited across the run")
+	}
+	if !reprofiledAudited {
+		t.Fatal("chaos never triggered an audited re-profile epoch")
+	}
+	// Learned-model epochs must carry the fit-error context.
+	sawFit := false
+	for _, s := range res.Epochs {
+		if s.Audit.ModelFitError > 0 {
+			sawFit = true
+		}
+	}
+	if !sawFit {
+		t.Fatal("no epoch recorded a model fit error")
+	}
+}
+
+// TestCannikinAuditOffLeavesPlansUnannotated: the default must not pay for
+// or report audits.
+func TestCannikinAuditOffLeavesPlansUnannotated(t *testing.T) {
+	res, err := Run(Config{
+		Cluster:   mustCluster(t, "a", 7),
+		Workload:  mustWorkload(t, "cifar10"),
+		System:    NewCannikin(),
+		Seed:      7,
+		MaxEpochs: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Epochs {
+		if s.Audit != nil {
+			t.Fatalf("epoch %d carries an audit record with auditing off", s.Epoch)
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Cannikin struct {
 	// FixedBatch pins the total batch size (the paper's Section 5.2.2
 	// fixed-batch evaluation); 0 enables adaptive batch sizing.
 	FixedBatch int
+	// Audit enables per-solve plan verification: every fresh OptPerf solve
+	// (including the re-solves after chaos-triggered re-profiles) is checked
+	// against the paper's optimality conditions and the outcome is attached
+	// to the epoch plan. In strict mode a violation fails PlanEpoch.
+	Audit optperf.AuditMode
 
 	learner *perfmodel.ClusterLearner
 	planner *optperf.Planner
@@ -96,7 +101,11 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 		if err != nil {
 			return Plan{}, err
 		}
-		return Plan{TotalBatch: baseTotal, Local: local}, nil
+		plan := Plan{TotalBatch: baseTotal, Local: local}
+		if err := c.attachAllocationAudit(&plan, env); err != nil {
+			return Plan{}, err
+		}
+		return plan, nil
 
 	case epoch == 1 || !c.learner.HasModel():
 		// Targeted re-profiling: when specific nodes drifted mid-run,
@@ -133,7 +142,11 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 			return Plan{}, fmt.Errorf("cannikin bootstrap: %w", err)
 		}
 		c.forceDistinct(env, local)
-		return Plan{TotalBatch: total, Local: local}, nil
+		plan := Plan{TotalBatch: total, Local: local}
+		if err := c.attachAllocationAudit(&plan, env); err != nil {
+			return Plan{}, err
+		}
+		return plan, nil
 	}
 
 	// Learned-model path.
@@ -149,18 +162,21 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 	} else if err := c.planner.UpdateModel(model); err != nil {
 		return Plan{}, err
 	}
+	c.planner.Audit = c.Audit
 	solvesBefore := c.plannerWork()
 
 	if c.FixedBatch > 0 {
 		// Fixed-batch mode: predict OptPerf directly for the pinned size.
 		chosen, err := c.planner.Plan(baseTotal)
 		if err != nil {
-			return Plan{}, err
+			return Plan{}, c.planErr(err)
 		}
 		c.lastPlan = chosen
 		solves := c.plannerWork() - solvesBefore
 		c.solvesSeen += solves
-		return Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}, nil
+		plan := Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}
+		c.attachPlannerAudit(&plan)
+		return plan, nil
 	}
 
 	// Section 4.5 "Total batch size selection": in the initialization epoch
@@ -169,7 +185,7 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 	// OptPerf for the chosen candidate, unless the overlap pattern drifted.
 	if c.initPlans == nil {
 		if err := c.computeInitPlans(env); err != nil {
-			return Plan{}, err
+			return Plan{}, c.planErr(err)
 		}
 	}
 	sel, err := goodput.Select(c.initPlans, c.tracker.Noise(), env.Workload.InitBatch)
@@ -178,20 +194,20 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 	}
 	chosen, err := c.planner.Plan(sel.Batch)
 	if err != nil {
-		return Plan{}, err
+		return Plan{}, c.planErr(err)
 	}
 	if prev, ok := c.overlapSignature[chosen.TotalBatch]; ok && prev != chosen.NumComputeBound() {
 		// Overlap pattern changed: re-determine every candidate
 		// (Section 4.5), then re-select.
 		c.planner.InvalidateCache()
 		if err := c.computeInitPlans(env); err != nil {
-			return Plan{}, err
+			return Plan{}, c.planErr(err)
 		}
 		if sel, err = goodput.Select(c.initPlans, c.tracker.Noise(), env.Workload.InitBatch); err != nil {
 			return Plan{}, fmt.Errorf("cannikin goodput: %w", err)
 		}
 		if chosen, err = c.planner.Plan(sel.Batch); err != nil {
-			return Plan{}, err
+			return Plan{}, c.planErr(err)
 		}
 	} else {
 		// Refresh OptPerf_init for the chosen candidate only.
@@ -215,7 +231,51 @@ func (c *Cannikin) PlanEpoch(env *Env, epoch int) (Plan, error) {
 	c.lastPlan = chosen
 	solves := c.plannerWork() - solvesBefore
 	c.solvesSeen += solves
-	return Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}, nil
+	plan := Plan{TotalBatch: chosen.TotalBatch, Local: chosen.Batches, Solves: solves}
+	c.attachPlannerAudit(&plan)
+	return plan, nil
+}
+
+// attachAllocationAudit validates a bootstrap/reprofile allocation against
+// the batch-sum and box invariants (no fitted model exists yet, so the
+// equalization conditions cannot be checked) and attaches the outcome. In
+// strict mode a violation fails the plan.
+func (c *Cannikin) attachAllocationAudit(plan *Plan, env *Env) error {
+	if c.Audit == optperf.AuditOff {
+		return nil
+	}
+	report := optperf.AuditAllocation(plan.Local, plan.TotalBatch, env.Caps)
+	pa := &PlanAudit{}
+	pa.Summary.Add(report)
+	plan.Audit = pa
+	if c.Audit == optperf.AuditStrict {
+		if err := report.Err(); err != nil {
+			return fmt.Errorf("cannikin bootstrap plan: %w", err)
+		}
+	}
+	return nil
+}
+
+// attachPlannerAudit drains the planner's accumulated per-solve audit
+// reports into the plan, annotated with the learner's current fit error so
+// residuals can be read in context.
+func (c *Cannikin) attachPlannerAudit(plan *Plan) {
+	if c.Audit == optperf.AuditOff {
+		return
+	}
+	plan.Audit = &PlanAudit{
+		Summary:       c.planner.DrainAudit(),
+		ModelFitError: c.learner.MaxFitError(),
+	}
+}
+
+// planErr drains the audit accumulator on a failed solve so a later epoch
+// does not double-report the failure, and passes the error through.
+func (c *Cannikin) planErr(err error) error {
+	if c.planner != nil {
+		c.planner.DrainAudit()
+	}
+	return err
 }
 
 // reprofilePlan probes only the drifted nodes (Section 4.5's re-learning,
@@ -302,7 +362,11 @@ func (c *Cannikin) reprofilePlan(env *Env) (Plan, error) {
 		}
 	}
 	c.forceDistinct(env, local)
-	return Plan{TotalBatch: total, Local: local, Reprofiled: probes}, nil
+	plan := Plan{TotalBatch: total, Local: local, Reprofiled: probes}
+	if err := c.attachAllocationAudit(&plan, env); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
 }
 
 // forceDistinct perturbs a bootstrap allocation so every node trains at a

@@ -23,6 +23,7 @@ import (
 	"cannikin/internal/convergence"
 	"cannikin/internal/gns"
 	"cannikin/internal/goodput"
+	"cannikin/internal/optperf"
 	"cannikin/internal/rng"
 	"cannikin/internal/workload"
 )
@@ -131,6 +132,19 @@ type Plan struct {
 	// compute model (the engine charges a bounded per-node re-profile
 	// cost).
 	Reprofiled int
+	// Audit records the audit outcome of the solves behind this plan (nil
+	// when auditing is off or the system does not audit).
+	Audit *PlanAudit
+}
+
+// PlanAudit is the audit outcome of the solves behind one epoch plan.
+type PlanAudit struct {
+	// Summary aggregates the per-solve invariant-check reports.
+	Summary optperf.AuditSummary
+	// ModelFitError is the learner's worst per-node relative fit residual
+	// when the plan came from a learned model (0 on bootstrap plans): the
+	// confidence context for reading the audit residuals.
+	ModelFitError float64
 }
 
 // StepObs is delivered to the system after every simulated step.
@@ -173,6 +187,8 @@ type EpochStats struct {
 	// Reprofiled counts the nodes this epoch's plan probed to re-learn a
 	// drifted performance model.
 	Reprofiled int
+	// Audit is the plan's audit outcome (nil when auditing is off).
+	Audit *PlanAudit
 }
 
 // Result is a full training run.
@@ -365,6 +381,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			Local:      append([]int(nil), plan.Local...),
 			Events:     applied,
 			Reprofiled: plan.Reprofiled,
+			Audit:      plan.Audit,
 		}
 		var timeSum float64
 		done := false

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"cannikin/internal/gpu"
+	"cannikin/internal/optperf"
 	"cannikin/internal/rng"
 	"cannikin/internal/sched"
 	"cannikin/internal/simtime"
@@ -101,7 +102,7 @@ func ScheduleContext(ctx context.Context, cfg ScheduleConfig) (*ScheduleReport, 
 	if system == SystemHetPipe {
 		return nil, errors.New("cannikin: the scheduler drives data-parallel systems only")
 	}
-	if _, err := buildSystem(system, 0); err != nil {
+	if _, err := buildSystem(system, 0, optperf.AuditOff); err != nil {
 		return nil, err
 	}
 
@@ -115,7 +116,7 @@ func ScheduleContext(ctx context.Context, cfg ScheduleConfig) (*ScheduleReport, 
 		devices[i] = d
 	}
 	s, err := sched.New(devices, policy, func() trainer.System {
-		sys, err := buildSystem(system, 0)
+		sys, err := buildSystem(system, 0, optperf.AuditOff)
 		if err != nil {
 			// buildSystem only fails for unknown kinds, checked above.
 			panic(err)

@@ -1,5 +1,8 @@
 #!/bin/sh
-# Full local check: build, vet, and the test suite with the race detector.
+# Full local check: build, vet, the test suite with the race detector, and
+# a short audited fuzz smoke on each fuzz target. The optperf fuzz target
+# solves through SolveAudited in strict mode, so every fuzz input also
+# verifies the paper's optimality invariants (audit harness, DESIGN.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,5 +15,11 @@ go vet ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== audited fuzz smoke: optperf FuzzSolve =="
+go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/optperf
+
+echo "== audited fuzz smoke: gns FuzzEstimators =="
+go test -run='^$' -fuzz=FuzzEstimators -fuzztime=10s ./internal/gns
 
 echo "OK"
