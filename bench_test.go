@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"cannikin/internal/allreduce"
 	"cannikin/internal/experiments"
 	"cannikin/internal/gns"
 	"cannikin/internal/optperf"
@@ -317,5 +318,68 @@ func BenchmarkTrainCannikinClusterB(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(rep.ConvergeTime, "simulated-seconds")
+	}
+}
+
+// --- Live execution runtime benchmarks -------------------------------------
+
+// BenchmarkAllReduce measures the ring all-reduce across worker counts and
+// gradient sizes.
+func BenchmarkAllReduce(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		for _, dim := range []int{1 << 10, 1 << 16, 1 << 20} {
+			b.Run(fmt.Sprintf("n%d/dim%d", n, dim), func(b *testing.B) {
+				vectors := make([][]float64, n)
+				for i := range vectors {
+					vectors[i] = make([]float64, dim)
+					for j := range vectors[i] {
+						vectors[i][j] = float64(i + j)
+					}
+				}
+				weights := make([]float64, n)
+				for i := range weights {
+					weights[i] = 1 / float64(n)
+				}
+				b.SetBytes(int64(8 * dim))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := allreduce.AllReduce(vectors, weights); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrainMLPLiveVsSequential runs the identical training job on the
+// sequential reference and the live concurrent engine at increasing worker
+// counts. Both produce bitwise-identical weights; the ratio of their times
+// is the execution-model speedup (expect live to win at >=4 workers on a
+// multicore host; on a single core the engines are near parity).
+func BenchmarkTrainMLPLiveVsSequential(b *testing.B) {
+	configs := [][]int{{64}, {32, 32}, {16, 16, 16, 16}, {8, 8, 8, 8, 8, 8, 8, 8}}
+	for _, batches := range configs {
+		for _, backend := range []string{"sim", "live"} {
+			b.Run(fmt.Sprintf("w%d/%s", len(batches), backend), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := TrainMLP(MLPConfig{
+						LocalBatches: batches,
+						Hidden:       []int{128, 64},
+						Dim:          32,
+						Classes:      8,
+						Samples:      2000,
+						Epochs:       2,
+						Seed:         1,
+						Backend:      backend,
+						BucketBytes:  64 << 10,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.FinalAccuracy, "final-accuracy")
+				}
+			})
+		}
 	}
 }

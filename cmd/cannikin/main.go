@@ -7,6 +7,7 @@
 //	cannikin -cluster a -workload imagenet -system lb-bsp -batch 128 -epochs 16
 //	cannikin -models H100,V100,P100 -workload cifar10 -system cannikin
 //	cannikin -cluster a -workload imagenet -chaos 0.3 -progress
+//	cannikin -mlp -backend live -mlp-batches 16,8,4 -epochs 5
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"cannikin"
@@ -43,12 +45,19 @@ func run(args []string, w io.Writer) error {
 		chaosChurn  = fs.Float64("chaos", 0, "per-epoch probability of a random resource perturbation, in (0, 1]")
 		progress    = fs.Bool("progress", false, "stream each epoch as it completes")
 		audit       = fs.String("audit", "", `verify OptPerf plans against the paper's optimality invariants: "advisory" or "strict"`)
+		mlp         = fs.Bool("mlp", false, "train the real MLP across data-parallel workers instead of the simulated workload")
+		backend     = fs.String("backend", "sim", `MLP execution engine: "sim" (sequential reference) or "live" (concurrent workers, overlapped ring all-reduce, wall-clock profile)`)
+		mlpBatches  = fs.String("mlp-batches", "16,8,4", "comma-separated per-worker local batch sizes for -mlp")
+		bucketBytes = fs.Int("bucket-bytes", 0, "gradient bucket cap in bytes for -mlp (0 = DDP's 25 MB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		return printCatalog(w)
+	}
+	if *mlp {
+		return runMLP(w, *mlpBatches, *backend, *seed, *epochs, *bucketBytes, *csv)
 	}
 
 	cfg := cannikin.TrainConfig{
@@ -119,6 +128,73 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "audit: %d plans checked, %d violations\n", rep.AuditedPlans, rep.AuditViolations)
 	}
 	return nil
+}
+
+// runMLP trains the real data-parallel MLP on the selected execution
+// backend and prints the per-epoch trace plus, for the live backend, the
+// measured timing profile and the performance model fitted from it.
+func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketBytes int, csv bool) error {
+	local, err := parseBatches(batches)
+	if err != nil {
+		return err
+	}
+	cfg := cannikin.MLPConfig{
+		LocalBatches: local,
+		Backend:      backend,
+		Seed:         seed,
+		BucketBytes:  bucketBytes,
+	}
+	if epochs > 0 {
+		cfg.Epochs = epochs
+	}
+	res, err := cannikin.TrainMLP(cfg)
+	if err != nil {
+		return err
+	}
+
+	tab := trace.NewTable("epoch", "batch", "lr", "loss", "accuracy", "GNS")
+	for e := range res.EpochLoss {
+		tab.AddRowValues(e, res.BatchSchedule[e], res.LRSchedule[e],
+			res.EpochLoss[e], res.EpochAccuracy[e], res.NoiseEstimate[e])
+	}
+	var printErr error
+	if csv {
+		printErr = tab.FprintCSV(w)
+	} else {
+		printErr = tab.Fprint(w)
+	}
+	if printErr != nil {
+		return printErr
+	}
+	fmt.Fprintf(w, "\n%s backend: %d workers (local batches %s), %d steps, final accuracy %.4f\n",
+		res.Backend, res.Workers, intsToString(local), res.Steps, res.FinalAccuracy)
+	if p := res.Profile; p != nil {
+		fmt.Fprintf(w, "measured: %d gradient buckets/step, overlap observed=%v\n", p.Buckets, p.OverlapObserved)
+		for i := range p.A {
+			fmt.Fprintf(w, "  worker %d: a=%.3gs backprop=%.3gs\n", i, p.A[i], p.Backprop[i])
+		}
+		if p.FitOK {
+			fmt.Fprintf(w, "fitted model: gamma=%.3f To=%.3gs Tu=%.3gs (max fit error %.3f)\n",
+				p.Gamma, p.To, p.Tu, p.FitError)
+		} else {
+			fmt.Fprintln(w, "fitted model: insufficient distinct batch sizes")
+		}
+	}
+	return nil
+}
+
+// parseBatches parses "16,8,4" into per-worker local batch sizes.
+func parseBatches(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		b, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bad local batch %q in %q", p, s)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // auditToString renders one epoch's audit outcome for the trace table.

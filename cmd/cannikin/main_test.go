@@ -152,3 +152,43 @@ func TestAuditToString(t *testing.T) {
 		t.Fatalf("failed audit = %q", got)
 	}
 }
+
+func TestRunMLPLiveBackend(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-mlp", "-backend", "live", "-epochs", "2",
+		"-mlp-batches", "16,8", "-bucket-bytes", "2048"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"live backend: 2 workers", "local batches 16/8",
+		"overlap observed=true", "fitted model: gamma="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("MLP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMLPSimBackend(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mlp", "-epochs", "2", "-mlp-batches", "8,4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sim backend: 2 workers") {
+		t.Fatalf("MLP sim output:\n%s", out)
+	}
+	if strings.Contains(out, "measured:") {
+		t.Fatalf("sim backend printed a measured profile:\n%s", out)
+	}
+}
+
+func TestRunMLPBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mlp", "-mlp-batches", "8,zero"}, &sb); err == nil {
+		t.Fatal("bad -mlp-batches accepted")
+	}
+	if err := run([]string{"-mlp", "-backend", "tpu"}, &sb); err == nil {
+		t.Fatal("bad -backend accepted")
+	}
+}

@@ -6,7 +6,7 @@
 //	experiments -exp fig10 -quick # trimmed measurement repetitions
 //
 // Available experiments: fig5 fig6 fig7 fig8 fig9 fig10 table6 pred
-// sharing dynamic recovery sched ablations.
+// sharing dynamic recovery sched ablations runtime.
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 	}
 }
 
-var order = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table6", "pred", "sharing", "dynamic", "recovery", "sched", "ablations"}
+var order = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table6", "pred", "sharing", "dynamic", "recovery", "sched", "ablations", "runtime"}
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
@@ -223,6 +223,17 @@ func runOne(id string, opt experiments.Options, out renderer) error {
 			return err
 		}
 		return printFigs(fig)
+	case "runtime":
+		section("Extension: live execution engine vs sequential reference")
+		tab, err := experiments.Runtime(opt)
+		if err != nil {
+			return err
+		}
+		if err := out.table(tab); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "(identical arithmetic in both engines — weights are bitwise equal; wall-clock differs by execution model)")
+		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(order, " "))
 	}

@@ -18,6 +18,104 @@ import (
 	"sync"
 )
 
+// Ring is a persistent set of point-to-point links connecting n workers,
+// the transport under every ring collective here. Unlike AllReduce, which
+// drives its own goroutines per call, a Ring is driven from the callers'
+// goroutines: each of the n ranks calls Reduce from its own goroutine, once
+// per segment, and all ranks must reduce the same segments in the same
+// order. Links are FIFO channels, so back-to-back reductions of different
+// gradient buckets pipeline safely — a fast rank may already be sending
+// bucket k-1 while a slow neighbor still drains bucket k.
+type Ring struct {
+	n     int
+	links []chan []float64
+}
+
+// NewRing returns a ring of n workers whose links buffer depth in-flight
+// messages (depth < 1 is raised to 1; deeper buffers let fast ranks run
+// further ahead without changing results).
+func NewRing(n, depth int) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("allreduce: ring of %d workers", n)
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	r := &Ring{n: n, links: make([]chan []float64, n)}
+	for i := range r.links {
+		r.links[i] = make(chan []float64, depth)
+	}
+	return r, nil
+}
+
+// Workers returns the ring size.
+func (r *Ring) Workers() int { return r.n }
+
+// Reduce performs rank's share of one segment's reduce-scatter followed by
+// all-gather: on return, seg holds the element-wise sum of every rank's
+// segment. Weighted aggregation (Eq. 9) is the caller's concern — each rank
+// pre-scales its segment by its weight r_i before calling. All n ranks must
+// call Reduce concurrently, with segments of one common length; the
+// summation order is fixed by the ring topology alone, so the result is
+// bit-identical regardless of scheduling, buffering, or how the segment is
+// split into buckets by the caller.
+func (r *Ring) Reduce(rank int, seg []float64) {
+	n := r.n
+	dim := len(seg)
+	if n == 1 || dim == 0 {
+		return
+	}
+	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+	bounds := make([]int, n+1)
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * dim / n
+	}
+	chunk := func(c int) []float64 {
+		c = ((c % n) + n) % n
+		return seg[bounds[c]:bounds[c+1]]
+	}
+	out := r.links[rank]
+	in := r.links[(rank-1+n)%n]
+
+	// Message buffers circulate around the ring: once a received buffer
+	// has been consumed it becomes this rank's next send buffer, so a
+	// steady-state Reduce allocates only while the pipeline fills.
+	var spare []float64
+	stage := func(src []float64) []float64 {
+		var msg []float64
+		if cap(spare) >= len(src) {
+			msg = spare[:len(src)]
+			spare = nil
+		} else {
+			msg = make([]float64, len(src))
+		}
+		copy(msg, src)
+		return msg
+	}
+
+	// Reduce-scatter: after step s, worker rank holds the partial
+	// sum of chunk (rank - s) accumulated over s+1 workers. After
+	// n-1 steps, worker rank owns the complete chunk (rank+1).
+	for s := 0; s < n-1; s++ {
+		sendIdx := rank - s
+		out <- stage(chunk(sendIdx))
+		recv := <-in
+		dst := chunk(sendIdx - 1)
+		for j := range dst {
+			dst[j] += recv[j]
+		}
+		spare = recv
+	}
+	// All-gather: circulate the completed chunks.
+	for s := 0; s < n-1; s++ {
+		sendIdx := rank + 1 - s
+		out <- stage(chunk(sendIdx))
+		recv := <-in
+		copy(chunk(sendIdx-1), recv)
+		spare = recv
+	}
+}
+
 // AllReduce replaces every vectors[i] in place with the weighted sum
 // Σ_j weights[j]·vectors[j], using a ring reduce-scatter + all-gather among
 // len(vectors) concurrent workers. All vectors must share one length.
@@ -55,57 +153,16 @@ func AllReduce(vectors [][]float64, weights []float64) error {
 		return nil
 	}
 
-	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
-	bounds := make([]int, n+1)
-	for c := 0; c <= n; c++ {
-		bounds[c] = c * dim / n
+	ring, err := NewRing(n, 1)
+	if err != nil {
+		return err
 	}
-	chunk := func(v []float64, c int) []float64 {
-		c = ((c % n) + n) % n
-		return v[bounds[c]:bounds[c+1]]
-	}
-
-	// links[i] carries messages from worker i to worker (i+1)%n. Buffered
-	// size 1 so each step's send does not require a rendezvous.
-	links := make([]chan []float64, n)
-	for i := range links {
-		links[i] = make(chan []float64, 1)
-	}
-
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			v := vectors[rank]
-			out := links[rank]
-			in := links[(rank-1+n)%n]
-
-			// Reduce-scatter: after step s, worker rank holds the partial
-			// sum of chunk (rank - s) accumulated over s+1 workers. After
-			// n-1 steps, worker rank owns the complete chunk (rank+1).
-			for s := 0; s < n-1; s++ {
-				sendIdx := rank - s
-				src := chunk(v, sendIdx)
-				msg := make([]float64, len(src))
-				copy(msg, src)
-				out <- msg
-				recv := <-in
-				dst := chunk(v, sendIdx-1)
-				for j := range dst {
-					dst[j] += recv[j]
-				}
-			}
-			// All-gather: circulate the completed chunks.
-			for s := 0; s < n-1; s++ {
-				sendIdx := rank + 1 - s
-				src := chunk(v, sendIdx)
-				msg := make([]float64, len(src))
-				copy(msg, src)
-				out <- msg
-				recv := <-in
-				copy(chunk(v, sendIdx-1), recv)
-			}
+			ring.Reduce(rank, vectors[rank])
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,78 @@
+package goodput
+
+import "testing"
+
+func TestGoodputBoundaries(t *testing.T) {
+	if got := Goodput(10, 100, 64, -0.5); got != 0 {
+		t.Fatalf("negative time: Goodput = %v, want 0", got)
+	}
+	if got := Goodput(10, 0, 64, 1); got != 0 {
+		t.Fatalf("zero batch: Goodput = %v, want 0", got)
+	}
+	if got := Goodput(10, 100, 0, 1); got != 0 {
+		t.Fatalf("zero base batch: Goodput = %v, want 0", got)
+	}
+	// Negative noise clamps to 0, matching Efficiency.
+	if Goodput(-3, 128, 64, 0.5) != Goodput(0, 128, 64, 0.5) {
+		t.Fatal("negative noise should behave as zero noise")
+	}
+}
+
+func TestCandidateRangeCountClamp(t *testing.T) {
+	// count < 2 is clamped to 2: both endpoints, nothing else.
+	for _, count := range []int{1, 0, -7} {
+		cands, err := CandidateRange(64, 128, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != 2 || cands[0] != 64 || cands[1] != 128 {
+			t.Fatalf("count=%d: got %v, want [64 128]", count, cands)
+		}
+	}
+}
+
+func TestCandidateRangeDenseDedup(t *testing.T) {
+	// Far more candidates requested than integers in the range: rounding
+	// collides constantly, so dedup plus the max cap must still yield a
+	// strictly increasing list bounded by the endpoints.
+	cands, err := CandidateRange(1, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0] != 1 || cands[len(cands)-1] != 4 {
+		t.Fatalf("endpoints wrong: %v", cands)
+	}
+	if len(cands) > 4 {
+		t.Fatalf("more candidates than integers in [1, 4]: %v", cands)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Fatalf("not strictly increasing: %v", cands)
+		}
+	}
+}
+
+func TestSelectKeepsFirstOnTie(t *testing.T) {
+	// Identical goodput: the earlier (smaller-batch) candidate is retained,
+	// so ties resolve toward the more efficient option.
+	cands := []Candidate{
+		{Batch: 64, Time: 0.1},
+		{Batch: 64, Time: 0.1},
+	}
+	sel, err := Select(cands, 1e9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Batch != 64 || sel.Time != 0.1 {
+		t.Fatalf("tie selection: %+v", sel)
+	}
+	// A strictly better late candidate still wins.
+	cands = append(cands, Candidate{Batch: 64, Time: 0.05})
+	sel, err = Select(cands, 1e9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Time != 0.05 {
+		t.Fatalf("better candidate not selected: %+v", sel)
+	}
+}

@@ -171,9 +171,44 @@ func (n *Network) Forward(x *tensor.T) *tensor.T {
 // Backward propagates the loss gradient through the stack, accumulating
 // parameter gradients.
 func (n *Network) Backward(dout *tensor.T) {
+	n.BackwardLayerwise(dout, nil)
+}
+
+// BackwardLayerwise propagates like Backward but additionally reports
+// gradient readiness: after each layer's backward pass, onReady is called
+// with the flat-vector frontier — every gradient element at offset ≥
+// frontier is final and will not be touched again this pass. Because
+// backprop visits layers last-to-first, the frontier walks down from
+// NumParams() to 0, which is exactly what a bucketed all-reduce needs to
+// launch high-offset buckets while earlier layers are still computing.
+// onReady may be nil.
+func (n *Network) BackwardLayerwise(dout *tensor.T, onReady func(frontier int)) {
+	var offsets []int
+	if onReady != nil {
+		offsets = n.ParamOffsets()
+	}
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		dout = n.layers[i].Backward(dout)
+		if onReady != nil {
+			onReady(offsets[i])
+		}
 	}
+}
+
+// ParamOffsets returns the flat-vector offsets of each layer's parameter
+// block: offsets[i] is where layer i's parameters begin in the
+// FlatGrads/FlatWeights layout and offsets[len(layers)] is NumParams().
+// Parameterless layers contribute empty blocks (offsets[i+1] == offsets[i]).
+func (n *Network) ParamOffsets() []int {
+	offsets := make([]int, len(n.layers)+1)
+	for i, l := range n.layers {
+		size := 0
+		for _, p := range l.Params() {
+			size += p.Size()
+		}
+		offsets[i+1] = offsets[i] + size
+	}
+	return offsets
 }
 
 // Params returns all trainable parameters in layer order.

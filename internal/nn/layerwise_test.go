@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"testing"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+func TestParamOffsets(t *testing.T) {
+	src := rng.New(1)
+	net := NewMLP([]int{3, 5, 2}, src) // Linear(3,5), ReLU, Linear(5,2)
+	got := net.ParamOffsets()
+	// Linear(3,5): 15+5 = 20; ReLU: 0; Linear(5,2): 10+2 = 12.
+	want := []int{0, 20, 20, 32}
+	if len(got) != len(want) {
+		t.Fatalf("ParamOffsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParamOffsets = %v, want %v", got, want)
+		}
+	}
+	if got[len(got)-1] != net.NumParams() {
+		t.Fatalf("final offset %d != NumParams %d", got[len(got)-1], net.NumParams())
+	}
+}
+
+// TestBackwardLayerwiseMatchesBackward checks the two backward paths
+// accumulate identical gradients and that the frontier sequence is the
+// descending layer-offset walk ending at zero.
+func TestBackwardLayerwiseMatchesBackward(t *testing.T) {
+	src := rng.New(2)
+	a := NewMLP([]int{4, 8, 8, 3}, src.Split("a"))
+	b := NewMLP([]int{4, 8, 8, 3}, src.Split("a")) // same split label → same init
+	x := tensor.Randn(6, 4, 1, src.Split("x"))
+	labels := []int{0, 1, 2, 0, 1, 2}
+
+	_, dout := SoftmaxCrossEntropy(a.Forward(x), labels)
+	a.Backward(dout)
+
+	_, dout2 := SoftmaxCrossEntropy(b.Forward(x), labels)
+	var frontiers []int
+	b.BackwardLayerwise(dout2, func(fr int) { frontiers = append(frontiers, fr) })
+
+	ga, gb := a.FlatGrads(), b.FlatGrads()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("grad %d: Backward %v != BackwardLayerwise %v", i, ga[i], gb[i])
+		}
+	}
+
+	offsets := b.ParamOffsets()
+	if len(frontiers) != len(offsets)-1 {
+		t.Fatalf("%d frontier callbacks for %d layers", len(frontiers), len(offsets)-1)
+	}
+	for i, fr := range frontiers {
+		if want := offsets[len(offsets)-2-i]; fr != want {
+			t.Fatalf("frontier[%d] = %d, want %d (seq %v, offsets %v)", i, fr, want, frontiers, offsets)
+		}
+		if i > 0 && fr > frontiers[i-1] {
+			t.Fatalf("frontier not monotonically non-increasing: %v", frontiers)
+		}
+	}
+	if frontiers[len(frontiers)-1] != 0 {
+		t.Fatalf("final frontier %d, want 0", frontiers[len(frontiers)-1])
+	}
+}
+
+// TestBackwardLayerwiseFrontierGradsFinal verifies the readiness contract:
+// at each callback, the gradient region at offsets ≥ frontier must already
+// equal its final value.
+func TestBackwardLayerwiseFrontierGradsFinal(t *testing.T) {
+	src := rng.New(3)
+	ref := NewMLP([]int{5, 7, 4}, src.Split("net"))
+	net := NewMLP([]int{5, 7, 4}, src.Split("net"))
+	x := tensor.Randn(3, 5, 1, src.Split("x"))
+	labels := []int{1, 0, 3}
+
+	_, dout := SoftmaxCrossEntropy(ref.Forward(x), labels)
+	ref.Backward(dout)
+	final := ref.FlatGrads()
+
+	_, dout2 := SoftmaxCrossEntropy(net.Forward(x), labels)
+	net.BackwardLayerwise(dout2, func(fr int) {
+		got := net.FlatGrads()
+		for j := fr; j < len(final); j++ {
+			if got[j] != final[j] {
+				t.Fatalf("frontier %d: grad %d = %v not yet final %v", fr, j, got[j], final[j])
+			}
+		}
+	})
+}

@@ -1,0 +1,300 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cannikin/internal/allreduce"
+	"cannikin/internal/gns"
+	"cannikin/internal/nn"
+	"cannikin/internal/tensor"
+)
+
+// ringDepth is the per-link channel buffer of the live ring: deep enough
+// that a fast rank can run a few bucket reductions ahead of a straggling
+// neighbor without blocking its backprop.
+const ringDepth = 8
+
+// liveExec runs every worker as its own pair of goroutines — one compute,
+// one communication — connected by a persistent ring. The compute
+// goroutine enqueues each gradient bucket the moment backprop has
+// finalized it (internal/nn's layerwise frontier), so reductions of
+// already-finished buckets proceed while earlier layers are still
+// backpropagating: real compute/communication overlap, measured with
+// wall-clock timers rather than simulated.
+type liveExec struct {
+	workers []*liveWorker
+	prof    *Profile
+	wg      sync.WaitGroup
+}
+
+// stepTask is one worker's share of a synchronized step.
+type stepTask struct {
+	epoch, step int
+	x           *tensor.T
+	labels      []int
+	weight      float64 // the Eq. 9 ratio r_i for this step
+	lr          float64
+}
+
+// stepResult reports one worker's completed share.
+type stepResult struct {
+	batch    int
+	localSq  float64 // |g_i|² of the raw local gradient
+	globalSq float64 // |g|² of the reduced weighted gradient
+	sample   Sample
+}
+
+// commStats aggregates one step's communication timing inside the comm
+// goroutine.
+type commStats struct {
+	busy     time.Duration // total time inside ring.Reduce
+	tu       time.Duration // the final bucket's reduce duration
+	lastDone time.Time     // when the final bucket's reduce returned
+}
+
+type liveWorker struct {
+	rank      int
+	net       *nn.Network
+	opt       *nn.SGD
+	dim       int
+	bucketLen int
+	buckets   int
+	ring      *allreduce.Ring
+
+	// commBuf carries the weight-scaled local gradient into the ring and
+	// the reduced global gradient back out. The compute goroutine writes
+	// a region and only then enqueues the buckets it completes, so the
+	// two goroutines never touch a region concurrently.
+	commBuf []float64
+	// params and paramOffs map flat-vector regions back to parameters.
+	params    []*nn.Param
+	paramOffs []int
+
+	tasks    chan stepTask
+	results  chan stepResult
+	commQ    chan int // bucket indices; -1 ends the step
+	commDone chan commStats
+}
+
+func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *liveExec {
+	n := len(replicas)
+	ring, err := allreduce.NewRing(n, ringDepth)
+	if err != nil {
+		panic(err) // unreachable: n >= 1 is validated by the driver
+	}
+	dim := replicas[0].NumParams()
+	buckets := (dim + bucketLen - 1) / bucketLen
+	if buckets < 1 {
+		buckets = 1
+	}
+	e := &liveExec{
+		workers: make([]*liveWorker, n),
+		prof:    &Profile{Workers: n, BucketLen: bucketLen},
+	}
+	for i := range e.workers {
+		params := replicas[i].Params()
+		offs := make([]int, len(params))
+		off := 0
+		for j, p := range params {
+			offs[j] = off
+			off += p.Size()
+		}
+		w := &liveWorker{
+			rank:      i,
+			net:       replicas[i],
+			opt:       opts[i],
+			dim:       dim,
+			bucketLen: bucketLen,
+			buckets:   buckets,
+			ring:      ring,
+			commBuf:   make([]float64, dim),
+			params:    params,
+			paramOffs: offs,
+			tasks:     make(chan stepTask),
+			results:   make(chan stepResult, 1),
+			commQ:     make(chan int, buckets+1),
+			commDone:  make(chan commStats, 1),
+		}
+		e.workers[i] = w
+		e.wg.Add(2)
+		go func() {
+			defer e.wg.Done()
+			w.commLoop()
+		}()
+		go func() {
+			defer e.wg.Done()
+			defer close(w.commQ)
+			w.computeLoop()
+		}()
+	}
+	return e
+}
+
+func (e *liveExec) step(epoch, step int, xs []*tensor.T, labels [][]int, stepWeights []float64, lr float64) (gns.Sample, error) {
+	n := len(e.workers)
+	for i, w := range e.workers {
+		w.tasks <- stepTask{epoch: epoch, step: step, x: xs[i], labels: labels[i], weight: stepWeights[i], lr: lr}
+	}
+	sample := gns.Sample{
+		Batches:      make([]int, n),
+		LocalSqNorms: make([]float64, n),
+	}
+	// Collect in rank order: a BSP barrier, and a deterministic profile.
+	for i, w := range e.workers {
+		r := <-w.results
+		sample.Batches[i] = r.batch
+		sample.LocalSqNorms[i] = r.localSq
+		if i == 0 {
+			sample.GlobalSqNorm = r.globalSq
+		}
+		e.prof.Samples = append(e.prof.Samples, r.sample)
+	}
+	return sample, nil
+}
+
+func (e *liveExec) network() *nn.Network { return e.workers[0].net }
+
+func (e *liveExec) finalWeights() ([]float64, error) {
+	ref := e.workers[0].net.FlatWeights()
+	for i := 1; i < len(e.workers); i++ {
+		if d := maxAbsDiff(ref, e.workers[i].net.FlatWeights()); d > 1e-9 {
+			return nil, fmt.Errorf("runtime: replica %d diverged by %g", i, d)
+		}
+	}
+	return ref, nil
+}
+
+func (e *liveExec) profile() *Profile { return e.prof }
+
+func (e *liveExec) close() {
+	for _, w := range e.workers {
+		close(w.tasks)
+	}
+	e.wg.Wait()
+}
+
+func (w *liveWorker) computeLoop() {
+	for t := range w.tasks {
+		w.results <- w.runStep(t)
+	}
+}
+
+// runStep executes one training step with overlapped communication and
+// returns the result together with its wall-clock phase sample.
+func (w *liveWorker) runStep(t stepTask) stepResult {
+	start := time.Now()
+	w.net.ZeroGrad()
+	logits := w.net.Forward(t.x)
+	_, dlogits := nn.SoftmaxCrossEntropy(logits, t.labels)
+	preEnd := time.Now()
+
+	// Backprop with streaming bucket launch: the frontier walks down as
+	// layers finish; completed regions are scaled by r_i into commBuf and
+	// every fully-final bucket is handed to the comm goroutine. Buckets go
+	// out high-index-first because gradients finalize in reverse layer
+	// order — every rank enqueues the identical sequence, which keeps the
+	// FIFO ring links aligned.
+	nextBucket := w.buckets - 1
+	prevFr := w.dim
+	var syncStart time.Time
+	w.net.BackwardLayerwise(dlogits, func(fr int) {
+		if fr == prevFr {
+			return
+		}
+		w.stageGrads(fr, prevFr, t.weight)
+		for nextBucket >= 0 && nextBucket*w.bucketLen >= fr {
+			if syncStart.IsZero() {
+				syncStart = time.Now()
+			}
+			w.commQ <- nextBucket
+			nextBucket--
+		}
+		prevFr = fr
+	})
+	backEnd := time.Now()
+
+	// |g_i|² over the raw (unscaled) gradients in flat order — identical
+	// association order to the sequential reference — while the ring is
+	// still draining.
+	localSq := 0.0
+	for _, p := range w.params {
+		for _, g := range p.Grad.Data() {
+			localSq += g * g
+		}
+	}
+	w.commQ <- -1
+	cs := <-w.commDone
+
+	globalSq := sqNorm(w.commBuf)
+	postStart := time.Now()
+	w.net.SetFlatGrads(w.commBuf)
+	w.opt.Step(w.net.Params(), t.lr)
+	end := time.Now()
+
+	return stepResult{
+		batch:    t.x.Rows(),
+		localSq:  localSq,
+		globalSq: globalSq,
+		sample: Sample{
+			Epoch:          t.epoch,
+			Step:           t.step,
+			Worker:         w.rank,
+			Batch:          t.x.Rows(),
+			Buckets:        w.buckets,
+			Pre:            preEnd.Sub(start).Seconds(),
+			Backprop:       backEnd.Sub(preEnd).Seconds(),
+			Post:           end.Sub(postStart).Seconds(),
+			SyncStart:      syncStart.Sub(start).Seconds(),
+			LastBucketDone: cs.lastDone.Sub(start).Seconds(),
+			CommBusy:       cs.busy.Seconds(),
+			TuBusy:         cs.tu.Seconds(),
+		},
+	}
+}
+
+// stageGrads copies the newly-final gradient region [fr, prevFr) into the
+// comm buffer, pre-scaled by the Eq. 9 ratio. Frontiers align with layer
+// boundaries, so the region always covers whole parameters.
+func (w *liveWorker) stageGrads(fr, prevFr int, weight float64) {
+	for j, p := range w.params {
+		off := w.paramOffs[j]
+		if off < fr || off >= prevFr {
+			continue
+		}
+		g := p.Grad.Data()
+		dst := w.commBuf[off : off+len(g)]
+		for k, v := range g {
+			dst[k] = v * weight
+		}
+	}
+}
+
+// commLoop reduces buckets in arrival order. Because all ranks enqueue
+// buckets in the same sequence, the blocking ring collective is deadlock
+// free, and per-bucket FIFO links keep messages matched even when ranks
+// are several buckets apart.
+func (w *liveWorker) commLoop() {
+	var cs commStats
+	for k := range w.commQ {
+		if k < 0 {
+			w.commDone <- cs
+			cs = commStats{}
+			continue
+		}
+		lo := k * w.bucketLen
+		hi := lo + w.bucketLen
+		if hi > w.dim {
+			hi = w.dim
+		}
+		t0 := time.Now()
+		w.ring.Reduce(w.rank, w.commBuf[lo:hi])
+		now := time.Now()
+		cs.busy += now.Sub(t0)
+		cs.lastDone = now
+		if k == 0 {
+			cs.tu = now.Sub(t0)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"cannikin/internal/data"
+	"cannikin/internal/rng"
+)
+
+// overlapConfig is sized so the flat gradient splits into many buckets
+// across several layers: overlap between backprop and ring reduction is
+// structurally guaranteed, not a timing accident.
+func overlapConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	src := rng.New(5)
+	ds, err := data.SyntheticBlobs(600, 16, 8, 0.6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := make([]int, workers)
+	for i := range batches {
+		batches[i] = 32 - 8*i%16
+	}
+	return Config{
+		Backend:      BackendLive,
+		LocalBatches: batches,
+		Sizes:        []int{16, 128, 64, 8},
+		Epochs:       2,
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		BucketBytes:  1024 * 8, // 1024-element buckets over a ~11k-param net
+		Dataset:      ds,
+		Src:          src,
+	}
+}
+
+// TestLiveOverlapObservable checks the acceptance criterion directly: in
+// every multi-bucket sample the measured syncStart_i strictly precedes
+// the last bucket's completion, and the first bucket enters the ring
+// before backprop has finished.
+func TestLiveOverlapObservable(t *testing.T) {
+	r, err := Train(overlapConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Profile
+	if p == nil {
+		t.Fatal("live run produced no profile")
+	}
+	if len(p.Samples) == 0 {
+		t.Fatal("profile is empty")
+	}
+	for _, s := range p.Samples {
+		if s.Buckets < 2 {
+			t.Fatalf("expected multi-bucket steps, got %d buckets", s.Buckets)
+		}
+		if !(s.SyncStart < s.LastBucketDone) {
+			t.Fatalf("syncStart %v does not precede last-bucket completion %v", s.SyncStart, s.LastBucketDone)
+		}
+		if !(s.SyncStart < s.Pre+s.Backprop) {
+			t.Fatalf("first bucket entered the ring at %v, after backprop ended at %v", s.SyncStart, s.Pre+s.Backprop)
+		}
+		if s.Pre <= 0 || s.Backprop <= 0 || s.Post <= 0 {
+			t.Fatalf("non-positive phase times: %+v", s)
+		}
+		if g := s.Gamma(); g <= 0 || g > 1 {
+			t.Fatalf("gamma %v out of (0, 1]", g)
+		}
+		if s.To() < 0 || s.Tu() < 0 || s.CommBusy < s.TuBusy {
+			t.Fatalf("inconsistent comm times: %+v", s)
+		}
+	}
+	if !p.OverlapObserved() {
+		t.Fatal("OverlapObserved() = false on an overlapping profile")
+	}
+	for w := 0; w < r.Workers; w++ {
+		ws := p.WorkerSamples(w)
+		if len(ws) != r.Steps {
+			t.Fatalf("worker %d has %d samples, want %d", w, len(ws), r.Steps)
+		}
+	}
+}
+
+// TestProfileFitsPerfModel closes the loop the paper describes: measured
+// live samples feed the online perfmodel learner, which must produce a
+// valid cluster model with a finite reported fit error.
+func TestProfileFitsPerfModel(t *testing.T) {
+	src := rng.New(21)
+	// 300 samples over a 24-sample global batch: every epoch ends with a
+	// partial batch, so each node observes two distinct batch sizes — the
+	// minimum the per-node linear fit needs.
+	ds, err := data.SyntheticBlobs(300, 8, 4, 0.6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Backend:      BackendLive,
+		LocalBatches: []int{16, 8},
+		Sizes:        []int{8, 64, 4},
+		Epochs:       4,
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		BucketBytes:  256 * 8,
+		Dataset:      ds,
+		Src:          src,
+	}
+	r, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, fitErr, err := r.Profile.FitModel([]int{64, 64})
+	if err != nil {
+		t.Fatalf("FitModel: %v", err)
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatalf("fitted model invalid: %v", err)
+	}
+	if len(model.Nodes) != 2 || model.Nodes[0].MaxBatch != 64 {
+		t.Fatalf("fitted nodes %+v", model.Nodes)
+	}
+	if math.IsNaN(fitErr) || math.IsInf(fitErr, 0) || fitErr < 0 {
+		t.Fatalf("fit error %v", fitErr)
+	}
+	t.Logf("fitted model: gamma=%.3f To=%.3gs Tu=%.3gs, max fit error %.3f",
+		model.Gamma, model.To, model.Tu, fitErr)
+}
+
+// TestSampleDerivedQuantities pins the Sample accessors on synthetic
+// values, independent of wall clocks.
+func TestSampleDerivedQuantities(t *testing.T) {
+	s := Sample{Pre: 0.010, Backprop: 0.100, Post: 0.005,
+		SyncStart: 0.060, CommBusy: 0.030, TuBusy: 0.012}
+	if got := s.A(); got != 0.015 {
+		t.Fatalf("A() = %v", got)
+	}
+	if got := s.Gamma(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Gamma() = %v, want 0.5", got)
+	}
+	if got := s.To(); math.Abs(got-0.018) > 1e-12 {
+		t.Fatalf("To() = %v, want 0.018", got)
+	}
+	if got := s.Tu(); got != 0.012 {
+		t.Fatalf("Tu() = %v", got)
+	}
+	// Degenerate clocks clamp instead of exploding.
+	if g := (Sample{Backprop: 0}).Gamma(); g != 1 {
+		t.Fatalf("zero-backprop Gamma() = %v, want 1", g)
+	}
+	if g := (Sample{Pre: 1, SyncStart: 0.5, Backprop: 1}).Gamma(); g != 1e-6 {
+		t.Fatalf("early-sync Gamma() = %v, want clamp to 1e-6", g)
+	}
+	if got := (Sample{CommBusy: 0.01, TuBusy: 0.02}).To(); got != 0 {
+		t.Fatalf("negative To() = %v, want 0", got)
+	}
+}
+
+// TestOverlapObservedRejectsViolations feeds a hand-built profile where a
+// sample's sync starts after its last bucket completed.
+func TestOverlapObservedRejectsViolations(t *testing.T) {
+	p := &Profile{Workers: 1, Samples: []Sample{
+		{Buckets: 4, Pre: 1, Backprop: 10, SyncStart: 5, LastBucketDone: 4},
+	}}
+	if p.OverlapObserved() {
+		t.Fatal("OverlapObserved accepted syncStart after last bucket")
+	}
+	if (&Profile{Workers: 1, Samples: []Sample{{Buckets: 1}}}).OverlapObserved() {
+		t.Fatal("OverlapObserved true with no multi-bucket samples")
+	}
+}

@@ -1,0 +1,319 @@
+// Package runtime executes real data-parallel training over a set of
+// workers, in one of two backends sharing a single training driver:
+//
+//   - "sim": the sequential reference — workers run one after another in
+//     the driver goroutine and synchronize with a bucketed ring all-reduce
+//     between steps. No wall-clock profile is produced; timing comes from
+//     the analytic simulation layers elsewhere in the repo.
+//   - "live": a concurrent execution engine — every worker is a goroutine
+//     owning its replica, optimizer, and data shard. Workers synchronize
+//     through a persistent message-passing ring (internal/allreduce.Ring),
+//     splitting the flat gradient into DDP-style buckets and launching
+//     each bucket's reduction as soon as backpropagation has produced it,
+//     so communication genuinely overlaps compute. Each worker measures
+//     its own wall-clock phases (the paper's a_i, P_i, syncStart_i, T_o,
+//     T_u) and the run emits a Profile that perfmodel can fit, closing the
+//     measure → model → optimize loop on real execution for the first
+//     time.
+//
+// Both backends implement the identical arithmetic: Eq. 9 batch-weighted
+// aggregation with summation order fixed by the ring topology and bucket
+// boundaries. For the same seed and config their model weights are
+// bitwise-identical — the differential tests in this package enforce it.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"cannikin/internal/allreduce"
+	"cannikin/internal/data"
+	"cannikin/internal/gns"
+	"cannikin/internal/nn"
+	"cannikin/internal/rng"
+	"cannikin/internal/simnet"
+	"cannikin/internal/tensor"
+)
+
+// Backend names accepted by Config.Backend.
+const (
+	BackendSim  = "sim"
+	BackendLive = "live"
+)
+
+// Config describes one data-parallel training run.
+type Config struct {
+	// Backend selects the execution engine: BackendSim (default) or
+	// BackendLive.
+	Backend string
+	// LocalBatches are the per-worker local batch sizes; their count sets
+	// the number of data-parallel workers.
+	LocalBatches []int
+	// Sizes are the full MLP layer sizes [in, hidden..., out].
+	Sizes []int
+	// Epochs is the number of training passes.
+	Epochs int
+	// LearningRate and Momentum parameterize SGD.
+	LearningRate float64
+	Momentum     float64
+	// GrowthEpoch, when positive, doubles every local batch at that epoch;
+	// Scaler (may be nil) rescales the learning rate on growth.
+	GrowthEpoch int
+	Scaler      nn.LRScaler
+	// NaiveGNS switches GNS aggregation to plain averaging instead of the
+	// Theorem 4.1 minimum-variance weights.
+	NaiveGNS bool
+	// BucketBytes caps the gradient bucket size for the ring all-reduce
+	// (default simnet.DefaultBucketBytes, PyTorch DDP's 25 MB).
+	BucketBytes int
+	// Dataset is the training set; evaluation runs on all of it.
+	Dataset *data.Dataset
+	// Src drives all run randomness (shard shuffling, replica init). The
+	// loader and replicas consume it in a fixed order, so two runs from
+	// equal sources are identical.
+	Src *rng.Source
+}
+
+func (c *Config) validate() error {
+	if len(c.LocalBatches) == 0 {
+		return errors.New("runtime: config needs at least one worker batch")
+	}
+	for i, b := range c.LocalBatches {
+		if b < 1 {
+			return fmt.Errorf("runtime: worker %d local batch %d", i, b)
+		}
+	}
+	if len(c.Sizes) < 2 {
+		return errors.New("runtime: Sizes needs at least input and output widths")
+	}
+	if c.Epochs < 1 || c.LearningRate <= 0 {
+		return fmt.Errorf("runtime: invalid epochs %d / learning rate %v", c.Epochs, c.LearningRate)
+	}
+	if c.Dataset == nil || c.Dataset.Len() < 1 {
+		return errors.New("runtime: config needs a non-empty dataset")
+	}
+	if c.Src == nil {
+		return errors.New("runtime: config needs an rng source")
+	}
+	switch c.Backend {
+	case "", BackendSim, BackendLive:
+	default:
+		return fmt.Errorf("runtime: unknown backend %q", c.Backend)
+	}
+	return nil
+}
+
+// Result reports one training run.
+type Result struct {
+	// Backend is the engine that executed the run.
+	Backend string
+	// Workers is the number of data-parallel replicas; GlobalBatch the
+	// initial per-step total batch.
+	Workers     int
+	GlobalBatch int
+	// EpochLoss and EpochAccuracy are measured on the full dataset after
+	// each epoch; NoiseEstimate is the smoothed GNS.
+	EpochLoss     []float64
+	EpochAccuracy []float64
+	NoiseEstimate []float64
+	// BatchSchedule and LRSchedule record the per-epoch global batch and
+	// learning rate.
+	BatchSchedule []int
+	LRSchedule    []float64
+	// FinalAccuracy is the last epoch's accuracy; Steps the total number
+	// of synchronized steps.
+	FinalAccuracy float64
+	Steps         int
+	// FinalWeights is the flat weight vector after training (identical on
+	// every replica — the run fails if they diverge).
+	FinalWeights []float64
+	// Profile holds the measured wall-clock phase samples (live backend
+	// only; nil for sim).
+	Profile *Profile
+}
+
+// executor is one execution engine driven by the shared training loop.
+// step runs one synchronized step over the pre-drawn shards and returns
+// the GNS norm observations from the real gradients.
+type executor interface {
+	step(epoch, step int, xs []*tensor.T, labels [][]int, stepWeights []float64, lr float64) (gns.Sample, error)
+	// network returns replica 0 for full-dataset evaluation. Only valid
+	// between steps (the driver is the only goroutine active then).
+	network() *nn.Network
+	// finalWeights checks replica consistency and returns the weights.
+	finalWeights() ([]float64, error)
+	profile() *Profile
+	close()
+}
+
+// Train runs the configured training job and reports it. The produced
+// model is a pure function of (Config minus Backend/BucketBytes): every
+// backend and bucket size yields bitwise-identical weights, because the
+// per-bucket ring fixes the summation order and both engines reduce the
+// same buckets.
+func Train(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	backend := cfg.Backend
+	if backend == "" {
+		backend = BackendSim
+	}
+	bucketBytes := cfg.BucketBytes
+	if bucketBytes <= 0 {
+		bucketBytes = simnet.DefaultBucketBytes
+	}
+	bucketLen := bucketBytes / 8
+	if bucketLen < 1 {
+		bucketLen = 1
+	}
+
+	loader := data.NewHeteroLoader(cfg.Dataset, cfg.Src)
+	nWorkers := len(cfg.LocalBatches)
+	globalBatch := 0
+	for _, b := range cfg.LocalBatches {
+		globalBatch += b
+	}
+
+	// All replicas start from identical weights, synchronized the way DDP
+	// does it: rank 0 broadcasts its initialization over the ring.
+	replicas := make([]*nn.Network, nWorkers)
+	weightBufs := make([][]float64, nWorkers)
+	for i := range replicas {
+		replicas[i] = nn.NewMLP(cfg.Sizes, cfg.Src.Split(fmt.Sprintf("init-%d", i)))
+		weightBufs[i] = replicas[i].FlatWeights()
+	}
+	if err := allreduce.Broadcast(weightBufs, 0); err != nil {
+		return nil, err
+	}
+	for i := range replicas {
+		replicas[i].SetFlatWeights(weightBufs[i])
+	}
+	opts := make([]*nn.SGD, nWorkers)
+	for i := range opts {
+		opts[i] = nn.NewSGD(cfg.Momentum, 0)
+	}
+
+	var exec executor
+	switch backend {
+	case BackendSim:
+		exec = newSeqExec(replicas, opts, bucketLen)
+	case BackendLive:
+		exec = newLiveExec(replicas, opts, bucketLen)
+	}
+	defer exec.close()
+
+	tracker := gns.NewTracker(0.1)
+	res := &Result{Backend: backend, Workers: nWorkers, GlobalBatch: globalBatch}
+	weights := make([]float64, nWorkers)
+	for i, b := range cfg.LocalBatches {
+		weights[i] = float64(b) / float64(globalBatch)
+	}
+
+	fullX, fullLabels := cfg.Dataset.Batch(identity(cfg.Dataset.Len()))
+
+	localBatches := append([]int(nil), cfg.LocalBatches...)
+	baseBatch := globalBatch
+	lr := cfg.LearningRate
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.GrowthEpoch > 0 && epoch == cfg.GrowthEpoch {
+			for i := range localBatches {
+				localBatches[i] *= 2
+			}
+			globalBatch *= 2
+			for i, b := range localBatches {
+				weights[i] = float64(b) / float64(globalBatch)
+			}
+			if cfg.Scaler != nil {
+				lr = cfg.Scaler.Scale(cfg.LearningRate, globalBatch, baseBatch, tracker.Noise())
+			}
+		}
+		stepsPerEpoch := cfg.Dataset.Len() / globalBatch
+		if stepsPerEpoch < 1 {
+			stepsPerEpoch = 1
+		}
+		for s := 0; s < stepsPerEpoch; s++ {
+			xs, labels, err := loader.NextGlobalBatch(localBatches)
+			if err != nil {
+				return nil, err
+			}
+			// Eq. 9 weights must track the actual shard sizes (the final
+			// partial batch shrinks every shard).
+			got := 0
+			for _, x := range xs {
+				got += x.Rows()
+			}
+			stepWeights := weights
+			if got != globalBatch {
+				stepWeights = make([]float64, nWorkers)
+				for i, x := range xs {
+					stepWeights[i] = float64(x.Rows()) / float64(got)
+				}
+			}
+			sample, err := exec.step(epoch, res.Steps, xs, labels, stepWeights, lr)
+			if err != nil {
+				return nil, err
+			}
+			if nWorkers >= 2 {
+				var est gns.Estimate
+				var gerr error
+				if cfg.NaiveGNS {
+					est, gerr = gns.EstimateNaive(sample)
+				} else {
+					est, gerr = gns.EstimateOptimal(sample)
+				}
+				if gerr == nil {
+					tracker.Observe(est)
+				}
+			}
+			res.Steps++
+		}
+		logits := exec.network().Forward(fullX)
+		loss, _ := nn.SoftmaxCrossEntropy(logits, fullLabels)
+		res.EpochLoss = append(res.EpochLoss, loss)
+		res.EpochAccuracy = append(res.EpochAccuracy, nn.Accuracy(logits, fullLabels))
+		res.NoiseEstimate = append(res.NoiseEstimate, tracker.Noise())
+		res.BatchSchedule = append(res.BatchSchedule, globalBatch)
+		res.LRSchedule = append(res.LRSchedule, lr)
+	}
+	res.FinalAccuracy = res.EpochAccuracy[len(res.EpochAccuracy)-1]
+
+	final, err := exec.finalWeights()
+	if err != nil {
+		return nil, err
+	}
+	res.FinalWeights = final
+	res.Profile = exec.profile()
+	return res, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sqNorm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

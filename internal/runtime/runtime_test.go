@@ -1,0 +1,209 @@
+package runtime
+
+import (
+	"testing"
+
+	"cannikin/internal/data"
+	"cannikin/internal/nn"
+	"cannikin/internal/rng"
+)
+
+// testConfig builds a small training config the way the public TrainMLP
+// wrapper does: one source seeds the dataset, the loader, and the replica
+// initialization, in that order.
+func testConfig(t *testing.T, seed uint64, batches []int, samples int) Config {
+	t.Helper()
+	src := rng.New(seed)
+	ds, err := data.SyntheticBlobs(samples, 8, 4, 0.6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		LocalBatches: batches,
+		Sizes:        []int{8, 32, 4},
+		Epochs:       3,
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		Dataset:      ds,
+		Src:          src,
+	}
+}
+
+// TestLiveMatchesSequentialBitwise is the tentpole differential test: the
+// concurrent live engine and the sequential reference must produce
+// bitwise-identical weights and GNS trajectories for the same seed —
+// across equal and unequal local batches, partial final batches, batch
+// growth with AdaScale, and several bucket sizes.
+func TestLiveMatchesSequentialBitwise(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches []int
+		samples int
+		mutate  func(*Config)
+	}{
+		{"two-equal", []int{16, 16}, 256, nil},
+		{"unequal", []int{12, 6, 3}, 300, nil},
+		{"partial-batches", []int{16, 8}, 300, nil},
+		{"single-worker", []int{32}, 256, nil},
+		{"growth-adascale", []int{8, 4}, 240, func(c *Config) {
+			c.Epochs = 4
+			c.GrowthEpoch = 2
+			c.Scaler = nn.AdaScale{}
+		}},
+		{"tiny-buckets", []int{10, 5}, 300, func(c *Config) {
+			c.BucketBytes = 64 * 8 // 64-element buckets: many per step
+		}},
+		{"naive-gns", []int{16, 8}, 300, func(c *Config) { c.NaiveGNS = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := testConfig(t, 42, tc.batches, tc.samples)
+			if tc.mutate != nil {
+				tc.mutate(&seq)
+			}
+			live := testConfig(t, 42, tc.batches, tc.samples)
+			if tc.mutate != nil {
+				tc.mutate(&live)
+			}
+			seq.Backend = BackendSim
+			live.Backend = BackendLive
+
+			rs, err := Train(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rl, err := Train(live)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(rs.FinalWeights) == 0 || len(rs.FinalWeights) != len(rl.FinalWeights) {
+				t.Fatalf("weight lengths %d vs %d", len(rs.FinalWeights), len(rl.FinalWeights))
+			}
+			for i := range rs.FinalWeights {
+				if rs.FinalWeights[i] != rl.FinalWeights[i] {
+					t.Fatalf("weight %d: sim %v != live %v", i, rs.FinalWeights[i], rl.FinalWeights[i])
+				}
+			}
+			for e := range rs.EpochLoss {
+				if rs.EpochLoss[e] != rl.EpochLoss[e] {
+					t.Fatalf("epoch %d loss: sim %v != live %v", e, rs.EpochLoss[e], rl.EpochLoss[e])
+				}
+				if rs.NoiseEstimate[e] != rl.NoiseEstimate[e] {
+					t.Fatalf("epoch %d noise: sim %v != live %v", e, rs.NoiseEstimate[e], rl.NoiseEstimate[e])
+				}
+				if rs.BatchSchedule[e] != rl.BatchSchedule[e] || rs.LRSchedule[e] != rl.LRSchedule[e] {
+					t.Fatalf("epoch %d schedule: sim (%d, %v) != live (%d, %v)", e,
+						rs.BatchSchedule[e], rs.LRSchedule[e], rl.BatchSchedule[e], rl.LRSchedule[e])
+				}
+			}
+			if rs.FinalAccuracy != rl.FinalAccuracy || rs.Steps != rl.Steps {
+				t.Fatalf("sim (acc %v, steps %d) != live (acc %v, steps %d)",
+					rs.FinalAccuracy, rs.Steps, rl.FinalAccuracy, rl.Steps)
+			}
+			if rs.Profile != nil {
+				t.Fatal("sim backend emitted a profile")
+			}
+			if rl.Profile == nil || len(rl.Profile.Samples) != rl.Steps*rl.Workers {
+				t.Fatalf("live profile has %d samples, want %d",
+					len(rl.Profile.Samples), rl.Steps*rl.Workers)
+			}
+		})
+	}
+}
+
+// TestBucketSizeDoesNotChangeWeights: the bucket split only partitions the
+// ring segments; the per-bucket summation order is unchanged, so every
+// bucket size must give the same bits.
+func TestBucketSizeDoesNotChangeWeights(t *testing.T) {
+	var ref []float64
+	for _, bytes := range []int{0, 64 * 8, 1000 * 8, 7 * 8} {
+		cfg := testConfig(t, 7, []int{12, 6}, 240)
+		cfg.Backend = BackendLive
+		cfg.BucketBytes = bytes
+		r, err := Train(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r.FinalWeights
+			continue
+		}
+		for i := range ref {
+			if ref[i] != r.FinalWeights[i] {
+				t.Fatalf("bucketBytes=%d: weight %d differs", bytes, i)
+			}
+		}
+	}
+}
+
+// TestLiveDeterminism mirrors the repo's chaos goldens: same seed, same
+// result — for everything except the wall-clock profile.
+func TestLiveDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := testConfig(t, 99, []int{16, 8, 4}, 300)
+		cfg.Backend = BackendLive
+		cfg.BucketBytes = 128 * 8
+		r, err := Train(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("FinalAccuracy %v != %v", a.FinalAccuracy, b.FinalAccuracy)
+	}
+	for e := range a.BatchSchedule {
+		if a.BatchSchedule[e] != b.BatchSchedule[e] {
+			t.Fatalf("BatchSchedule[%d] %d != %d", e, a.BatchSchedule[e], b.BatchSchedule[e])
+		}
+	}
+	for i := range a.FinalWeights {
+		if a.FinalWeights[i] != b.FinalWeights[i] {
+			t.Fatalf("weight %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	base := func() Config { return testConfig(t, 1, []int{8, 8}, 128) }
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no-workers", func(c *Config) { c.LocalBatches = nil }},
+		{"zero-batch", func(c *Config) { c.LocalBatches = []int{8, 0} }},
+		{"short-sizes", func(c *Config) { c.Sizes = []int{8} }},
+		{"no-epochs", func(c *Config) { c.Epochs = 0 }},
+		{"bad-lr", func(c *Config) { c.LearningRate = -1 }},
+		{"no-dataset", func(c *Config) { c.Dataset = nil }},
+		{"no-src", func(c *Config) { c.Src = nil }},
+		{"bad-backend", func(c *Config) { c.Backend = "cuda" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if _, err := Train(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+// TestDefaultBackendIsSim: an empty Backend trains sequentially and says
+// so in the result.
+func TestDefaultBackendIsSim(t *testing.T) {
+	cfg := testConfig(t, 3, []int{16, 16}, 128)
+	r, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Backend != BackendSim || r.Profile != nil {
+		t.Fatalf("default backend = %q, profile %v", r.Backend, r.Profile)
+	}
+	if r.FinalAccuracy <= 0.5 {
+		t.Fatalf("training failed: accuracy %v", r.FinalAccuracy)
+	}
+}

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"fmt"
+
+	"cannikin/internal/allreduce"
+	"cannikin/internal/gns"
+	"cannikin/internal/nn"
+	"cannikin/internal/tensor"
+)
+
+// seqExec is the sequential reference engine: one goroutine runs every
+// worker's forward/backward in rank order, then synchronizes with a
+// bucketed ring all-reduce. It performs the exact arithmetic of the live
+// engine — same bucket boundaries, same per-bucket ring summation order —
+// which is what makes the bitwise differential test possible.
+type seqExec struct {
+	replicas  []*nn.Network
+	opts      []*nn.SGD
+	bucketLen int
+}
+
+func newSeqExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *seqExec {
+	return &seqExec{replicas: replicas, opts: opts, bucketLen: bucketLen}
+}
+
+func (e *seqExec) step(epoch, step int, xs []*tensor.T, labels [][]int, stepWeights []float64, lr float64) (gns.Sample, error) {
+	n := len(e.replicas)
+	grads := make([][]float64, n)
+	sample := gns.Sample{
+		Batches:      make([]int, n),
+		LocalSqNorms: make([]float64, n),
+	}
+	for i, net := range e.replicas {
+		net.ZeroGrad()
+		logits := net.Forward(xs[i])
+		_, dlogits := nn.SoftmaxCrossEntropy(logits, labels[i])
+		net.Backward(dlogits)
+		grads[i] = net.FlatGrads()
+		sample.Batches[i] = xs[i].Rows()
+		sample.LocalSqNorms[i] = sqNorm(grads[i])
+	}
+	if err := allreduce.AllReduceBuckets(grads, stepWeights, e.bucketLen); err != nil {
+		return sample, err
+	}
+	sample.GlobalSqNorm = sqNorm(grads[0])
+	for i, net := range e.replicas {
+		net.SetFlatGrads(grads[i])
+		e.opts[i].Step(net.Params(), lr)
+	}
+	return sample, nil
+}
+
+func (e *seqExec) network() *nn.Network { return e.replicas[0] }
+
+func (e *seqExec) finalWeights() ([]float64, error) {
+	ref := e.replicas[0].FlatWeights()
+	for i := 1; i < len(e.replicas); i++ {
+		if d := maxAbsDiff(ref, e.replicas[i].FlatWeights()); d > 1e-9 {
+			return nil, fmt.Errorf("runtime: replica %d diverged by %g", i, d)
+		}
+	}
+	return ref, nil
+}
+
+func (e *seqExec) profile() *Profile { return nil }
+
+func (e *seqExec) close() {}

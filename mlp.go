@@ -4,16 +4,15 @@ import (
 	"errors"
 	"fmt"
 
-	"cannikin/internal/allreduce"
 	"cannikin/internal/data"
-	"cannikin/internal/gns"
 	"cannikin/internal/nn"
 	"cannikin/internal/rng"
+	"cannikin/internal/runtime"
 )
 
 // MLPConfig configures a *real* data-parallel training run: an MLP trained
-// on synthetic data across simulated workers with heterogeneous local batch
-// sizes, batch-weighted ring all-reduce (Eq. 9), and the Theorem 4.1
+// on synthetic data across workers with heterogeneous local batch sizes,
+// batch-weighted ring all-reduce (Eq. 9), and the Theorem 4.1
 // heterogeneous GNS estimator running on the actual gradients.
 type MLPConfig struct {
 	// LocalBatches are the per-worker local batch sizes; their count sets
@@ -45,6 +44,15 @@ type MLPConfig struct {
 	// (gain damped by the live GNS estimate), "sqrt", "linear", or ""
 	// (keep the learning rate).
 	Scaler string
+	// Backend selects the execution engine: "sim" (default) runs the
+	// workers sequentially in one goroutine; "live" runs each worker as a
+	// concurrent goroutine with a real overlapped bucketed ring all-reduce
+	// and wall-clock phase profiling. Both backends produce bitwise
+	// identical model weights for the same seed.
+	Backend string
+	// BucketBytes caps the gradient bucket size for the ring all-reduce
+	// (default 25 MB, PyTorch DDP's cap).
+	BucketBytes int
 }
 
 func (c *MLPConfig) defaults() error {
@@ -83,11 +91,18 @@ func (c *MLPConfig) defaults() error {
 	if c.Dim < 1 || c.Classes < 2 || c.Samples < 1 || c.Epochs < 1 || c.LearningRate <= 0 {
 		return fmt.Errorf("cannikin: invalid MLP config %+v", *c)
 	}
+	switch c.Backend {
+	case "", "sim", "live":
+	default:
+		return fmt.Errorf("cannikin: unknown backend %q", c.Backend)
+	}
 	return nil
 }
 
 // MLPResult reports a real training run.
 type MLPResult struct {
+	// Backend is the engine that executed the run ("sim" or "live").
+	Backend string
 	// Workers is the number of data-parallel replicas.
 	Workers int
 	// GlobalBatch is the per-step total batch (sum of local batches).
@@ -107,60 +122,46 @@ type MLPResult struct {
 	FinalAccuracy float64
 	// Steps is the total number of synchronized steps executed.
 	Steps int
+	// FinalWeights is the trained flat weight vector, identical bit for
+	// bit on every replica and across backends.
+	FinalWeights []float64
+	// Profile summarizes the measured wall-clock phases (live backend
+	// only; nil for sim).
+	Profile *MLPProfile
+}
+
+// MLPProfile is the public summary of a live run's measured timing: the
+// quantities the paper's online profiler feeds into OptPerf.
+type MLPProfile struct {
+	// Workers is the rank count; Buckets the gradient buckets per step.
+	Workers, Buckets int
+	// OverlapObserved reports that in every multi-bucket step the first
+	// bucket entered the ring strictly before backprop finished and before
+	// the last bucket completed — communication really overlapped compute.
+	OverlapObserved bool
+	// Gamma, To, Tu are the fitted cluster communication constants; A and
+	// Backprop the per-worker mean phase times in seconds.
+	Gamma, To, Tu float64
+	A, Backprop   []float64
+	// FitOK says the perfmodel fit succeeded; FitError is its worst
+	// per-node mean relative residual.
+	FitOK    bool
+	FitError float64
 }
 
 // TrainMLP runs real heterogeneous data-parallel training: every worker
 // holds a replica of the model, computes gradients on its (differently
-// sized) shard, and the replicas synchronize with a batch-weighted ring
-// all-reduce. Replica consistency is enforced, so the run is exactly
-// equivalent to single-node training on the concatenated batch.
+// sized) shard, and the replicas synchronize with a batch-weighted
+// bucketed ring all-reduce. Replica consistency is enforced, so the run is
+// exactly equivalent to single-node training on the concatenated batch.
+//
+// The default "sim" backend executes workers sequentially; Backend "live"
+// executes them concurrently with overlapped communication and returns a
+// measured Profile. The trained weights are bitwise identical either way.
 func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.Seed)
-	ds, err := data.SyntheticBlobs(cfg.Samples, cfg.Dim, cfg.Classes, cfg.Noise, src)
-	if err != nil {
-		return nil, err
-	}
-	loader := data.NewHeteroLoader(ds, src)
-
-	nWorkers := len(cfg.LocalBatches)
-	globalBatch := 0
-	for _, b := range cfg.LocalBatches {
-		globalBatch += b
-	}
-	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
-	sizes = append(sizes, cfg.Classes)
-
-	// All replicas start from identical weights, synchronized the way DDP
-	// does it: rank 0 broadcasts its initialization over the ring.
-	replicas := make([]*nn.Network, nWorkers)
-	weightBufs := make([][]float64, nWorkers)
-	for i := range replicas {
-		replicas[i] = nn.NewMLP(sizes, src.Split(fmt.Sprintf("init-%d", i)))
-		weightBufs[i] = replicas[i].FlatWeights()
-	}
-	if err := allreduce.Broadcast(weightBufs, 0); err != nil {
-		return nil, err
-	}
-	for i := range replicas {
-		replicas[i].SetFlatWeights(weightBufs[i])
-	}
-	opts := make([]*nn.SGD, nWorkers)
-	for i := range opts {
-		opts[i] = nn.NewSGD(cfg.Momentum, 0)
-	}
-
-	tracker := gns.NewTracker(0.1)
-	res := &MLPResult{Workers: nWorkers, GlobalBatch: globalBatch}
-	weights := make([]float64, nWorkers)
-	for i, b := range cfg.LocalBatches {
-		weights[i] = float64(b) / float64(globalBatch)
-	}
-
-	fullX, fullLabels := ds.Batch(identity(ds.Len()))
-
 	var scaler nn.LRScaler
 	switch cfg.Scaler {
 	case "adascale":
@@ -174,132 +175,79 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 		return nil, fmt.Errorf("cannikin: unknown LR scaler %q", cfg.Scaler)
 	}
 
-	localBatches := append([]int(nil), cfg.LocalBatches...)
-	baseBatch := globalBatch
-	lr := cfg.LearningRate
-
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		if cfg.GrowthEpoch > 0 && epoch == cfg.GrowthEpoch {
-			for i := range localBatches {
-				localBatches[i] *= 2
-			}
-			globalBatch *= 2
-			for i, b := range localBatches {
-				weights[i] = float64(b) / float64(globalBatch)
-			}
-			if scaler != nil {
-				lr = scaler.Scale(cfg.LearningRate, globalBatch, baseBatch, tracker.Noise())
-			}
-		}
-		stepsPerEpoch := cfg.Samples / globalBatch
-		if stepsPerEpoch < 1 {
-			stepsPerEpoch = 1
-		}
-		for s := 0; s < stepsPerEpoch; s++ {
-			xs, labels, err := loader.NextGlobalBatch(localBatches)
-			if err != nil {
-				return nil, err
-			}
-			grads := make([][]float64, nWorkers)
-			sample := gns.Sample{
-				Batches:      make([]int, nWorkers),
-				LocalSqNorms: make([]float64, nWorkers),
-			}
-			for i, net := range replicas {
-				net.ZeroGrad()
-				logits := net.Forward(xs[i])
-				_, dlogits := nn.SoftmaxCrossEntropy(logits, labels[i])
-				net.Backward(dlogits)
-				grads[i] = net.FlatGrads()
-				sample.Batches[i] = xs[i].Rows()
-				sample.LocalSqNorms[i] = sqNorm(grads[i])
-			}
-			// Batch-weighted ring all-reduce (Eq. 9). Weights must track
-			// the actual shard sizes (the final partial batch shrinks).
-			stepWeights := weights
-			if got := sum(sample.Batches); got != globalBatch {
-				stepWeights = make([]float64, nWorkers)
-				for i, b := range sample.Batches {
-					stepWeights[i] = float64(b) / float64(got)
-				}
-			}
-			if err := allreduce.AllReduce(grads, stepWeights); err != nil {
-				return nil, err
-			}
-			sample.GlobalSqNorm = sqNorm(grads[0])
-			if nWorkers >= 2 {
-				var est gns.Estimate
-				var gerr error
-				if cfg.NaiveGNS {
-					est, gerr = gns.EstimateNaive(sample)
-				} else {
-					est, gerr = gns.EstimateOptimal(sample)
-				}
-				if gerr == nil {
-					tracker.Observe(est)
-				}
-			}
-			for i, net := range replicas {
-				net.SetFlatGrads(grads[i])
-				opts[i].Step(net.Params(), lr)
-			}
-			res.Steps++
-		}
-		logits := replicas[0].Forward(fullX)
-		loss, _ := nn.SoftmaxCrossEntropy(logits, fullLabels)
-		res.EpochLoss = append(res.EpochLoss, loss)
-		res.EpochAccuracy = append(res.EpochAccuracy, nn.Accuracy(logits, fullLabels))
-		res.NoiseEstimate = append(res.NoiseEstimate, tracker.Noise())
-		res.BatchSchedule = append(res.BatchSchedule, globalBatch)
-		res.LRSchedule = append(res.LRSchedule, lr)
+	src := rng.New(cfg.Seed)
+	ds, err := data.SyntheticBlobs(cfg.Samples, cfg.Dim, cfg.Classes, cfg.Noise, src)
+	if err != nil {
+		return nil, err
 	}
-	res.FinalAccuracy = res.EpochAccuracy[len(res.EpochAccuracy)-1]
+	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.Classes)
 
-	// Replica-consistency invariant: weighted all-reduce keeps every
-	// replica bit-identical.
-	ref := replicas[0].FlatWeights()
-	for i := 1; i < nWorkers; i++ {
-		if d := maxAbsDiff(ref, replicas[i].FlatWeights()); d > 1e-9 {
-			return nil, fmt.Errorf("cannikin: replica %d diverged by %g", i, d)
-		}
+	r, err := runtime.Train(runtime.Config{
+		Backend:      cfg.Backend,
+		LocalBatches: cfg.LocalBatches,
+		Sizes:        sizes,
+		Epochs:       cfg.Epochs,
+		LearningRate: cfg.LearningRate,
+		Momentum:     cfg.Momentum,
+		GrowthEpoch:  cfg.GrowthEpoch,
+		Scaler:       scaler,
+		NaiveGNS:     cfg.NaiveGNS,
+		BucketBytes:  cfg.BucketBytes,
+		Dataset:      ds,
+		Src:          src,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MLPResult{
+		Backend:       r.Backend,
+		Workers:       r.Workers,
+		GlobalBatch:   r.GlobalBatch,
+		EpochLoss:     r.EpochLoss,
+		EpochAccuracy: r.EpochAccuracy,
+		NoiseEstimate: r.NoiseEstimate,
+		BatchSchedule: r.BatchSchedule,
+		LRSchedule:    r.LRSchedule,
+		FinalAccuracy: r.FinalAccuracy,
+		Steps:         r.Steps,
+		FinalWeights:  r.FinalWeights,
+	}
+	if r.Profile != nil {
+		res.Profile = summarizeProfile(r.Profile)
 	}
 	return res, nil
 }
 
-func identity(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
+// summarizeProfile reduces the raw per-step samples to the public summary.
+func summarizeProfile(p *runtime.Profile) *MLPProfile {
+	out := &MLPProfile{
+		Workers:         p.Workers,
+		OverlapObserved: p.OverlapObserved(),
+		A:               make([]float64, p.Workers),
+		Backprop:        make([]float64, p.Workers),
+	}
+	if len(p.Samples) > 0 {
+		out.Buckets = p.Samples[0].Buckets
+	}
+	for w := 0; w < p.Workers; w++ {
+		ws := p.WorkerSamples(w)
+		for _, s := range ws {
+			out.A[w] += s.A()
+			out.Backprop[w] += s.Backprop
+		}
+		if len(ws) > 0 {
+			out.A[w] /= float64(len(ws))
+			out.Backprop[w] /= float64(len(ws))
+		}
+	}
+	if model, fitErr, err := p.FitModel(nil); err == nil {
+		out.FitOK = true
+		out.FitError = fitErr
+		out.Gamma = model.Gamma
+		out.To = model.To
+		out.Tu = model.Tu
 	}
 	return out
-}
-
-func sqNorm(v []float64) float64 {
-	s := 0.0
-	for _, x := range v {
-		s += x * x
-	}
-	return s
-}
-
-func sum(xs []int) int {
-	s := 0
-	for _, x := range xs {
-		s += x
-	}
-	return s
-}
-
-func maxAbsDiff(a, b []float64) float64 {
-	m := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > m {
-			m = d
-		}
-	}
-	return m
 }

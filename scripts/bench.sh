@@ -1,0 +1,61 @@
+#!/bin/sh
+# Runtime performance trajectory: runs the live-execution benchmarks and
+# writes BENCH_runtime.json so successive commits can be compared.
+#
+#   scripts/bench.sh            # writes BENCH_runtime.json in the repo root
+#   BENCHTIME=5x scripts/bench.sh
+#
+# The JSON records ns/op for the ring all-reduce across (workers, dim) and
+# for TrainMLP on both backends across worker counts, plus the live/seq
+# speedup per worker count. On a multicore host the live engine should beat
+# the sequential loop at >= 4 workers; on a single core the two are near
+# parity (the "cores" field says which situation the numbers describe).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="BENCH_runtime.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (allreduce + live-vs-sequential, benchtime $BENCHTIME) =="
+go test -run '^$' -bench 'BenchmarkAllReduce$|BenchmarkTrainMLPLiveVsSequential' \
+	-benchtime "$BENCHTIME" . | tee "$RAW"
+
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+awk -v cores="$CORES" '
+/^BenchmarkAllReduce\// {
+	split($1, parts, "/")
+	sub(/^n/, "", parts[2]); sub(/^dim/, "", parts[3])
+	sub(/-[0-9]+$/, "", parts[3])
+	ar = ar sep sprintf("    {\"workers\": %s, \"dim\": %s, \"ns_per_op\": %s}", parts[2], parts[3], $3)
+	sep = ",\n"
+}
+/^BenchmarkTrainMLPLiveVsSequential\// {
+	split($1, parts, "/")
+	sub(/^w/, "", parts[2])
+	backend = parts[3]; sub(/-[0-9]+$/, "", backend)
+	t[parts[2] "/" backend] = $3
+	if (!(parts[2] in seen)) { order[++n] = parts[2]; seen[parts[2]] = 1 }
+}
+END {
+	printf "{\n  \"cores\": %s,\n", cores
+	printf "  \"allreduce\": [\n%s\n  ],\n", ar
+	printf "  \"train_mlp\": [\n"
+	for (i = 1; i <= n; i++) {
+		w = order[i]
+		speedup = (t[w "/live"] > 0) ? t[w "/sim"] / t[w "/live"] : 0
+		printf "    {\"workers\": %s, \"sim_ns_per_op\": %s, \"live_ns_per_op\": %s, \"live_speedup\": %.4f}%s\n", \
+			w, t[w "/sim"], t[w "/live"], speedup, (i < n) ? "," : ""
+	}
+	printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "== wrote $OUT =="
+cat "$OUT"
+
+# Sanity: every configuration must be present, and on a multicore host the
+# live engine must beat the sequential loop at >= 4 workers.
+go run ./scripts/benchcheck "$OUT"

@@ -1,0 +1,73 @@
+// Command benchcheck validates a BENCH_runtime.json produced by
+// scripts/bench.sh: all benchmark configurations must be present with
+// positive timings, and on a multicore host the live execution engine must
+// beat the sequential loop at every worker count >= 4.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Cores     int `json:"cores"`
+	AllReduce []struct {
+		Workers int     `json:"workers"`
+		Dim     int     `json:"dim"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"allreduce"`
+	TrainMLP []struct {
+		Workers     int     `json:"workers"`
+		SimNsPerOp  float64 `json:"sim_ns_per_op"`
+		LiveNsPerOp float64 `json:"live_ns_per_op"`
+		LiveSpeedup float64 `json:"live_speedup"`
+	} `json:"train_mlp"`
+}
+
+func main() {
+	if err := check(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check() error {
+	if len(os.Args) != 2 {
+		return fmt.Errorf("usage: benchcheck BENCH_runtime.json")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return err
+	}
+	if len(f.AllReduce) != 9 {
+		return fmt.Errorf("want 9 allreduce configurations (3 worker counts x 3 dims), got %d", len(f.AllReduce))
+	}
+	for _, r := range f.AllReduce {
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("allreduce n=%d dim=%d: non-positive ns/op", r.Workers, r.Dim)
+		}
+	}
+	if len(f.TrainMLP) != 4 {
+		return fmt.Errorf("want 4 train-mlp worker counts, got %d", len(f.TrainMLP))
+	}
+	for _, r := range f.TrainMLP {
+		if r.SimNsPerOp <= 0 || r.LiveNsPerOp <= 0 {
+			return fmt.Errorf("train-mlp w=%d: non-positive timing", r.Workers)
+		}
+		if f.Cores > 1 && r.Workers >= 4 && r.LiveSpeedup <= 1 {
+			return fmt.Errorf("train-mlp w=%d: live (%.0f ns/op) did not beat sequential (%.0f ns/op) on a %d-core host",
+				r.Workers, r.LiveNsPerOp, r.SimNsPerOp, f.Cores)
+		}
+	}
+	if f.Cores > 1 {
+		fmt.Printf("benchcheck: ok (%d cores; live beats sequential at >=4 workers)\n", f.Cores)
+	} else {
+		fmt.Printf("benchcheck: ok (single core: live-vs-sequential speedup not enforced)\n")
+	}
+	return nil
+}

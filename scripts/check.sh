@@ -16,6 +16,16 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The live execution engine is the most concurrency-dense code in the repo
+# (two goroutines per worker, channel-linked ring, shared comm buffers), so
+# run its package and the collective under the race detector explicitly and
+# with a higher count even though ./... above already covers them once.
+echo "== go test -race -count=2 (runtime + allreduce) =="
+go test -race -count=2 ./internal/runtime ./internal/allreduce
+
+echo "== live-backend smoke: short epochs through the CLI =="
+go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 >/dev/null
+
 echo "== audited fuzz smoke: optperf FuzzSolve =="
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/optperf
 
