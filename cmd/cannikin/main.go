@@ -33,22 +33,23 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cannikin", flag.ContinueOnError)
 	var (
-		clusterName = fs.String("cluster", "a", `cluster preset: "a", "b", or "c"`)
-		models      = fs.String("models", "", "comma-separated GPU models for a custom cluster (overrides -cluster)")
-		workload    = fs.String("workload", "cifar10", "workload name (see -list)")
-		system      = fs.String("system", "cannikin", "training system: cannikin, adaptdl, lb-bsp, pytorch-ddp, hetpipe")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		epochs      = fs.Int("epochs", 0, "epoch cap (0 = run to convergence)")
-		batch       = fs.Int("batch", 0, "fixed total batch size (0 = adaptive/default)")
-		list        = fs.Bool("list", false, "list workloads and GPU models, then exit")
-		csv         = fs.Bool("csv", false, "emit the epoch trace as CSV")
-		chaosChurn  = fs.Float64("chaos", 0, "per-epoch probability of a random resource perturbation, in (0, 1]")
-		progress    = fs.Bool("progress", false, "stream each epoch as it completes")
-		audit       = fs.String("audit", "", `verify OptPerf plans against the paper's optimality invariants: "advisory" or "strict"`)
-		mlp         = fs.Bool("mlp", false, "train the real MLP across data-parallel workers instead of the simulated workload")
-		backend     = fs.String("backend", "sim", `MLP execution engine: "sim" (sequential reference) or "live" (concurrent workers, overlapped ring all-reduce, wall-clock profile)`)
-		mlpBatches  = fs.String("mlp-batches", "16,8,4", "comma-separated per-worker local batch sizes for -mlp")
-		bucketBytes = fs.Int("bucket-bytes", 0, "gradient bucket cap in bytes for -mlp (0 = DDP's 25 MB default)")
+		clusterName  = fs.String("cluster", "a", `cluster preset: "a", "b", or "c"`)
+		models       = fs.String("models", "", "comma-separated GPU models for a custom cluster (overrides -cluster)")
+		workload     = fs.String("workload", "cifar10", "workload name (see -list)")
+		system       = fs.String("system", "cannikin", "training system: cannikin, adaptdl, lb-bsp, pytorch-ddp, hetpipe")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		epochs       = fs.Int("epochs", 0, "epoch cap (0 = run to convergence)")
+		batch        = fs.Int("batch", 0, "fixed total batch size (0 = adaptive/default)")
+		list         = fs.Bool("list", false, "list workloads and GPU models, then exit")
+		csv          = fs.Bool("csv", false, "emit the epoch trace as CSV")
+		chaosChurn   = fs.Float64("chaos", 0, "per-epoch probability of a random resource perturbation, in (0, 1]")
+		progress     = fs.Bool("progress", false, "stream each epoch as it completes")
+		audit        = fs.String("audit", "", `verify OptPerf plans against the paper's optimality invariants: "advisory" or "strict"`)
+		mlp          = fs.Bool("mlp", false, "train the real MLP across data-parallel workers instead of the simulated workload")
+		backend      = fs.String("backend", "sim", `MLP execution engine: "sim" (sequential reference) or "live" (concurrent workers, overlapped ring all-reduce, wall-clock profile)`)
+		mlpBatches   = fs.String("mlp-batches", "16,8,4", "comma-separated per-worker local batch sizes for -mlp")
+		bucketBytes  = fs.Int("bucket-bytes", 0, "gradient bucket cap in bytes for -mlp (0 = DDP's 25 MB default)")
+		kernelShards = fs.Int("kernel-shards", 0, "matmul kernel parallelism for -mlp: shard each matmul across this many goroutines (0 = leave serial; results are bitwise identical at any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,7 +58,7 @@ func run(args []string, w io.Writer) error {
 		return printCatalog(w)
 	}
 	if *mlp {
-		return runMLP(w, *mlpBatches, *backend, *seed, *epochs, *bucketBytes, *csv)
+		return runMLP(w, *mlpBatches, *backend, *seed, *epochs, *bucketBytes, *kernelShards, *csv)
 	}
 
 	cfg := cannikin.TrainConfig{
@@ -133,7 +134,7 @@ func run(args []string, w io.Writer) error {
 // runMLP trains the real data-parallel MLP on the selected execution
 // backend and prints the per-epoch trace plus, for the live backend, the
 // measured timing profile and the performance model fitted from it.
-func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketBytes int, csv bool) error {
+func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketBytes, kernelShards int, csv bool) error {
 	local, err := parseBatches(batches)
 	if err != nil {
 		return err
@@ -143,6 +144,7 @@ func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketByt
 		Backend:      backend,
 		Seed:         seed,
 		BucketBytes:  bucketBytes,
+		KernelShards: kernelShards,
 	}
 	if epochs > 0 {
 		cfg.Epochs = epochs

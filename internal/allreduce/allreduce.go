@@ -29,6 +29,16 @@ import (
 type Ring struct {
 	n     int
 	links []chan []float64
+	// scratch[rank] holds rank-private reusable state (chunk bounds and a
+	// spare message buffer), making steady-state Reduce calls allocation
+	// free. Each entry is touched only by its rank's goroutine.
+	scratch []ringScratch
+}
+
+// ringScratch is one rank's reusable Reduce state.
+type ringScratch struct {
+	bounds []int
+	spare  []float64
 }
 
 // NewRing returns a ring of n workers whose links buffer depth in-flight
@@ -41,9 +51,10 @@ func NewRing(n, depth int) (*Ring, error) {
 	if depth < 1 {
 		depth = 1
 	}
-	r := &Ring{n: n, links: make([]chan []float64, n)}
+	r := &Ring{n: n, links: make([]chan []float64, n), scratch: make([]ringScratch, n)}
 	for i := range r.links {
 		r.links[i] = make(chan []float64, depth)
+		r.scratch[i].bounds = make([]int, n+1)
 	}
 	return r, nil
 }
@@ -65,8 +76,10 @@ func (r *Ring) Reduce(rank int, seg []float64) {
 	if n == 1 || dim == 0 {
 		return
 	}
-	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
-	bounds := make([]int, n+1)
+	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]). The
+	// bounds slice is rank-private scratch reused across calls.
+	sc := &r.scratch[rank]
+	bounds := sc.bounds
 	for c := 0; c <= n; c++ {
 		bounds[c] = c * dim / n
 	}
@@ -78,9 +91,11 @@ func (r *Ring) Reduce(rank int, seg []float64) {
 	in := r.links[(rank-1+n)%n]
 
 	// Message buffers circulate around the ring: once a received buffer
-	// has been consumed it becomes this rank's next send buffer, so a
-	// steady-state Reduce allocates only while the pipeline fills.
-	var spare []float64
+	// has been consumed it becomes this rank's next send buffer, and the
+	// final buffer is parked in the rank's scratch for the next call, so a
+	// steady-state Reduce allocates nothing.
+	spare := sc.spare
+	sc.spare = nil
 	stage := func(src []float64) []float64 {
 		var msg []float64
 		if cap(spare) >= len(src) {
@@ -114,6 +129,7 @@ func (r *Ring) Reduce(rank int, seg []float64) {
 		copy(chunk(sendIdx-1), recv)
 		spare = recv
 	}
+	sc.spare = spare
 }
 
 // AllReduce replaces every vectors[i] in place with the weighted sum

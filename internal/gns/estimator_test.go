@@ -1,0 +1,101 @@
+package gns
+
+import (
+	"errors"
+	"testing"
+
+	"cannikin/internal/rng"
+)
+
+// TestEstimatorMatchesOneShot is the differential test for the reusable
+// estimator: across a stream of samples whose batch vectors change
+// mid-stream (invalidating the weight cache), every Estimate must be
+// bitwise identical to the allocating one-shot functions.
+func TestEstimatorMatchesOneShot(t *testing.T) {
+	src := rng.New(11)
+	batchSeqs := [][]int{
+		{32, 32, 32, 32},
+		{32, 32, 32, 32}, // cache hit
+		{48, 16, 40, 24}, // cache invalidated
+		{48, 16, 40, 24},
+		{20, 30, 50}, // node count change
+		{48, 16, 40, 24},
+	}
+	for _, naive := range []bool{false, true} {
+		e := NewEstimator(naive)
+		for step, batches := range batchSeqs {
+			s := Sample{Batches: batches, LocalSqNorms: make([]float64, len(batches))}
+			total := 0.0
+			for i := range s.LocalSqNorms {
+				s.LocalSqNorms[i] = 1 + src.Float64()
+				total += s.LocalSqNorms[i]
+			}
+			s.GlobalSqNorm = total / float64(len(batches)) * (0.5 + 0.5*src.Float64())
+
+			got, err := e.Estimate(s)
+			if err != nil {
+				t.Fatalf("naive=%v step %d: %v", naive, step, err)
+			}
+			var want Estimate
+			if naive {
+				want, err = EstimateNaive(s)
+			} else {
+				want, err = EstimateOptimal(s)
+			}
+			if err != nil {
+				t.Fatalf("naive=%v step %d one-shot: %v", naive, step, err)
+			}
+			if got.GradSq != want.GradSq || got.TraceVar != want.TraceVar || got.Noise != want.Noise {
+				t.Fatalf("naive=%v step %d: got %+v, want %+v", naive, step, got, want)
+			}
+			for i := range want.WeightsG {
+				if got.WeightsG[i] != want.WeightsG[i] || got.WeightsS[i] != want.WeightsS[i] {
+					t.Fatalf("naive=%v step %d weight %d differs", naive, step, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatorSteadyStateAllocs: with an unchanged batch vector, Estimate
+// must not allocate after the first call.
+func TestEstimatorSteadyStateAllocs(t *testing.T) {
+	e := NewEstimator(false)
+	s := Sample{
+		Batches:      []int{48, 16, 40, 24},
+		LocalSqNorms: []float64{1.5, 2.5, 1.1, 0.9},
+		GlobalSqNorm: 1.2,
+	}
+	if _, err := e.Estimate(s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Estimate(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Estimate allocates %v times, want 0", allocs)
+	}
+}
+
+// TestEstimatorErrors: degenerate samples error without poisoning the cache.
+func TestEstimatorErrors(t *testing.T) {
+	e := NewEstimator(false)
+	good := Sample{Batches: []int{8, 8}, LocalSqNorms: []float64{1, 2}, GlobalSqNorm: 1.4}
+	if _, err := e.Estimate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := Sample{Batches: []int{8}, LocalSqNorms: []float64{1}, GlobalSqNorm: 1}
+	if _, err := e.Estimate(bad); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("got %v, want ErrDegenerate", err)
+	}
+	got, err := e.Estimate(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := EstimateOptimal(good)
+	if got.GradSq != want.GradSq || got.TraceVar != want.TraceVar {
+		t.Fatalf("post-error estimate %+v != %+v", got, want)
+	}
+}

@@ -79,12 +79,18 @@ func LocalEstimates(s Sample) (gi, si []float64, err error) {
 	n := len(s.Batches)
 	gi = make([]float64, n)
 	si = make([]float64, n)
-	for i := 0; i < n; i++ {
+	localEstimatesInto(s, total, gi, si)
+	return gi, si, nil
+}
+
+// localEstimatesInto fills gi and si (length len(s.Batches)) with the
+// Eq. 10 estimates for a pre-validated sample.
+func localEstimatesInto(s Sample, total float64, gi, si []float64) {
+	for i := 0; i < len(s.Batches); i++ {
 		b := float64(s.Batches[i])
 		gi[i] = (total*s.GlobalSqNorm - b*s.LocalSqNorms[i]) / (total - b)
 		si[i] = b * total / (total - b) * (s.LocalSqNorms[i] - s.GlobalSqNorm)
 	}
-	return gi, si, nil
 }
 
 // CovarianceMatrices returns the Theorem 4.1 matrices A_G and A_S for the

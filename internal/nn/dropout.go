@@ -16,8 +16,11 @@ type Dropout struct {
 	// Train toggles training mode; evaluation mode is the identity.
 	Train bool
 
-	src  *rng.Source
-	mask *tensor.T
+	src *rng.Source
+	// active reports whether the last Forward applied a mask; the mask and
+	// output workspaces persist across mode switches.
+	active        bool
+	mask, out, dx *tensor.T
 }
 
 // NewDropout returns a dropout layer in training mode.
@@ -28,32 +31,45 @@ func NewDropout(p float64, src *rng.Source) *Dropout {
 	return &Dropout{P: p, Train: true, src: src.Split("dropout")}
 }
 
-// Forward applies the dropout mask (training) or the identity (eval).
+// Forward applies the dropout mask (training) or the identity (eval),
+// drawing one uniform variate per element in training mode.
 func (d *Dropout) Forward(x *tensor.T) *tensor.T {
 	if !d.Train || d.P == 0 {
-		d.mask = nil
+		d.active = false
 		return x
 	}
+	d.active = true
 	scale := 1 / (1 - d.P)
-	d.mask = tensor.New(x.Rows(), x.Cols())
-	out := x.Clone()
-	for i := range out.Data() {
+	d.mask = tensor.Reuse(d.mask, x.Rows(), x.Cols())
+	d.out = tensor.Reuse(d.out, x.Rows(), x.Cols())
+	md, od := d.mask.Data(), d.out.Data()
+	for i, v := range x.Data() {
 		if d.src.Float64() < d.P {
-			out.Data()[i] = 0
+			od[i] = 0
+			md[i] = 0
 		} else {
-			out.Data()[i] *= scale
-			d.mask.Data()[i] = scale
+			od[i] = v * scale
+			md[i] = scale
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward routes gradients through the surviving units.
 func (d *Dropout) Backward(dout *tensor.T) *tensor.T {
-	if d.mask == nil {
+	if !d.active {
 		return dout
 	}
-	return dout.Clone().Hadamard(d.mask)
+	if dout.Rows() != d.mask.Rows() || dout.Cols() != d.mask.Cols() {
+		panic(fmt.Sprintf("nn: Dropout.Backward shape %dx%d, mask %dx%d",
+			dout.Rows(), dout.Cols(), d.mask.Rows(), d.mask.Cols()))
+	}
+	d.dx = tensor.Reuse(d.dx, dout.Rows(), dout.Cols())
+	dd, md := d.dx.Data(), d.mask.Data()
+	for i, v := range dout.Data() {
+		dd[i] = v * md[i]
+	}
+	return d.dx
 }
 
 // Params returns nil: dropout has no parameters.

@@ -14,8 +14,10 @@ import (
 type Embedding struct {
 	table *Param
 	dim   int
-	// cached IDs for the backward pass.
+	// cached IDs for the backward pass (backing storage reused).
 	ids [][]int
+	// out and dx are the forward/backward workspaces.
+	out, dx *tensor.T
 }
 
 // NewEmbedding returns an embedding table of vocab rows with dim columns.
@@ -40,21 +42,29 @@ func (e *Embedding) Vocab() int { return e.table.W.Rows() }
 // must be integral values in [0, vocab).
 func (e *Embedding) Forward(x *tensor.T) *tensor.T {
 	batch, fields := x.Rows(), x.Cols()
-	out := tensor.New(batch, fields*e.dim)
-	e.ids = make([][]int, batch)
+	e.out = tensor.Reuse(e.out, batch, fields*e.dim)
+	if cap(e.ids) >= batch {
+		e.ids = e.ids[:batch]
+	} else {
+		e.ids = make([][]int, batch)
+	}
 	for i := 0; i < batch; i++ {
 		row := x.Row(i)
-		e.ids[i] = make([]int, fields)
+		if cap(e.ids[i]) >= fields {
+			e.ids[i] = e.ids[i][:fields]
+		} else {
+			e.ids[i] = make([]int, fields)
+		}
 		for f, vf := range row {
 			id := int(vf)
 			if id < 0 || id >= e.Vocab() || float64(id) != vf {
 				panic(fmt.Sprintf("nn: embedding id %v out of [0, %d)", vf, e.Vocab()))
 			}
 			e.ids[i][f] = id
-			copy(out.Row(i)[f*e.dim:(f+1)*e.dim], e.table.W.Row(id))
+			copy(e.out.Row(i)[f*e.dim:(f+1)*e.dim], e.table.W.Row(id))
 		}
 	}
-	return out
+	return e.out
 }
 
 // Backward scatters the upstream gradient into the rows that were looked
@@ -73,7 +83,9 @@ func (e *Embedding) Backward(dout *tensor.T) *tensor.T {
 			}
 		}
 	}
-	return tensor.New(len(e.ids), len(e.ids[0]))
+	e.dx = tensor.Reuse(e.dx, len(e.ids), len(e.ids[0]))
+	e.dx.Zero()
+	return e.dx
 }
 
 // Params returns the embedding table.

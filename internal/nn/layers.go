@@ -6,6 +6,16 @@
 // The engine produces real gradients so the reproduction can validate the
 // heterogeneous GNS estimators and the batch-weighted all-reduce on actual
 // training runs, not only on synthetic norms.
+//
+// Every layer owns a reusable workspace (activations, masks, gradient
+// scratch) sized on first use, and the hot path runs through the
+// destination-passing kernels in internal/tensor, so a steady-state
+// training step allocates nothing. Workspace tensors returned by
+// Forward/Backward are valid until the layer's next Forward/Backward call;
+// callers needing longer-lived values must copy. The arithmetic — down to
+// summation order and the kernels' exact-zero skip — is unchanged from the
+// original allocating implementation, so training trajectories are bitwise
+// identical.
 package nn
 
 import (
@@ -38,6 +48,13 @@ type Layer interface {
 type Linear struct {
 	w, b *Param
 	x    *tensor.T // cached input
+
+	// Reusable workspace, sized on first use: the forward output, the
+	// backward input-gradient, the xᵀ·dout product, and the bias-gradient
+	// column sums. The dw/db scratch keeps Backward's accumulate-into-Grad
+	// arithmetic identical to the original product-then-Add formulation.
+	out, dx, dw *tensor.T
+	db          []float64
 }
 
 // NewLinear returns a Linear layer with Xavier/Glorot-initialized weights.
@@ -57,24 +74,50 @@ func NewLinear(in, out int, src *rng.Source) *Linear {
 	}
 }
 
-// Forward computes x W + b, caching x for the backward pass.
+// Forward computes x W + b into the layer workspace, caching x for the
+// backward pass.
 func (l *Linear) Forward(x *tensor.T) *tensor.T {
 	l.x = x
-	return x.MatMul(l.w.W).AddRowVector(l.b.W.Row(0))
+	l.out = tensor.Reuse(l.out, x.Rows(), l.w.W.Cols())
+	tensor.MatMulInto(l.out, x, l.w.W)
+	return l.out.AddRowVector(l.b.W.Row(0))
 }
 
 // Backward accumulates dW = xᵀ dout, db = Σ dout and returns dx = dout Wᵀ.
+// The transposed products run through the fused kernels — no Transpose
+// copies — with the products formed in scratch and then added, so repeated
+// Backward calls accumulate exactly like the original implementation.
 func (l *Linear) Backward(dout *tensor.T) *tensor.T {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	l.w.Grad.Add(l.x.Transpose().MatMul(dout))
-	bg := dout.SumColumns()
+	in, out := l.w.W.Rows(), l.w.W.Cols()
+	l.dw = tensor.Reuse(l.dw, in, out)
+	l.dw.Zero()
+	tensor.AddMulATInto(l.dw, l.x, dout)
+	l.w.Grad.Add(l.dw)
+
+	if cap(l.db) < out {
+		l.db = make([]float64, out)
+	}
+	bg := l.db[:out]
+	for j := range bg {
+		bg[j] = 0
+	}
+	for i := 0; i < dout.Rows(); i++ {
+		row := dout.Row(i)
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
 	row := l.b.Grad.Row(0)
 	for j := range row {
 		row[j] += bg[j]
 	}
-	return dout.MatMul(l.w.W.Transpose())
+
+	l.dx = tensor.Reuse(l.dx, dout.Rows(), in)
+	tensor.MulBTInto(l.dx, dout, l.w.W)
+	return l.dx
 }
 
 // Params returns the layer's weight and bias.
@@ -82,21 +125,25 @@ func (l *Linear) Params() []*Param { return []*Param{l.w, l.b} }
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask *tensor.T
+	mask, out, dx *tensor.T
 }
 
-// Forward returns max(x, 0).
+// Forward returns max(x, 0), computing the output and the backward mask in
+// one pass over the input.
 func (r *ReLU) Forward(x *tensor.T) *tensor.T {
-	r.mask = tensor.New(x.Rows(), x.Cols())
-	out := x.Clone()
+	r.mask = tensor.Reuse(r.mask, x.Rows(), x.Cols())
+	r.out = tensor.Reuse(r.out, x.Rows(), x.Cols())
+	md, od := r.mask.Data(), r.out.Data()
 	for i, v := range x.Data() {
 		if v > 0 {
-			r.mask.Data()[i] = 1
+			md[i] = 1
+			od[i] = v
 		} else {
-			out.Data()[i] = 0
+			md[i] = 0
+			od[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward masks the upstream gradient.
@@ -104,7 +151,16 @@ func (r *ReLU) Backward(dout *tensor.T) *tensor.T {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward before Forward")
 	}
-	return dout.Clone().Hadamard(r.mask)
+	if dout.Rows() != r.mask.Rows() || dout.Cols() != r.mask.Cols() {
+		panic(fmt.Sprintf("nn: ReLU.Backward shape %dx%d, mask %dx%d",
+			dout.Rows(), dout.Cols(), r.mask.Rows(), r.mask.Cols()))
+	}
+	r.dx = tensor.Reuse(r.dx, dout.Rows(), dout.Cols())
+	dd, md := r.dx.Data(), r.mask.Data()
+	for i, v := range dout.Data() {
+		dd[i] = v * md[i]
+	}
+	return r.dx
 }
 
 // Params returns nil: ReLU has no parameters.
@@ -112,12 +168,16 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	out *tensor.T
+	out, dx *tensor.T
 }
 
 // Forward returns tanh(x).
 func (t *Tanh) Forward(x *tensor.T) *tensor.T {
-	t.out = x.Clone().Apply(math.Tanh)
+	t.out = tensor.Reuse(t.out, x.Rows(), x.Cols())
+	od := t.out.Data()
+	for i, v := range x.Data() {
+		od[i] = math.Tanh(v)
+	}
 	return t.out
 }
 
@@ -126,19 +186,31 @@ func (t *Tanh) Backward(dout *tensor.T) *tensor.T {
 	if t.out == nil {
 		panic("nn: Tanh.Backward before Forward")
 	}
-	dx := dout.Clone()
-	for i, y := range t.out.Data() {
-		dx.Data()[i] *= 1 - y*y
+	if dout.Rows() != t.out.Rows() || dout.Cols() != t.out.Cols() {
+		panic(fmt.Sprintf("nn: Tanh.Backward shape %dx%d, out %dx%d",
+			dout.Rows(), dout.Cols(), t.out.Rows(), t.out.Cols()))
 	}
-	return dx
+	t.dx = tensor.Reuse(t.dx, dout.Rows(), dout.Cols())
+	dd, od := t.dx.Data(), t.out.Data()
+	for i, v := range dout.Data() {
+		y := od[i]
+		dd[i] = v * (1 - y*y)
+	}
+	return t.dx
 }
 
 // Params returns nil: Tanh has no parameters.
 func (t *Tanh) Params() []*Param { return nil }
 
-// Network is a sequential stack of layers.
+// Network is a sequential stack of layers. The layer set is fixed at
+// construction, so the flattened parameter list and the per-layer offsets
+// are computed once and cached.
 type Network struct {
 	layers []Layer
+
+	params  []*Param
+	offsets []int
+	built   bool
 }
 
 // NewMLP builds Linear+ReLU stacks with a final Linear, e.g. sizes
@@ -159,6 +231,25 @@ func NewMLP(sizes []int, src *rng.Source) *Network {
 
 // NewSequential wraps explicit layers.
 func NewSequential(layers ...Layer) *Network { return &Network{layers: layers} }
+
+// build computes the cached parameter list and layer offsets.
+func (n *Network) build() {
+	if n.built {
+		return
+	}
+	for _, l := range n.layers {
+		n.params = append(n.params, l.Params()...)
+	}
+	n.offsets = make([]int, len(n.layers)+1)
+	for i, l := range n.layers {
+		size := 0
+		for _, p := range l.Params() {
+			size += p.Size()
+		}
+		n.offsets[i+1] = n.offsets[i] + size
+	}
+	n.built = true
+}
 
 // Forward runs the full stack.
 func (n *Network) Forward(x *tensor.T) *tensor.T {
@@ -185,7 +276,8 @@ func (n *Network) Backward(dout *tensor.T) {
 func (n *Network) BackwardLayerwise(dout *tensor.T, onReady func(frontier int)) {
 	var offsets []int
 	if onReady != nil {
-		offsets = n.ParamOffsets()
+		n.build()
+		offsets = n.offsets
 	}
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		dout = n.layers[i].Backward(dout)
@@ -199,34 +291,23 @@ func (n *Network) BackwardLayerwise(dout *tensor.T, onReady func(frontier int)) 
 // block: offsets[i] is where layer i's parameters begin in the
 // FlatGrads/FlatWeights layout and offsets[len(layers)] is NumParams().
 // Parameterless layers contribute empty blocks (offsets[i+1] == offsets[i]).
+// The returned slice is shared and must not be modified.
 func (n *Network) ParamOffsets() []int {
-	offsets := make([]int, len(n.layers)+1)
-	for i, l := range n.layers {
-		size := 0
-		for _, p := range l.Params() {
-			size += p.Size()
-		}
-		offsets[i+1] = offsets[i] + size
-	}
-	return offsets
+	n.build()
+	return n.offsets
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The returned
+// slice is shared and must not be modified.
 func (n *Network) Params() []*Param {
-	var out []*Param
-	for _, l := range n.layers {
-		out = append(out, l.Params()...)
-	}
-	return out
+	n.build()
+	return n.params
 }
 
 // NumParams returns the total scalar parameter count.
 func (n *Network) NumParams() int {
-	total := 0
-	for _, p := range n.Params() {
-		total += p.Size()
-	}
-	return total
+	n.build()
+	return n.offsets[len(n.offsets)-1]
 }
 
 // ZeroGrad clears all parameter gradients.
@@ -238,11 +319,20 @@ func (n *Network) ZeroGrad() {
 
 // FlatGrads copies all gradients into one contiguous vector (layer order).
 func (n *Network) FlatGrads() []float64 {
-	out := make([]float64, 0, n.NumParams())
-	for _, p := range n.Params() {
-		out = append(out, p.Grad.Data()...)
+	return n.FlatGradsInto(make([]float64, n.NumParams()))
+}
+
+// FlatGradsInto copies all gradients into dst (layer order) and returns it.
+// dst must have NumParams() length.
+func (n *Network) FlatGradsInto(dst []float64) []float64 {
+	if len(dst) != n.NumParams() {
+		panic(fmt.Sprintf("nn: FlatGradsInto length %d != %d", len(dst), n.NumParams()))
 	}
-	return out
+	off := 0
+	for _, p := range n.Params() {
+		off += copy(dst[off:], p.Grad.Data())
+	}
+	return dst
 }
 
 // SetFlatGrads overwrites all gradients from one contiguous vector.
@@ -259,11 +349,20 @@ func (n *Network) SetFlatGrads(v []float64) {
 
 // FlatWeights copies all weights into one contiguous vector.
 func (n *Network) FlatWeights() []float64 {
-	out := make([]float64, 0, n.NumParams())
-	for _, p := range n.Params() {
-		out = append(out, p.W.Data()...)
+	return n.FlatWeightsInto(make([]float64, n.NumParams()))
+}
+
+// FlatWeightsInto copies all weights into dst (layer order) and returns it.
+// dst must have NumParams() length.
+func (n *Network) FlatWeightsInto(dst []float64) []float64 {
+	if len(dst) != n.NumParams() {
+		panic(fmt.Sprintf("nn: FlatWeightsInto length %d != %d", len(dst), n.NumParams()))
 	}
-	return out
+	off := 0
+	for _, p := range n.Params() {
+		off += copy(dst[off:], p.W.Data())
+	}
+	return dst
 }
 
 // SetFlatWeights overwrites all weights from one contiguous vector (used to

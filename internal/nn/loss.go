@@ -12,11 +12,21 @@ import (
 // logits (already divided by the batch size, so downstream gradients are
 // per-sample averages as in Eq. 1).
 func SoftmaxCrossEntropy(logits *tensor.T, labels []int) (float64, *tensor.T) {
+	grad := tensor.New(logits.Rows(), logits.Cols())
+	return SoftmaxCrossEntropyInto(grad, logits, labels), grad
+}
+
+// SoftmaxCrossEntropyInto is the destination-passing form of
+// SoftmaxCrossEntropy: the logit gradient is written into grad (which must
+// be shaped like logits and is fully overwritten) and the loss returned.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.T, labels []int) float64 {
 	n, c := logits.Rows(), logits.Cols()
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), n))
 	}
-	grad := tensor.New(n, c)
+	if grad.Rows() != n || grad.Cols() != c {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyInto grad %dx%d, want %dx%d", grad.Rows(), grad.Cols(), n, c))
+	}
 	loss := 0.0
 	for i := 0; i < n; i++ {
 		row := logits.Row(i)
@@ -47,7 +57,7 @@ func SoftmaxCrossEntropy(logits *tensor.T, labels []int) (float64, *tensor.T) {
 			g[j] /= float64(n)
 		}
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }
 
 // Accuracy returns the fraction of rows whose argmax matches the label.

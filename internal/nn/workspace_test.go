@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+// TestWorkspaceReuseBitwiseStable: running the same step twice on one
+// network (reusing every workspace) must give exactly the bits a fresh
+// identically-initialized network gives — workspace reuse may not leak
+// state between steps.
+func TestWorkspaceReuseBitwiseStable(t *testing.T) {
+	build := func() *Network { return NewMLP([]int{6, 16, 8, 3}, rng.New(5)) }
+	src := rng.New(9)
+	x := tensor.Randn(12, 6, 1, src)
+	labels := make([]int, 12)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+
+	step := func(net *Network) ([]float64, float64) {
+		net.ZeroGrad()
+		logits := net.Forward(x)
+		loss, dlogits := SoftmaxCrossEntropy(logits, labels)
+		net.Backward(dlogits)
+		return net.FlatGrads(), loss
+	}
+
+	reused := build()
+	// Warm the workspaces with a different batch shape first, then with the
+	// real one: reslicing must not change results.
+	big := tensor.Randn(40, 6, 1, rng.New(2))
+	reused.Forward(big)
+	g1, l1 := step(reused)
+	g2, l2 := step(reused)
+
+	fresh := build()
+	gf, lf := step(fresh)
+
+	if l1 != lf || l2 != lf {
+		t.Fatalf("losses %v/%v != fresh %v", l1, l2, lf)
+	}
+	for i := range gf {
+		if g1[i] != gf[i] || g2[i] != gf[i] {
+			t.Fatalf("grad %d: reused %v/%v != fresh %v", i, g1[i], g2[i], gf[i])
+		}
+	}
+}
+
+// TestGradAccumulationUnchanged: two Backward calls without ZeroGrad must
+// still accumulate exactly 2× the single-call gradients — the scratch-then-
+// Add formulation in Linear.Backward preserves the original accumulation
+// arithmetic.
+func TestGradAccumulationUnchanged(t *testing.T) {
+	net := NewMLP([]int{4, 8, 2}, rng.New(3))
+	x := tensor.Randn(6, 4, 1, rng.New(4))
+	labels := []int{0, 1, 0, 1, 0, 1}
+
+	logits := net.Forward(x)
+	_, d := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(d)
+	once := net.FlatGrads()
+	logits = net.Forward(x)
+	_, d = SoftmaxCrossEntropy(logits, labels)
+	net.Backward(d)
+	twice := net.FlatGrads()
+	for i := range once {
+		if twice[i] != 2*once[i] {
+			t.Fatalf("grad %d: twice %v != 2*once %v", i, twice[i], 2*once[i])
+		}
+	}
+}
+
+// TestFlatIntoMatchesAllocating is the differential test for the
+// buffer-reuse satellite: the Into variants must produce the exact bytes
+// of the allocating originals, and round-trip through the setters.
+func TestFlatIntoMatchesAllocating(t *testing.T) {
+	net := NewMLP([]int{5, 7, 4}, rng.New(8))
+	x := tensor.Randn(9, 5, 1, rng.New(2))
+	labels := make([]int, 9)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	logits := net.Forward(x)
+	_, d := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(d)
+
+	gw := net.FlatGrads()
+	gi := net.FlatGradsInto(make([]float64, net.NumParams()))
+	ww := net.FlatWeights()
+	wi := net.FlatWeightsInto(make([]float64, net.NumParams()))
+	for i := range gw {
+		if gw[i] != gi[i] {
+			t.Fatalf("FlatGradsInto[%d] = %v, want %v", i, gi[i], gw[i])
+		}
+		if ww[i] != wi[i] {
+			t.Fatalf("FlatWeightsInto[%d] = %v, want %v", i, wi[i], ww[i])
+		}
+	}
+
+	// Into with a reused dirty buffer must fully overwrite it.
+	dirty := make([]float64, net.NumParams())
+	for i := range dirty {
+		dirty[i] = -1e9
+	}
+	net.FlatGradsInto(dirty)
+	for i := range dirty {
+		if dirty[i] != gw[i] {
+			t.Fatalf("dirty-buffer FlatGradsInto[%d] = %v, want %v", i, dirty[i], gw[i])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlatGradsInto accepted a short buffer")
+		}
+	}()
+	net.FlatGradsInto(make([]float64, 3))
+}
+
+// TestSoftmaxCrossEntropyIntoMatches: the destination-passing loss must
+// equal the allocating one bitwise, including into a dirty reused buffer.
+func TestSoftmaxCrossEntropyIntoMatches(t *testing.T) {
+	src := rng.New(6)
+	logits := tensor.Randn(10, 4, 2, src)
+	labels := make([]int, 10)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	wantLoss, wantGrad := SoftmaxCrossEntropy(logits, labels)
+
+	grad := tensor.Randn(10, 4, 3, src) // dirty workspace
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	if loss != wantLoss {
+		t.Fatalf("loss %v != %v", loss, wantLoss)
+	}
+	for i, v := range grad.Data() {
+		if v != wantGrad.Data()[i] {
+			t.Fatalf("grad %d: %v != %v", i, v, wantGrad.Data()[i])
+		}
+	}
+}
+
+// TestSteadyStateStepAllocsZero: after warmup, a full
+// forward/loss/backward/step cycle on reused workspaces must not allocate.
+func TestSteadyStateStepAllocsZero(t *testing.T) {
+	net := NewMLP([]int{8, 32, 16, 4}, rng.New(1))
+	opt := NewSGD(0.9, 0)
+	x := tensor.Randn(16, 8, 1, rng.New(2))
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	dlogits := tensor.New(16, 4)
+	params := net.Params()
+
+	step := func() {
+		net.ZeroGrad()
+		logits := net.Forward(x)
+		SoftmaxCrossEntropyInto(dlogits, logits, labels)
+		net.Backward(dlogits)
+		opt.Step(params, 0.05)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm workspaces and optimizer state
+	}
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Fatalf("steady-state nn step allocates %v times, want 0", allocs)
+	}
+}
+
+// BenchmarkLinearForwardBackward measures one dense layer's full cycle at
+// the sizes spanning the benchmark MLP (32→128→64→8 at batch 64).
+func BenchmarkLinearForwardBackward(b *testing.B) {
+	for _, sh := range []struct{ batch, in, out int }{
+		{64, 32, 128},
+		{64, 128, 64},
+		{64, 64, 8},
+		{256, 256, 256},
+	} {
+		b.Run(fmt.Sprintf("b%dxin%dxout%d", sh.batch, sh.in, sh.out), func(b *testing.B) {
+			l := NewLinear(sh.in, sh.out, rng.New(1))
+			x := tensor.Randn(sh.batch, sh.in, 1, rng.New(2))
+			dout := tensor.Randn(sh.batch, sh.out, 1, rng.New(3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Forward(x)
+				l.Backward(dout)
+			}
+		})
+	}
+}
+
+// BenchmarkMLPStep measures the full network step the runtime hot loop
+// executes per worker.
+func BenchmarkMLPStep(b *testing.B) {
+	net := NewMLP([]int{32, 128, 64, 8}, rng.New(1))
+	opt := NewSGD(0.9, 0)
+	x := tensor.Randn(64, 32, 1, rng.New(2))
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 8
+	}
+	dlogits := tensor.New(64, 8)
+	params := net.Params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		logits := net.Forward(x)
+		SoftmaxCrossEntropyInto(dlogits, logits, labels)
+		net.Backward(dlogits)
+		opt.Step(params, 0.05)
+	}
+}

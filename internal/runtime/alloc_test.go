@@ -1,0 +1,67 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"cannikin/internal/nn"
+	"cannikin/internal/rng"
+	"cannikin/internal/tensor"
+)
+
+// TestLiveSteadyStateStepAllocsZero is the perf-regression gate for the
+// live engine's hot loop: once workspaces, ring scratch, and optimizer
+// state are warm, a full synchronized step — forward, loss, streaming
+// bucketed backprop, ring all-reduce, optimizer — must perform zero heap
+// allocations on the compute path, with both serial and sharded kernels.
+// The profile trace is append-only by design, so its storage is
+// pre-reserved here rather than counted against the step.
+func TestLiveSteadyStateStepAllocsZero(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			tensor.SetParallelism(shards)
+			defer tensor.SetParallelism(1)
+
+			const nWorkers, batch = 2, 64
+			sizes := []int{32, 128, 64, 8}
+			src := rng.New(7)
+			replicas := make([]*nn.Network, nWorkers)
+			opts := make([]*nn.SGD, nWorkers)
+			for i := range replicas {
+				replicas[i] = nn.NewMLP(sizes, src.Split(fmt.Sprintf("init-%d", i)))
+				opts[i] = nn.NewSGD(0.9, 0)
+			}
+			exec := newLiveExec(replicas, opts, 1024) // 13k params: multi-bucket streaming
+			defer exec.close()
+
+			xs := make([]*tensor.T, nWorkers)
+			labels := make([][]int, nWorkers)
+			for i := range xs {
+				xs[i] = tensor.Randn(batch, sizes[0], 1, src)
+				labels[i] = make([]int, batch)
+				for j := range labels[i] {
+					labels[i][j] = j % sizes[len(sizes)-1]
+				}
+			}
+			stepWeights := []float64{0.5, 0.5}
+
+			stepNo := 0
+			step := func() {
+				if _, err := exec.step(0, stepNo, xs, labels, stepWeights, 0.01); err != nil {
+					t.Fatal(err)
+				}
+				stepNo++
+			}
+			for i := 0; i < 3; i++ {
+				step() // warm workspaces, ring scratch, optimizer state
+			}
+			reserved := make([]Sample, len(exec.prof.Samples), len(exec.prof.Samples)+nWorkers*200)
+			copy(reserved, exec.prof.Samples)
+			exec.prof.Samples = reserved
+
+			if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+				t.Fatalf("steady-state live step allocates %v times, want 0", allocs)
+			}
+		})
+	}
+}

@@ -27,6 +27,10 @@ type liveExec struct {
 	workers []*liveWorker
 	prof    *Profile
 	wg      sync.WaitGroup
+	// sampleBatches and sampleNorms back the gns.Sample returned by step,
+	// reused across steps so the steady-state step path does not allocate.
+	sampleBatches []int
+	sampleNorms   []float64
 }
 
 // stepTask is one worker's share of a synchronized step.
@@ -71,6 +75,8 @@ type liveWorker struct {
 	// params and paramOffs map flat-vector regions back to parameters.
 	params    []*nn.Param
 	paramOffs []int
+	// dlogits is the reusable loss-gradient workspace.
+	dlogits *tensor.T
 
 	tasks    chan stepTask
 	results  chan stepResult
@@ -90,8 +96,10 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *liveExe
 		buckets = 1
 	}
 	e := &liveExec{
-		workers: make([]*liveWorker, n),
-		prof:    &Profile{Workers: n, BucketLen: bucketLen},
+		workers:       make([]*liveWorker, n),
+		prof:          &Profile{Workers: n, BucketLen: bucketLen},
+		sampleBatches: make([]int, n),
+		sampleNorms:   make([]float64, n),
 	}
 	for i := range e.workers {
 		params := replicas[i].Params()
@@ -137,9 +145,10 @@ func (e *liveExec) step(epoch, step int, xs []*tensor.T, labels [][]int, stepWei
 	for i, w := range e.workers {
 		w.tasks <- stepTask{epoch: epoch, step: step, x: xs[i], labels: labels[i], weight: stepWeights[i], lr: lr}
 	}
+	// The sample aliases exec-owned buffers valid until the next step call.
 	sample := gns.Sample{
-		Batches:      make([]int, n),
-		LocalSqNorms: make([]float64, n),
+		Batches:      e.sampleBatches[:n],
+		LocalSqNorms: e.sampleNorms[:n],
 	}
 	// Collect in rank order: a BSP barrier, and a deterministic profile.
 	for i, w := range e.workers {
@@ -187,7 +196,8 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 	start := time.Now()
 	w.net.ZeroGrad()
 	logits := w.net.Forward(t.x)
-	_, dlogits := nn.SoftmaxCrossEntropy(logits, t.labels)
+	w.dlogits = tensor.Reuse(w.dlogits, logits.Rows(), logits.Cols())
+	nn.SoftmaxCrossEntropyInto(w.dlogits, logits, t.labels)
 	preEnd := time.Now()
 
 	// Backprop with streaming bucket launch: the frontier walks down as
@@ -199,7 +209,7 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 	nextBucket := w.buckets - 1
 	prevFr := w.dim
 	var syncStart time.Time
-	w.net.BackwardLayerwise(dlogits, func(fr int) {
+	w.net.BackwardLayerwise(w.dlogits, func(fr int) {
 		if fr == prevFr {
 			return
 		}
@@ -230,7 +240,7 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 	globalSq := sqNorm(w.commBuf)
 	postStart := time.Now()
 	w.net.SetFlatGrads(w.commBuf)
-	w.opt.Step(w.net.Params(), t.lr)
+	w.opt.Step(w.params, t.lr)
 	end := time.Now()
 
 	return stepResult{

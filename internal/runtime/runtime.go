@@ -63,6 +63,12 @@ type Config struct {
 	// NaiveGNS switches GNS aggregation to plain averaging instead of the
 	// Theorem 4.1 minimum-variance weights.
 	NaiveGNS bool
+	// KernelShards, when positive, sets the process-wide tensor kernel
+	// worker-pool size: matmuls are sharded across that many goroutines by
+	// contiguous output rows (1 = serial). Parallel kernels are bitwise
+	// identical to serial ones, so this changes wall-clock time only, never
+	// the trained weights. The setting persists after Train returns.
+	KernelShards int
 	// BucketBytes caps the gradient bucket size for the ring all-reduce
 	// (default simnet.DefaultBucketBytes, PyTorch DDP's 25 MB).
 	BucketBytes int
@@ -88,6 +94,9 @@ func (c *Config) validate() error {
 	}
 	if c.Epochs < 1 || c.LearningRate <= 0 {
 		return fmt.Errorf("runtime: invalid epochs %d / learning rate %v", c.Epochs, c.LearningRate)
+	}
+	if c.KernelShards < 0 {
+		return fmt.Errorf("runtime: kernel shards %d", c.KernelShards)
 	}
 	if c.Dataset == nil || c.Dataset.Len() < 1 {
 		return errors.New("runtime: config needs a non-empty dataset")
@@ -159,6 +168,9 @@ func Train(cfg Config) (*Result, error) {
 	if backend == "" {
 		backend = BackendSim
 	}
+	if cfg.KernelShards > 0 {
+		tensor.SetParallelism(cfg.KernelShards)
+	}
 	bucketBytes := cfg.BucketBytes
 	if bucketBytes <= 0 {
 		bucketBytes = simnet.DefaultBucketBytes
@@ -204,11 +216,15 @@ func Train(cfg Config) (*Result, error) {
 	defer exec.close()
 
 	tracker := gns.NewTracker(0.1)
+	estimator := gns.NewEstimator(cfg.NaiveGNS)
 	res := &Result{Backend: backend, Workers: nWorkers, GlobalBatch: globalBatch}
 	weights := make([]float64, nWorkers)
 	for i, b := range cfg.LocalBatches {
 		weights[i] = float64(b) / float64(globalBatch)
 	}
+	// partialWeights is the reusable Eq. 9 weight buffer for the epoch-final
+	// partial batch (whose shard sizes differ from the plan).
+	partialWeights := make([]float64, nWorkers)
 
 	fullX, fullLabels := cfg.Dataset.Batch(identity(cfg.Dataset.Len()))
 
@@ -246,7 +262,7 @@ func Train(cfg Config) (*Result, error) {
 			}
 			stepWeights := weights
 			if got != globalBatch {
-				stepWeights = make([]float64, nWorkers)
+				stepWeights = partialWeights
 				for i, x := range xs {
 					stepWeights[i] = float64(x.Rows()) / float64(got)
 				}
@@ -256,14 +272,7 @@ func Train(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			if nWorkers >= 2 {
-				var est gns.Estimate
-				var gerr error
-				if cfg.NaiveGNS {
-					est, gerr = gns.EstimateNaive(sample)
-				} else {
-					est, gerr = gns.EstimateOptimal(sample)
-				}
-				if gerr == nil {
+				if est, gerr := estimator.Estimate(sample); gerr == nil {
 					tracker.Observe(est)
 				}
 			}

@@ -18,35 +18,61 @@ type seqExec struct {
 	replicas  []*nn.Network
 	opts      []*nn.SGD
 	bucketLen int
+	// Persistent step state: flat gradient staging buffers, per-replica
+	// loss-gradient workspaces, cached parameter slices, and the GNS sample
+	// backing arrays. All are reused across steps, so the steady-state step
+	// re-allocates none of them.
+	grads   [][]float64
+	dlogits []*tensor.T
+	params  [][]*nn.Param
+	batches []int
+	localSq []float64
 }
 
 func newSeqExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *seqExec {
-	return &seqExec{replicas: replicas, opts: opts, bucketLen: bucketLen}
+	n := len(replicas)
+	e := &seqExec{
+		replicas:  replicas,
+		opts:      opts,
+		bucketLen: bucketLen,
+		grads:     make([][]float64, n),
+		dlogits:   make([]*tensor.T, n),
+		params:    make([][]*nn.Param, n),
+		batches:   make([]int, n),
+		localSq:   make([]float64, n),
+	}
+	for i, net := range replicas {
+		e.grads[i] = make([]float64, net.NumParams())
+		e.params[i] = net.Params()
+	}
+	return e
 }
 
+// step runs one synchronized step. The returned sample aliases
+// exec-owned buffers valid until the next step call.
 func (e *seqExec) step(epoch, step int, xs []*tensor.T, labels [][]int, stepWeights []float64, lr float64) (gns.Sample, error) {
 	n := len(e.replicas)
-	grads := make([][]float64, n)
 	sample := gns.Sample{
-		Batches:      make([]int, n),
-		LocalSqNorms: make([]float64, n),
+		Batches:      e.batches[:n],
+		LocalSqNorms: e.localSq[:n],
 	}
 	for i, net := range e.replicas {
 		net.ZeroGrad()
 		logits := net.Forward(xs[i])
-		_, dlogits := nn.SoftmaxCrossEntropy(logits, labels[i])
-		net.Backward(dlogits)
-		grads[i] = net.FlatGrads()
+		e.dlogits[i] = tensor.Reuse(e.dlogits[i], logits.Rows(), logits.Cols())
+		nn.SoftmaxCrossEntropyInto(e.dlogits[i], logits, labels[i])
+		net.Backward(e.dlogits[i])
+		net.FlatGradsInto(e.grads[i])
 		sample.Batches[i] = xs[i].Rows()
-		sample.LocalSqNorms[i] = sqNorm(grads[i])
+		sample.LocalSqNorms[i] = sqNorm(e.grads[i])
 	}
-	if err := allreduce.AllReduceBuckets(grads, stepWeights, e.bucketLen); err != nil {
+	if err := allreduce.AllReduceBuckets(e.grads, stepWeights, e.bucketLen); err != nil {
 		return sample, err
 	}
-	sample.GlobalSqNorm = sqNorm(grads[0])
+	sample.GlobalSqNorm = sqNorm(e.grads[0])
 	for i, net := range e.replicas {
-		net.SetFlatGrads(grads[i])
-		e.opts[i].Step(net.Params(), lr)
+		net.SetFlatGrads(e.grads[i])
+		e.opts[i].Step(e.params[i], lr)
 	}
 	return sample, nil
 }

@@ -3,9 +3,12 @@
 // matrices shaped (rows x cols); in training, rows index batch samples and
 // cols index features.
 //
-// The package favors clarity over raw speed: the engine exists to produce
-// *real gradients* for validating the GNS machinery and the weighted
-// all-reduce at MLP scale, not to win benchmarks.
+// The hot path runs through destination-passing kernels (kernels.go):
+// cache-blocked loops writing into caller-owned storage, optionally sharded
+// across a package worker pool (pool.go, SetParallelism). Sharding is by
+// output rows and every row keeps the serial summation order, so results
+// are bitwise identical at any parallelism — determinism the training
+// goldens depend on.
 package tensor
 
 import (
@@ -85,25 +88,34 @@ func (t *T) Zero() {
 	}
 }
 
-// MatMul returns t * other ((r x c) * (c x k) -> (r x k)).
+// Reuse returns a (rows x cols) tensor backed by t's storage when it has
+// the capacity, growing the storage otherwise; pass nil to allocate fresh.
+// The element contents are unspecified — callers are expected to overwrite
+// them. This is the workspace primitive behind the zero-allocation training
+// step: layers size their scratch on first use and every later step of the
+// same shape reuses it, while shape changes (a larger evaluation batch, a
+// shrunken final partial batch) reslice the same backing array.
+func Reuse(t *T, rows, cols int) *T {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if t == nil || cap(t.data) < n {
+		return New(rows, cols)
+	}
+	t.rows, t.cols = rows, cols
+	t.data = t.data[:n]
+	return t
+}
+
+// MatMul returns t * other ((r x c) * (c x k) -> (r x k)). It is the
+// allocating convenience form of MatMulInto.
 func (t *T) MatMul(other *T) *T {
 	if t.cols != other.rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", t.rows, t.cols, other.rows, other.cols))
 	}
 	out := New(t.rows, other.cols)
-	for i := 0; i < t.rows; i++ {
-		ti := t.data[i*t.cols : (i+1)*t.cols]
-		oi := out.data[i*out.cols : (i+1)*out.cols]
-		for k, a := range ti {
-			if a == 0 {
-				continue
-			}
-			ok := other.data[k*other.cols : (k+1)*other.cols]
-			for j := range oi {
-				oi[j] += a * ok[j]
-			}
-		}
-	}
+	MatMulInto(out, t, other)
 	return out
 }
 

@@ -53,6 +53,11 @@ type MLPConfig struct {
 	// BucketBytes caps the gradient bucket size for the ring all-reduce
 	// (default 25 MB, PyTorch DDP's cap).
 	BucketBytes int
+	// KernelShards, when positive, shards every matmul across that many
+	// goroutines by contiguous output rows (1 = serial, the default).
+	// Parallel and serial kernels are bitwise identical, so this is purely
+	// a wall-clock knob; the trained weights never change.
+	KernelShards int
 }
 
 func (c *MLPConfig) defaults() error {
@@ -90,6 +95,9 @@ func (c *MLPConfig) defaults() error {
 	}
 	if c.Dim < 1 || c.Classes < 2 || c.Samples < 1 || c.Epochs < 1 || c.LearningRate <= 0 {
 		return fmt.Errorf("cannikin: invalid MLP config %+v", *c)
+	}
+	if c.KernelShards < 0 {
+		return fmt.Errorf("cannikin: kernel shards %d", c.KernelShards)
 	}
 	switch c.Backend {
 	case "", "sim", "live":
@@ -194,6 +202,7 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 		Scaler:       scaler,
 		NaiveGNS:     cfg.NaiveGNS,
 		BucketBytes:  cfg.BucketBytes,
+		KernelShards: cfg.KernelShards,
 		Dataset:      ds,
 		Src:          src,
 	})

@@ -1,61 +1,94 @@
 #!/bin/sh
-# Runtime performance trajectory: runs the live-execution benchmarks and
-# writes BENCH_runtime.json so successive commits can be compared.
+# Runtime performance trajectory: runs the live-execution and kernel
+# benchmarks and writes BENCH_runtime.json so successive commits can be
+# compared.
 #
 #   scripts/bench.sh            # writes BENCH_runtime.json in the repo root
 #   BENCHTIME=5x scripts/bench.sh
+#   CPUS=1,4 scripts/bench.sh   # override the GOMAXPROCS sweep
 #
-# The JSON records ns/op for the ring all-reduce across (workers, dim) and
-# for TrainMLP on both backends across worker counts, plus the live/seq
-# speedup per worker count. On a multicore host the live engine should beat
-# the sequential loop at >= 4 workers; on a single core the two are near
-# parity (the "cores" field says which situation the numbers describe).
+# Every benchmark runs once per GOMAXPROCS value in the sweep (go test -cpu),
+# so the file records like-for-like entries: "host_cores" is the machine's
+# true core count and each entry carries the "cpu" it ran at. On a genuinely
+# multicore host the live engine should beat the sequential loop at >= 4
+# workers and >= 4 cpus; on a single core the two are near parity and the
+# comparison is recorded but not enforced (scripts/benchcheck applies the
+# policy).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
+KERNEL_BENCHTIME="${KERNEL_BENCHTIME:-20x}"
+CPUS="${CPUS:-1,2,4}"
 OUT="BENCH_runtime.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "== go test -bench (allreduce + live-vs-sequential, benchtime $BENCHTIME) =="
+HOST_CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+echo "== go test -bench (allreduce + live-vs-sequential, benchtime $BENCHTIME, cpu $CPUS) =="
 go test -run '^$' -bench 'BenchmarkAllReduce$|BenchmarkTrainMLPLiveVsSequential' \
-	-benchtime "$BENCHTIME" . | tee "$RAW"
+	-benchtime "$BENCHTIME" -cpu "$CPUS" . | tee "$RAW"
 
-CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+echo "== go test -bench (tensor kernels, benchtime $KERNEL_BENCHTIME, cpu $CPUS) =="
+go test -run '^$' -bench 'BenchmarkMatMul' \
+	-benchtime "$KERNEL_BENCHTIME" -cpu "$CPUS" ./internal/tensor | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkLinearForwardBackward|BenchmarkMLPStep$' \
+	-benchtime "$KERNEL_BENCHTIME" -cpu "$CPUS" ./internal/nn | tee -a "$RAW"
 
-awk -v cores="$CORES" '
+awk -v host_cores="$HOST_CORES" -v cpus="$CPUS" '
+# go test -cpu appends "-N" (the GOMAXPROCS value) to benchmark names —
+# except at GOMAXPROCS 1, where the name is left bare.
+function cpuof(name,   c) {
+	if (name !~ /-[0-9]+$/) return 1
+	c = name; sub(/^.*-/, "", c); return c
+}
+function stripcpu(name) { sub(/-[0-9]+$/, "", name); return name }
 /^BenchmarkAllReduce\// {
 	split($1, parts, "/")
 	sub(/^n/, "", parts[2]); sub(/^dim/, "", parts[3])
-	sub(/-[0-9]+$/, "", parts[3])
-	ar = ar sep sprintf("    {\"workers\": %s, \"dim\": %s, \"ns_per_op\": %s}", parts[2], parts[3], $3)
-	sep = ",\n"
+	cpu = cpuof(parts[3]); parts[3] = stripcpu(parts[3])
+	ar = ar arsep sprintf("    {\"workers\": %s, \"dim\": %s, \"cpu\": %s, \"ns_per_op\": %s}", \
+		parts[2], parts[3], cpu, $3)
+	arsep = ",\n"
 }
 /^BenchmarkTrainMLPLiveVsSequential\// {
 	split($1, parts, "/")
 	sub(/^w/, "", parts[2])
-	backend = parts[3]; sub(/-[0-9]+$/, "", backend)
-	t[parts[2] "/" backend] = $3
-	if (!(parts[2] in seen)) { order[++n] = parts[2]; seen[parts[2]] = 1 }
+	backend = parts[3]
+	cpu = cpuof(backend); backend = stripcpu(backend)
+	key = parts[2] "/" cpu
+	t[key "/" backend] = $3
+	if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
+}
+/^BenchmarkMatMul|^BenchmarkLinearForwardBackward|^BenchmarkMLPStep/ {
+	name = $1
+	cpu = cpuof(name); name = stripcpu(name)
+	sub(/^Benchmark/, "", name)
+	kr = kr krsep sprintf("    {\"name\": \"%s\", \"cpu\": %s, \"ns_per_op\": %s}", name, cpu, $3)
+	krsep = ",\n"
 }
 END {
-	printf "{\n  \"cores\": %s,\n", cores
+	gp = cpus; gsub(/,/, ", ", gp)
+	printf "{\n  \"host_cores\": %s,\n  \"gomaxprocs\": [%s],\n", host_cores, gp
 	printf "  \"allreduce\": [\n%s\n  ],\n", ar
 	printf "  \"train_mlp\": [\n"
 	for (i = 1; i <= n; i++) {
-		w = order[i]
-		speedup = (t[w "/live"] > 0) ? t[w "/sim"] / t[w "/live"] : 0
-		printf "    {\"workers\": %s, \"sim_ns_per_op\": %s, \"live_ns_per_op\": %s, \"live_speedup\": %.4f}%s\n", \
-			w, t[w "/sim"], t[w "/live"], speedup, (i < n) ? "," : ""
+		key = order[i]
+		split(key, kp, "/")
+		speedup = (t[key "/live"] > 0) ? t[key "/sim"] / t[key "/live"] : 0
+		printf "    {\"workers\": %s, \"cpu\": %s, \"sim_ns_per_op\": %s, \"live_ns_per_op\": %s, \"live_speedup\": %.4f}%s\n", \
+			kp[1], kp[2], t[key "/sim"], t[key "/live"], speedup, (i < n) ? "," : ""
 	}
-	printf "  ]\n}\n"
+	printf "  ],\n"
+	printf "  \"kernels\": [\n%s\n  ]\n}\n", kr
 }' "$RAW" > "$OUT"
 
 echo "== wrote $OUT =="
 cat "$OUT"
 
-# Sanity: every configuration must be present, and on a multicore host the
-# live engine must beat the sequential loop at >= 4 workers.
+# Sanity: every configuration must be present at every GOMAXPROCS value,
+# and on a genuinely multicore host the live engine must beat the
+# sequential loop when both workers and cpus are >= 4.
 go run ./scripts/benchcheck "$OUT"

@@ -1,7 +1,10 @@
 // Command benchcheck validates a BENCH_runtime.json produced by
-// scripts/bench.sh: all benchmark configurations must be present with
-// positive timings, and on a multicore host the live execution engine must
-// beat the sequential loop at every worker count >= 4.
+// scripts/bench.sh: every benchmark configuration must be present once per
+// GOMAXPROCS value in the sweep with positive timings, and the
+// live-vs-sequential comparison is only enforced like-for-like — live must
+// beat the sequential loop exactly when the host really has >= 4 cores AND
+// the run used >= 4 cpus AND >= 4 workers. On fewer cores (or at cpu 1)
+// the engines are near parity; those rows are recorded, not judged.
 package main
 
 import (
@@ -10,19 +13,31 @@ import (
 	"os"
 )
 
+// minMulticoreSpeedup is the enforced live-over-sequential advantage on a
+// genuinely parallel configuration.
+const minMulticoreSpeedup = 1.10
+
 type benchFile struct {
-	Cores     int `json:"cores"`
-	AllReduce []struct {
+	HostCores  int   `json:"host_cores"`
+	GoMaxProcs []int `json:"gomaxprocs"`
+	AllReduce  []struct {
 		Workers int     `json:"workers"`
 		Dim     int     `json:"dim"`
+		CPU     int     `json:"cpu"`
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"allreduce"`
 	TrainMLP []struct {
 		Workers     int     `json:"workers"`
+		CPU         int     `json:"cpu"`
 		SimNsPerOp  float64 `json:"sim_ns_per_op"`
 		LiveNsPerOp float64 `json:"live_ns_per_op"`
 		LiveSpeedup float64 `json:"live_speedup"`
 	} `json:"train_mlp"`
+	Kernels []struct {
+		Name    string  `json:"name"`
+		CPU     int     `json:"cpu"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"kernels"`
 }
 
 func main() {
@@ -44,30 +59,73 @@ func check() error {
 	if err := json.Unmarshal(raw, &f); err != nil {
 		return err
 	}
-	if len(f.AllReduce) != 9 {
-		return fmt.Errorf("want 9 allreduce configurations (3 worker counts x 3 dims), got %d", len(f.AllReduce))
+	if f.HostCores < 1 {
+		return fmt.Errorf("host_cores %d", f.HostCores)
+	}
+	if len(f.GoMaxProcs) == 0 {
+		return fmt.Errorf("empty gomaxprocs sweep")
+	}
+	cpus := make(map[int]bool, len(f.GoMaxProcs))
+	for _, c := range f.GoMaxProcs {
+		if c < 1 {
+			return fmt.Errorf("gomaxprocs value %d", c)
+		}
+		cpus[c] = true
+	}
+	nCPU := len(cpus)
+
+	if want := 9 * nCPU; len(f.AllReduce) != want {
+		return fmt.Errorf("want %d allreduce entries (3 worker counts x 3 dims x %d cpus), got %d",
+			want, nCPU, len(f.AllReduce))
 	}
 	for _, r := range f.AllReduce {
+		if !cpus[r.CPU] {
+			return fmt.Errorf("allreduce n=%d dim=%d: cpu %d not in the sweep", r.Workers, r.Dim, r.CPU)
+		}
 		if r.NsPerOp <= 0 {
-			return fmt.Errorf("allreduce n=%d dim=%d: non-positive ns/op", r.Workers, r.Dim)
+			return fmt.Errorf("allreduce n=%d dim=%d cpu=%d: non-positive ns/op", r.Workers, r.Dim, r.CPU)
 		}
 	}
-	if len(f.TrainMLP) != 4 {
-		return fmt.Errorf("want 4 train-mlp worker counts, got %d", len(f.TrainMLP))
+
+	if want := 4 * nCPU; len(f.TrainMLP) != want {
+		return fmt.Errorf("want %d train-mlp entries (4 worker counts x %d cpus), got %d",
+			want, nCPU, len(f.TrainMLP))
 	}
+	enforced := 0
 	for _, r := range f.TrainMLP {
-		if r.SimNsPerOp <= 0 || r.LiveNsPerOp <= 0 {
-			return fmt.Errorf("train-mlp w=%d: non-positive timing", r.Workers)
+		if !cpus[r.CPU] {
+			return fmt.Errorf("train-mlp w=%d: cpu %d not in the sweep", r.Workers, r.CPU)
 		}
-		if f.Cores > 1 && r.Workers >= 4 && r.LiveSpeedup <= 1 {
-			return fmt.Errorf("train-mlp w=%d: live (%.0f ns/op) did not beat sequential (%.0f ns/op) on a %d-core host",
-				r.Workers, r.LiveNsPerOp, r.SimNsPerOp, f.Cores)
+		if r.SimNsPerOp <= 0 || r.LiveNsPerOp <= 0 {
+			return fmt.Errorf("train-mlp w=%d cpu=%d: non-positive timing", r.Workers, r.CPU)
+		}
+		if f.HostCores >= 4 && r.CPU >= 4 && r.Workers >= 4 {
+			enforced++
+			if r.LiveSpeedup <= minMulticoreSpeedup {
+				return fmt.Errorf("train-mlp w=%d cpu=%d: live speedup %.3f <= %.2f on a %d-core host (sim %.0f ns/op, live %.0f ns/op)",
+					r.Workers, r.CPU, r.LiveSpeedup, minMulticoreSpeedup, f.HostCores, r.SimNsPerOp, r.LiveNsPerOp)
+			}
 		}
 	}
-	if f.Cores > 1 {
-		fmt.Printf("benchcheck: ok (%d cores; live beats sequential at >=4 workers)\n", f.Cores)
+
+	if len(f.Kernels) == 0 {
+		return fmt.Errorf("no kernel microbenchmark entries")
+	}
+	for _, r := range f.Kernels {
+		if !cpus[r.CPU] {
+			return fmt.Errorf("kernel %q: cpu %d not in the sweep", r.Name, r.CPU)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("kernel %q cpu=%d: non-positive ns/op", r.Name, r.CPU)
+		}
+	}
+
+	if enforced > 0 {
+		fmt.Printf("benchcheck: ok (%d cores; live beats sequential by >%.0f%% on all %d enforced rows)\n",
+			f.HostCores, 100*(minMulticoreSpeedup-1), enforced)
 	} else {
-		fmt.Printf("benchcheck: ok (single core: live-vs-sequential speedup not enforced)\n")
+		fmt.Printf("benchcheck: ok (%d-core host: live-vs-sequential advantage recorded, not enforced)\n",
+			f.HostCores)
 	}
 	return nil
 }

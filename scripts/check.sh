@@ -23,8 +23,15 @@ go test -race ./...
 echo "== go test -race -count=2 (runtime + allreduce) =="
 go test -race -count=2 ./internal/runtime ./internal/allreduce
 
+# The tensor kernel worker pool shards matmuls across goroutines and is
+# resized at runtime (SetParallelism); run its parallel property tests —
+# parallel == serial bitwise, concurrent callers, pool resizing — under the
+# race detector at several GOMAXPROCS values.
+echo "== go test -race -count=2 -cpu 1,2,4 (tensor kernel pool) =="
+go test -race -count=2 -cpu 1,2,4 -run 'Parallel|Pool' ./internal/tensor
+
 echo "== live-backend smoke: short epochs through the CLI =="
-go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 >/dev/null
+go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 -kernel-shards 2 >/dev/null
 
 echo "== audited fuzz smoke: optperf FuzzSolve =="
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/optperf
