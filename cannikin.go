@@ -246,15 +246,23 @@ type TrainConfig struct {
 	OnEpoch func(EpochReport) error
 }
 
-// ChaosEventRecord is one perturbation (or automatic recovery) that took
-// effect at an epoch boundary.
+// ChaosEventRecord is one perturbation that took effect during a run. It
+// carries both vocabularies of the unified event model: chaos kinds
+// (simulated-cluster perturbations, applied at epoch boundaries) and
+// fault kinds (live-runtime fault injection, applied at step boundaries —
+// see the Fault* constants).
 type ChaosEventRecord struct {
-	Node int
-	Kind ChaosKind
+	// Epoch is the epoch boundary a chaos event fired at; Step the global
+	// training step a fault event fired at (zero for the other vocabulary).
+	Epoch int
+	Step  int
+	Node  int
+	Kind  ChaosKind
 	// Value is the applied value: the new compute share, the new link
-	// bandwidth in GB/s, or the straggler share multiplier.
+	// bandwidth in GB/s, the straggler share multiplier — or, for fault
+	// kinds, the injected delay in seconds / the dropped-send count.
 	Value float64
-	// Revert marks the automatic restoration of a transient event.
+	// Revert marks the automatic restoration of a transient chaos event.
 	Revert bool
 }
 
@@ -460,6 +468,7 @@ func toEpochReport(e trainer.EpochStats) EpochReport {
 	}
 	for _, a := range e.Events {
 		r.Events = append(r.Events, ChaosEventRecord{
+			Epoch:  a.Epoch,
 			Node:   a.Node,
 			Kind:   ChaosKind(a.Kind),
 			Value:  a.Value,

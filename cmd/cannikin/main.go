@@ -8,6 +8,7 @@
 //	cannikin -models H100,V100,P100 -workload cifar10 -system cannikin
 //	cannikin -cluster a -workload imagenet -chaos 0.3 -progress
 //	cannikin -mlp -backend live -mlp-batches 16,8,4 -epochs 5
+//	cannikin -mlp -backend live -fault "stall:0@3:40ms,kill:1@8" -fault-replan optperf
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cannikin"
 
@@ -50,6 +52,8 @@ func run(args []string, w io.Writer) error {
 		mlpBatches   = fs.String("mlp-batches", "16,8,4", "comma-separated per-worker local batch sizes for -mlp")
 		bucketBytes  = fs.Int("bucket-bytes", 0, "gradient bucket cap in bytes for -mlp (0 = DDP's 25 MB default)")
 		kernelShards = fs.Int("kernel-shards", 0, "matmul kernel parallelism for -mlp: shard each matmul across this many goroutines (0 = leave serial; results are bitwise identical at any value)")
+		fault        = fs.String("fault", "", `inject deterministic faults into the live MLP run: comma-separated events "kind:worker@step[:arg]" with kinds kill, stall (arg = duration), delay (arg = duration), drop (arg = count), e.g. "stall:0@3:40ms,kill:1@8"`)
+		faultReplan  = fs.String("fault-replan", "", `survivor batch policy after an eviction: "keep" (default) or "optperf"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +62,14 @@ func run(args []string, w io.Writer) error {
 		return printCatalog(w)
 	}
 	if *mlp {
-		return runMLP(w, *mlpBatches, *backend, *seed, *epochs, *bucketBytes, *kernelShards, *csv)
+		faultCfg, err := parseFaults(*fault, *faultReplan)
+		if err != nil {
+			return err
+		}
+		return runMLP(w, *mlpBatches, *backend, *seed, *epochs, *bucketBytes, *kernelShards, *csv, faultCfg)
+	}
+	if *fault != "" || *faultReplan != "" {
+		return fmt.Errorf("-fault requires -mlp -backend live")
 	}
 
 	cfg := cannikin.TrainConfig{
@@ -134,7 +145,7 @@ func run(args []string, w io.Writer) error {
 // runMLP trains the real data-parallel MLP on the selected execution
 // backend and prints the per-epoch trace plus, for the live backend, the
 // measured timing profile and the performance model fitted from it.
-func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketBytes, kernelShards int, csv bool) error {
+func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketBytes, kernelShards int, csv bool, fault *cannikin.FaultConfig) error {
 	local, err := parseBatches(batches)
 	if err != nil {
 		return err
@@ -145,6 +156,7 @@ func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketByt
 		Seed:         seed,
 		BucketBytes:  bucketBytes,
 		KernelShards: kernelShards,
+		Fault:        fault,
 	}
 	if epochs > 0 {
 		cfg.Epochs = epochs
@@ -170,6 +182,18 @@ func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketByt
 	}
 	fmt.Fprintf(w, "\n%s backend: %d workers (local batches %s), %d steps, final accuracy %.4f\n",
 		res.Backend, res.Workers, intsToString(local), res.Steps, res.FinalAccuracy)
+	for _, f := range res.FaultEvents {
+		fmt.Fprintf(w, "fault: step %d worker %d %s %.3g\n", f.Step, f.Node, f.Kind, f.Value)
+	}
+	for _, ev := range res.Evictions {
+		plan := "kept survivor batches"
+		if ev.Replanned {
+			plan = "re-planned survivor batches with OptPerf"
+		}
+		fmt.Fprintf(w, "eviction: epoch %d step %d evicted worker(s) %s (%s); resumed on %s with batches %s, %s\n",
+			ev.Epoch, ev.Step, intsToString(ev.Workers), ev.Reason,
+			intsToString(ev.Survivors), intsToString(ev.SurvivorBatches), plan)
+	}
 	if p := res.Profile; p != nil {
 		fmt.Fprintf(w, "measured: %d gradient buckets/step, overlap observed=%v\n", p.Buckets, p.OverlapObserved)
 		for i := range p.A {
@@ -183,6 +207,71 @@ func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketByt
 		}
 	}
 	return nil
+}
+
+// parseFaults parses the -fault mini-DSL: comma-separated events of the
+// form "kind:worker@step[:arg]". The arg is a duration for stall/delay
+// and a count for drop; kill takes none.
+func parseFaults(spec, replan string) (*cannikin.FaultConfig, error) {
+	if spec == "" {
+		if replan != "" {
+			return &cannikin.FaultConfig{Replan: replan}, nil
+		}
+		return nil, nil
+	}
+	cfg := &cannikin.FaultConfig{Replan: replan}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		kind, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q: want kind:worker@step[:arg]", item)
+		}
+		target, arg, hasArg := strings.Cut(rest, ":")
+		workerStr, stepStr, ok := strings.Cut(target, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q: missing @step", item)
+		}
+		worker, err := strconv.Atoi(workerStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault %q: worker %q", item, workerStr)
+		}
+		step, err := strconv.Atoi(stepStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault %q: step %q", item, stepStr)
+		}
+		ev := cannikin.FaultEvent{Step: step, Worker: worker}
+		switch kind {
+		case "kill":
+			ev.Kind = cannikin.FaultKillWorker
+			if hasArg {
+				return nil, fmt.Errorf("bad fault %q: kill takes no argument", item)
+			}
+		case "stall", "delay":
+			if kind == "stall" {
+				ev.Kind = cannikin.FaultStallCompute
+			} else {
+				ev.Kind = cannikin.FaultDelayMsg
+			}
+			if !hasArg {
+				return nil, fmt.Errorf("bad fault %q: %s needs a duration argument", item, kind)
+			}
+			if ev.Delay, err = time.ParseDuration(arg); err != nil || ev.Delay <= 0 {
+				return nil, fmt.Errorf("bad fault %q: duration %q", item, arg)
+			}
+		case "drop":
+			ev.Kind = cannikin.FaultDropMsg
+			ev.Count = 1
+			if hasArg {
+				if ev.Count, err = strconv.Atoi(arg); err != nil || ev.Count < 1 {
+					return nil, fmt.Errorf("bad fault %q: drop count %q", item, arg)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("bad fault %q: unknown kind %q (want kill, stall, delay, drop)", item, kind)
+		}
+		cfg.Events = append(cfg.Events, ev)
+	}
+	return cfg, nil
 }
 
 // parseBatches parses "16,8,4" into per-worker local batch sizes.

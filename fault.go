@@ -1,0 +1,160 @@
+package cannikin
+
+import (
+	"fmt"
+	"time"
+
+	"cannikin/internal/faultinject"
+	"cannikin/internal/rng"
+	"cannikin/internal/runtime"
+)
+
+// ErrNoSurvivors reports that a fault-tolerant live run evicted every
+// worker: there was no cluster left to finish training on. Test with
+// errors.Is.
+var ErrNoSurvivors = runtime.ErrNoSurvivors
+
+// Fault kinds for the live runtime's deterministic fault injection
+// (MLPConfig.Fault). They extend the ChaosKind vocabulary: chaos kinds
+// perturb the simulated cluster at epoch boundaries, fault kinds perturb
+// the real goroutine runtime at step boundaries, and the two sets never
+// collide, so both surface through ChaosEventRecord.
+const (
+	// FaultStallCompute stalls a worker's compute for Delay at the start of
+	// each of Steps consecutive steps.
+	FaultStallCompute = ChaosKind(faultinject.KindStallCompute)
+	// FaultDelayMsg delays the worker's first ring send of the step.
+	FaultDelayMsg = ChaosKind(faultinject.KindDelayMsg)
+	// FaultDropMsg drops the first Count attempts of the worker's first ring
+	// send of the step (each is retransmitted after a timeout).
+	FaultDropMsg = ChaosKind(faultinject.KindDropMsg)
+	// FaultKillWorker kills the worker at the step: it stops responding
+	// permanently, as a crashed process would.
+	FaultKillWorker = ChaosKind(faultinject.KindKillWorker)
+)
+
+// FaultEvent is one scheduled fault against a live training run.
+type FaultEvent struct {
+	// Step is the global training step at which the fault fires; Worker the
+	// affected rank.
+	Step, Worker int
+	Kind         ChaosKind
+	// Delay is the stall or message delay (FaultStallCompute, FaultDelayMsg).
+	Delay time.Duration
+	// Steps is how many consecutive steps a stall lasts (default 1).
+	Steps int
+	// Count is how many send attempts are dropped (default 1).
+	Count int
+}
+
+// FaultConfig enables deterministic fault injection and fault tolerance
+// for the live backend: every ring hop runs under a bounded retry
+// deadline, a worker that cannot complete a step is evicted, and training
+// resumes on the survivors from the last fully-reduced weights.
+type FaultConfig struct {
+	// Events are explicit scheduled faults.
+	Events []FaultEvent
+	// Churn, when positive, additionally generates a seeded random fault
+	// schedule with that per-step probability (in (0, 1]). Generation is
+	// deterministic in the job Seed.
+	Churn float64
+	// FirstStep and Horizon bound the generated events (defaults 1 and 32).
+	FirstStep, Horizon int
+	// Kill permits generated kill-worker events (at most one per schedule).
+	Kill bool
+	// HopTimeout and Retries tune per-hop failure detection; StepTimeout is
+	// the driver's deadline for a whole step; StepRetries how often a failed
+	// step is retried before an eviction. Zero values take the defaults.
+	HopTimeout  time.Duration
+	Retries     int
+	StepTimeout time.Duration
+	StepRetries int
+	// Replan picks the survivor batch policy after an eviction: "keep"
+	// (default — survivors keep their local batches) or "optperf" (re-solve
+	// OptPerf over the survivor cluster from the live profile).
+	Replan string
+}
+
+// lower converts the public config to the runtime's, generating the
+// churn schedule deterministically from the seed.
+func (c *FaultConfig) lower(workers int, seed uint64) (*runtime.FaultConfig, error) {
+	var events []faultinject.Event
+	for _, e := range c.Events {
+		events = append(events, faultinject.Event{
+			Step: e.Step, Worker: e.Worker, Kind: faultinject.Kind(e.Kind),
+			Delay: e.Delay, Steps: e.Steps, Count: e.Count,
+		})
+	}
+	if c.Churn > 0 {
+		gen, err := faultinject.Generate(faultinject.Profile{
+			Intensity: c.Churn,
+			FirstStep: c.FirstStep,
+			Horizon:   c.Horizon,
+			Kill:      c.Kill,
+		}, workers, rng.New(seed))
+		if err != nil {
+			return nil, fmt.Errorf("cannikin: %w", err)
+		}
+		events = append(events, gen.Events...)
+	}
+	var replan string
+	switch c.Replan {
+	case "", "keep":
+		replan = runtime.ReplanKeep
+	case "optperf":
+		replan = runtime.ReplanOptPerf
+	default:
+		return nil, fmt.Errorf("cannikin: unknown replan policy %q", c.Replan)
+	}
+	out := &runtime.FaultConfig{
+		Schedule:    faultinject.Schedule{Events: events},
+		HopTimeout:  c.HopTimeout,
+		Retries:     c.Retries,
+		StepTimeout: c.StepTimeout,
+		StepRetries: c.StepRetries,
+		Replan:      replan,
+	}
+	if err := out.Schedule.Validate(workers); err != nil {
+		return nil, fmt.Errorf("cannikin: %w", err)
+	}
+	return out, nil
+}
+
+// EvictionRecord is one coordinated worker eviction during a
+// fault-tolerant live run. Worker indices are the run's original ranks.
+type EvictionRecord struct {
+	// Epoch and Step locate the failed step.
+	Epoch, Step int
+	// Workers are the evicted ranks; Reason says why.
+	Workers []int
+	Reason  string
+	// Survivors are the remaining ranks; SurvivorBatches the local batches
+	// they resumed with.
+	Survivors       []int
+	SurvivorBatches []int
+	// Checkpoint is the flat weight vector training resumed from — resuming
+	// a fresh run with InitWeights = Checkpoint on the survivor cluster
+	// reproduces the post-eviction trajectory bitwise.
+	Checkpoint []float64
+	// Replanned reports that OptPerf re-planning chose the survivor batches.
+	Replanned bool
+}
+
+// faultEventRecords converts one consumed runtime fault into public event
+// records, one per fault aspect, sharing the chaos record type.
+func faultEventRecords(f runtime.FaultRecord) []ChaosEventRecord {
+	var out []ChaosEventRecord
+	if f.Killed {
+		out = append(out, ChaosEventRecord{Step: f.Step, Node: f.Worker, Kind: FaultKillWorker})
+	}
+	if f.Stall > 0 {
+		out = append(out, ChaosEventRecord{Step: f.Step, Node: f.Worker, Kind: FaultStallCompute, Value: f.Stall.Seconds()})
+	}
+	if f.SendDelay > 0 {
+		out = append(out, ChaosEventRecord{Step: f.Step, Node: f.Worker, Kind: FaultDelayMsg, Value: f.SendDelay.Seconds()})
+	}
+	if f.SendDrops > 0 {
+		out = append(out, ChaosEventRecord{Step: f.Step, Node: f.Worker, Kind: FaultDropMsg, Value: float64(f.SendDrops)})
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package allreduce
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrHopTimeout reports that one ring hop (a single send or receive)
+// exhausted its retry budget without completing. Test with errors.Is.
+var ErrHopTimeout = errors.New("allreduce: ring hop timed out")
+
+// RetryPolicy bounds every hop of a guarded reduce: each send and receive
+// must complete within a deadline that starts at HopTimeout and grows by
+// Backoff per retry (capped at MaxTimeout), for at most Retries retries.
+// Because channel sends and receives are idempotent until they succeed,
+// "retry" is simply another bounded wait on the same operation — what makes
+// the whole collective deadlock-free by construction: every blocked hop
+// unblocks within the policy's finite total budget.
+type RetryPolicy struct {
+	// HopTimeout is the first attempt's deadline (default 20ms).
+	HopTimeout time.Duration
+	// Retries is how many additional attempts follow a timeout (default 6).
+	Retries int
+	// Backoff multiplies the deadline after each timeout (default 2; values
+	// below 1 take the default).
+	Backoff float64
+	// MaxTimeout caps the grown deadline (default 1s).
+	MaxTimeout time.Duration
+}
+
+// WithDefaults fills unset fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.HopTimeout <= 0 {
+		p.HopTimeout = 20 * time.Millisecond
+	}
+	if p.Retries <= 0 {
+		p.Retries = 6
+	}
+	if p.Backoff < 1 {
+		p.Backoff = 2
+	}
+	if p.MaxTimeout <= 0 {
+		p.MaxTimeout = time.Second
+	}
+	return p
+}
+
+// Budget is the worst-case total wait of one hop under the policy: the sum
+// of every attempt's deadline. A stalled neighbor that resumes within the
+// budget is tolerated; one that does not forces the hop to fail.
+func (p RetryPolicy) Budget() time.Duration {
+	p = p.WithDefaults()
+	total := time.Duration(0)
+	d := p.HopTimeout
+	for a := 0; a <= p.Retries; a++ {
+		total += d
+		d = time.Duration(float64(d) * p.Backoff)
+		if d > p.MaxTimeout {
+			d = p.MaxTimeout
+		}
+	}
+	return total
+}
+
+// Guard configures one guarded reduce call: the retry policy plus the
+// injected faults this call must suffer (both zero for a clean call).
+type Guard struct {
+	Policy RetryPolicy
+	// SendDelay delays this call's first send attempt.
+	SendDelay time.Duration
+	// SendDrops drops that many attempts of this call's first send; each
+	// lost attempt costs the sender one retransmit timeout, exactly like a
+	// lost packet under a retransmission timer.
+	SendDrops int
+}
+
+// RingFault is the error of a failed guarded reduce: which rank gave up,
+// on which operation, and which neighbor it therefore suspects. It wraps
+// ErrHopTimeout.
+type RingFault struct {
+	// Rank is the caller that exhausted its retry budget.
+	Rank int
+	// Suspect is the neighbor the failed hop depends on: the predecessor
+	// for a starved receive, the successor for a blocked send.
+	Suspect int
+	// Op is "send" or "recv"; Hop is the 0-based hop index within the
+	// reduce (reduce-scatter hops first, then all-gather hops).
+	Op  string
+	Hop int
+}
+
+func (f *RingFault) Error() string {
+	return fmt.Sprintf("allreduce: rank %d %s hop %d timed out (suspect rank %d): %v",
+		f.Rank, f.Op, f.Hop, f.Suspect, ErrHopTimeout)
+}
+
+func (f *RingFault) Unwrap() error { return ErrHopTimeout }
+
+// ReduceGuarded is Reduce with per-hop deadlines, bounded retry with
+// exponential backoff, and deterministic fault injection. It performs the
+// identical arithmetic to Reduce — same chunking, same summation order —
+// so a guarded reduce that completes yields bitwise-identical results to
+// an unguarded one. On retry exhaustion it returns a *RingFault naming the
+// suspected neighbor; the segment then holds partially-reduced data and
+// must be discarded by the caller.
+//
+// All n ranks must call ReduceGuarded concurrently with the same policy.
+// When one rank fails, its neighbors' pending hops are guaranteed to fail
+// (or complete) within their own budgets: no call blocks forever.
+func (r *Ring) ReduceGuarded(rank int, seg []float64, g Guard) error {
+	n := r.n
+	dim := len(seg)
+	if n == 1 || dim == 0 {
+		return nil
+	}
+	p := g.Policy.WithDefaults()
+	sc := &r.scratch[rank]
+	bounds := sc.bounds
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * dim / n
+	}
+	chunk := func(c int) []float64 {
+		c = ((c % n) + n) % n
+		return seg[bounds[c]:bounds[c+1]]
+	}
+	out := r.links[rank]
+	in := r.links[(rank-1+n)%n]
+
+	spare := sc.spare
+	sc.spare = nil
+	stage := func(src []float64) []float64 {
+		var msg []float64
+		if cap(spare) >= len(src) {
+			msg = spare[:len(src)]
+			spare = nil
+		} else {
+			msg = make([]float64, len(src))
+		}
+		copy(msg, src)
+		return msg
+	}
+
+	hop := 0
+	firstSend := true
+	send := func(msg []float64) error {
+		if firstSend {
+			firstSend = false
+			if g.SendDelay > 0 {
+				time.Sleep(g.SendDelay)
+			}
+			// Each dropped attempt is a lost packet: the payload is not
+			// delivered, and the sender retransmits after one hop timeout.
+			for d := 0; d < g.SendDrops; d++ {
+				time.Sleep(p.HopTimeout)
+			}
+		}
+		if err := sendTimed(out, msg, p); err != nil {
+			return &RingFault{Rank: rank, Suspect: (rank + 1) % n, Op: "send", Hop: hop}
+		}
+		return nil
+	}
+	recv := func() ([]float64, error) {
+		msg, err := recvTimed(in, p)
+		if err != nil {
+			return nil, &RingFault{Rank: rank, Suspect: (rank - 1 + n) % n, Op: "recv", Hop: hop}
+		}
+		return msg, nil
+	}
+
+	// Reduce-scatter, then all-gather: the exact hop sequence of Reduce.
+	for s := 0; s < n-1; s++ {
+		sendIdx := rank - s
+		if err := send(stage(chunk(sendIdx))); err != nil {
+			sc.spare = spare
+			return err
+		}
+		msg, err := recv()
+		if err != nil {
+			sc.spare = spare
+			return err
+		}
+		dst := chunk(sendIdx - 1)
+		for j := range dst {
+			dst[j] += msg[j]
+		}
+		spare = msg
+		hop++
+	}
+	for s := 0; s < n-1; s++ {
+		sendIdx := rank + 1 - s
+		if err := send(stage(chunk(sendIdx))); err != nil {
+			sc.spare = spare
+			return err
+		}
+		msg, err := recv()
+		if err != nil {
+			sc.spare = spare
+			return err
+		}
+		copy(chunk(sendIdx-1), msg)
+		spare = msg
+		hop++
+	}
+	sc.spare = spare
+	return nil
+}
+
+// sendTimed sends msg within the policy's retry budget.
+func sendTimed(out chan<- []float64, msg []float64, p RetryPolicy) error {
+	d := p.HopTimeout
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case out <- msg:
+			return nil
+		case <-timer.C:
+			if attempt >= p.Retries {
+				return ErrHopTimeout
+			}
+			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}
+
+// recvTimed receives within the policy's retry budget.
+func recvTimed(in <-chan []float64, p RetryPolicy) ([]float64, error) {
+	d := p.HopTimeout
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case msg := <-in:
+			return msg, nil
+		case <-timer.C:
+			if attempt >= p.Retries {
+				return nil, ErrHopTimeout
+			}
+			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}
+
+func nextDeadline(d time.Duration, p RetryPolicy) time.Duration {
+	d = time.Duration(float64(d) * p.Backoff)
+	if d > p.MaxTimeout {
+		d = p.MaxTimeout
+	}
+	return d
+}

@@ -37,6 +37,13 @@ const (
 	KindStraggler Kind = "straggler"
 )
 
+// Kinds lists the chaos vocabulary. It shares one namespace with
+// internal/faultinject's kinds — the two sets must stay disjoint so the
+// public API can surface both through one event-record type.
+func Kinds() []Kind {
+	return []Kind{KindComputeShare, KindBandwidth, KindStraggler}
+}
+
 // Event is one scheduled perturbation.
 type Event struct {
 	// Epoch is when the event takes effect (before that epoch is planned).

@@ -1,0 +1,258 @@
+// Package faultinject provides a deterministic fault-injection harness for
+// the live execution runtime: seeded, schedule-driven faults — compute
+// stalls, delayed or dropped ring messages, and worker kills — that the
+// live backend consults at its existing phase boundaries (step start and
+// ring send). Because every fault is a pure function of (worker, step) and
+// the schedule, a fault scenario replays exactly: the same schedule against
+// the same training config produces the same stalls, the same timeouts,
+// and the same eviction decisions, which is what makes fault paths
+// testable at all.
+//
+// The package mirrors internal/chaos deliberately: chaos perturbs the
+// *simulated* cluster's performance constants at epoch boundaries, while
+// faultinject perturbs the *real* goroutine runtime at step boundaries.
+// The two kind vocabularies are disjoint (enforced by test) so the public
+// API can surface both through one event-record type.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cannikin/internal/rng"
+)
+
+// Kind names a fault type.
+type Kind string
+
+// Fault kinds. The string values share one vocabulary with
+// internal/chaos.Kind and must not collide with it.
+const (
+	// KindStallCompute stalls the worker's compute goroutine for Delay at
+	// the start of each of Steps consecutive steps — a GC pause, a
+	// preempted VM, or (with a long Delay) a permanently hung process.
+	KindStallCompute Kind = "stall-compute"
+	// KindDelayMsg delays the worker's first ring send of the step by
+	// Delay — transient network congestion on one link.
+	KindDelayMsg Kind = "delay-msg"
+	// KindDropMsg drops the first Count attempts of the worker's first
+	// ring send of the step; each lost attempt is retransmitted after a
+	// timeout — packet loss on one link.
+	KindDropMsg Kind = "drop-msg"
+	// KindKillWorker kills the worker at the step: it stops responding
+	// permanently, as a crashed process would.
+	KindKillWorker Kind = "kill-worker"
+)
+
+// Kinds lists the fault vocabulary.
+func Kinds() []Kind {
+	return []Kind{KindStallCompute, KindDelayMsg, KindDropMsg, KindKillWorker}
+}
+
+// maxStallSteps bounds a single stall event's expansion so a schedule
+// cannot precompute an unbounded per-step table.
+const maxStallSteps = 1 << 16
+
+// Event is one scheduled fault.
+type Event struct {
+	// Step is the global training step at which the fault fires.
+	Step int
+	// Worker is the affected rank.
+	Worker int
+	Kind   Kind
+	// Delay is the stall or message delay (KindStallCompute, KindDelayMsg).
+	Delay time.Duration
+	// Steps is how many consecutive steps a stall lasts (KindStallCompute
+	// only; default 1).
+	Steps int
+	// Count is how many send attempts are dropped (KindDropMsg only;
+	// default 1).
+	Count int
+}
+
+// Validate checks the event against a cluster of the given worker count.
+func (e Event) Validate(workers int) error {
+	if e.Step < 0 {
+		return fmt.Errorf("faultinject: event step %d", e.Step)
+	}
+	if e.Worker < 0 || e.Worker >= workers {
+		return fmt.Errorf("faultinject: event worker %d of %d", e.Worker, workers)
+	}
+	switch e.Kind {
+	case KindStallCompute:
+		if e.Delay <= 0 {
+			return fmt.Errorf("faultinject: stall delay %v", e.Delay)
+		}
+		if e.Steps < 0 || e.Steps > maxStallSteps {
+			return fmt.Errorf("faultinject: stall over %d steps", e.Steps)
+		}
+	case KindDelayMsg:
+		if e.Delay <= 0 {
+			return fmt.Errorf("faultinject: message delay %v", e.Delay)
+		}
+	case KindDropMsg:
+		if e.Count < 0 {
+			return fmt.Errorf("faultinject: drop count %d", e.Count)
+		}
+	case KindKillWorker:
+	default:
+		return fmt.Errorf("faultinject: unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// String renders the event for traces and logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindStallCompute:
+		steps := e.Steps
+		if steps < 1 {
+			steps = 1
+		}
+		return fmt.Sprintf("worker %d %s %v x%d steps @ step %d", e.Worker, e.Kind, e.Delay, steps, e.Step)
+	case KindDelayMsg:
+		return fmt.Sprintf("worker %d %s %v @ step %d", e.Worker, e.Kind, e.Delay, e.Step)
+	case KindDropMsg:
+		count := e.Count
+		if count < 1 {
+			count = 1
+		}
+		return fmt.Sprintf("worker %d %s x%d @ step %d", e.Worker, e.Kind, count, e.Step)
+	default:
+		return fmt.Sprintf("worker %d %s @ step %d", e.Worker, e.Kind, e.Step)
+	}
+}
+
+// Schedule is a step-ordered fault plan.
+type Schedule struct {
+	Events []Event
+}
+
+// Empty reports whether the schedule carries no events.
+func (s Schedule) Empty() bool { return len(s.Events) == 0 }
+
+// Validate checks every event against a cluster of the given worker count.
+func (s Schedule) Validate(workers int) error {
+	for i, e := range s.Events {
+		if err := e.Validate(workers); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by step (stable, so same-step events
+// keep their declaration order).
+func (s Schedule) sorted() []Event {
+	out := append([]Event(nil), s.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// Remap rewrites the schedule for a survivor cluster after an eviction:
+// survivors lists the old worker indices that remain, in their new rank
+// order. Events targeting evicted workers are dropped; the rest are
+// renumbered.
+func (s Schedule) Remap(survivors []int) Schedule {
+	newRank := make(map[int]int, len(survivors))
+	for rank, old := range survivors {
+		newRank[old] = rank
+	}
+	var out Schedule
+	for _, e := range s.Events {
+		if rank, ok := newRank[e.Worker]; ok {
+			e.Worker = rank
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// Profile tunes the seeded schedule generator.
+type Profile struct {
+	// Intensity is the per-step probability of one generated event,
+	// in (0, 1].
+	Intensity float64
+	// FirstStep is the first step eligible for faults (default 1).
+	FirstStep int
+	// Horizon is the last step eligible for faults (default 32).
+	Horizon int
+	// Kill permits generated kill-worker events; without it only transient
+	// faults (stalls, delays, drops) are generated.
+	Kill bool
+	// MaxDelay caps generated stall and message delays (default 10ms —
+	// sized so retry budgets in tests comfortably cover them).
+	MaxDelay time.Duration
+}
+
+func (p Profile) defaults() Profile {
+	if p.FirstStep <= 0 {
+		p.FirstStep = 1
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 32
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Millisecond
+	}
+	return p
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.Intensity <= 0 || p.Intensity > 1 {
+		return fmt.Errorf("faultinject: intensity %v outside (0, 1]", p.Intensity)
+	}
+	p = p.defaults()
+	if p.Horizon < p.FirstStep {
+		return fmt.Errorf("faultinject: horizon %d before first step %d", p.Horizon, p.FirstStep)
+	}
+	return nil
+}
+
+// Generate builds a deterministic fault schedule for a cluster of the
+// given worker count from the profile and a seeded stream. The same source
+// state always yields the same schedule. At most one kill is generated per
+// schedule, never against worker 0's lone survivor: a generated schedule
+// always leaves at least one worker alive.
+func Generate(p Profile, workers int, src *rng.Source) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	if workers < 1 {
+		return Schedule{}, fmt.Errorf("faultinject: %d workers", workers)
+	}
+	p = p.defaults()
+	gs := src.Split("faultinject/generate")
+	var s Schedule
+	killed := false
+	for step := p.FirstStep; step <= p.Horizon; step++ {
+		if gs.Float64() >= p.Intensity {
+			continue
+		}
+		e := Event{Step: step, Worker: gs.Intn(workers)}
+		delay := time.Duration(1+gs.Intn(int(p.MaxDelay/time.Millisecond))) * time.Millisecond
+		switch roll := gs.Float64(); {
+		case roll < 0.4:
+			e.Kind = KindStallCompute
+			e.Delay = delay
+			e.Steps = 1 + gs.Intn(3)
+		case roll < 0.7:
+			e.Kind = KindDelayMsg
+			e.Delay = delay
+		case roll < 0.9 || !p.Kill || killed || workers < 2:
+			e.Kind = KindDropMsg
+			e.Count = 1 + gs.Intn(2)
+		default:
+			e.Kind = KindKillWorker
+			killed = true
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s, nil
+}
+
+// neverKilled marks a worker with no kill event.
+const neverKilled = math.MaxInt

@@ -1,0 +1,211 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cannikin/internal/chaos"
+	"cannikin/internal/rng"
+)
+
+func TestEventValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+		ok   bool
+	}{
+		{"stall ok", Event{Step: 1, Worker: 0, Kind: KindStallCompute, Delay: time.Millisecond, Steps: 2}, true},
+		{"delay ok", Event{Step: 0, Worker: 1, Kind: KindDelayMsg, Delay: time.Millisecond}, true},
+		{"drop ok", Event{Step: 3, Worker: 1, Kind: KindDropMsg, Count: 2}, true},
+		{"kill ok", Event{Step: 5, Worker: 0, Kind: KindKillWorker}, true},
+		{"negative step", Event{Step: -1, Worker: 0, Kind: KindKillWorker}, false},
+		{"worker out of range", Event{Step: 0, Worker: 2, Kind: KindKillWorker}, false},
+		{"stall without delay", Event{Step: 0, Worker: 0, Kind: KindStallCompute}, false},
+		{"stall too many steps", Event{Step: 0, Worker: 0, Kind: KindStallCompute, Delay: time.Millisecond, Steps: maxStallSteps + 1}, false},
+		{"delay without delay", Event{Step: 0, Worker: 0, Kind: KindDelayMsg}, false},
+		{"negative drop count", Event{Step: 0, Worker: 0, Kind: KindDropMsg, Count: -1}, false},
+		{"unknown kind", Event{Step: 0, Worker: 0, Kind: "melt-down"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.e.Validate(2)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("want error for %+v", tc.e)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Intensity: 0.8, Horizon: 64, Kill: true}
+	a, err := Generate(p, 4, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 4, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	if a.Empty() {
+		t.Fatal("intensity 0.8 over 64 steps generated nothing")
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	c, err := Generate(p, 4, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateAtMostOneKill(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s, err := Generate(Profile{Intensity: 1, Horizon: 128, Kill: true}, 3, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kills := 0
+		for _, e := range s.Events {
+			if e.Kind == KindKillWorker {
+				kills++
+			}
+		}
+		if kills > 1 {
+			t.Fatalf("seed %d generated %d kills", seed, kills)
+		}
+	}
+}
+
+func TestGenerateRejectsBadProfile(t *testing.T) {
+	if _, err := Generate(Profile{Intensity: 0}, 2, rng.New(1)); err == nil {
+		t.Fatal("want error for zero intensity")
+	}
+	if _, err := Generate(Profile{Intensity: 1.5}, 2, rng.New(1)); err == nil {
+		t.Fatal("want error for intensity > 1")
+	}
+	if _, err := Generate(Profile{Intensity: 0.5, FirstStep: 10, Horizon: 5}, 2, rng.New(1)); err == nil {
+		t.Fatal("want error for horizon before first step")
+	}
+	if _, err := Generate(Profile{Intensity: 0.5}, 0, rng.New(1)); err == nil {
+		t.Fatal("want error for zero workers")
+	}
+}
+
+func TestInjectorLookups(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Step: 2, Worker: 0, Kind: KindStallCompute, Delay: 3 * time.Millisecond, Steps: 2},
+		{Step: 2, Worker: 0, Kind: KindDropMsg, Count: 2},
+		{Step: 3, Worker: 1, Kind: KindDelayMsg, Delay: 5 * time.Millisecond},
+		{Step: 3, Worker: 1, Kind: KindDelayMsg, Delay: 2 * time.Millisecond},
+		{Step: 6, Worker: 1, Kind: KindKillWorker},
+	}}
+	in, err := NewInjector(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Workers(); got != 2 {
+		t.Fatalf("Workers() = %d", got)
+	}
+	if f := in.At(0, 1); f.Any() {
+		t.Fatalf("step 1 worker 0 should be clean, got %+v", f)
+	}
+	// Stall + drop accumulate at (0, 2); the stall spans step 3 too.
+	if f := in.At(0, 2); f.Stall != 3*time.Millisecond || f.SendDrops != 2 {
+		t.Fatalf("step 2 worker 0 = %+v", f)
+	}
+	if f := in.At(0, 3); f.Stall != 3*time.Millisecond || f.SendDrops != 0 {
+		t.Fatalf("step 3 worker 0 = %+v", f)
+	}
+	// Repeated delays at the same (worker, step) add up.
+	if f := in.At(1, 3); f.SendDelay != 7*time.Millisecond {
+		t.Fatalf("step 3 worker 1 = %+v", f)
+	}
+	// Kill is sticky from its step on.
+	if f := in.At(1, 5); f.Kill {
+		t.Fatal("worker 1 killed before its kill step")
+	}
+	for step := 6; step < 10; step++ {
+		if f := in.At(1, step); !f.Kill {
+			t.Fatalf("worker 1 not killed at step %d", step)
+		}
+	}
+	if f := in.At(0, 6); f.Kill {
+		t.Fatal("kill leaked onto worker 0")
+	}
+}
+
+func TestInjectorRejectsInvalid(t *testing.T) {
+	s := Schedule{Events: []Event{{Step: 0, Worker: 5, Kind: KindKillWorker}}}
+	if _, err := NewInjector(s, 2); err == nil {
+		t.Fatal("want error for out-of-range worker")
+	}
+	if _, err := NewInjector(Schedule{}, 0); err == nil {
+		t.Fatal("want error for zero workers")
+	}
+}
+
+func TestScheduleRemap(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Step: 1, Worker: 0, Kind: KindKillWorker},
+		{Step: 2, Worker: 1, Kind: KindDropMsg, Count: 1},
+		{Step: 3, Worker: 2, Kind: KindDelayMsg, Delay: time.Millisecond},
+	}}
+	// Worker 1 was evicted: survivors are old ranks 0 and 2.
+	got := s.Remap([]int{0, 2})
+	want := Schedule{Events: []Event{
+		{Step: 1, Worker: 0, Kind: KindKillWorker},
+		{Step: 3, Worker: 1, Kind: KindDelayMsg, Delay: time.Millisecond},
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Remap = %+v, want %+v", got, want)
+	}
+	if err := got.Validate(2); err != nil {
+		t.Fatalf("remapped schedule invalid: %v", err)
+	}
+}
+
+// TestKindVocabulariesDisjoint pins the contract that lets the public API
+// surface chaos and fault events through one record type: the two kind
+// vocabularies never collide.
+func TestKindVocabulariesDisjoint(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range chaos.Kinds() {
+		seen[string(k)] = true
+	}
+	for _, k := range Kinds() {
+		if seen[string(k)] {
+			t.Fatalf("fault kind %q collides with a chaos kind", k)
+		}
+		seen[string(k)] = true
+	}
+	if len(seen) != len(chaos.Kinds())+len(Kinds()) {
+		t.Fatal("duplicate kinds within a vocabulary")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Step: 2, Worker: 1, Kind: KindStallCompute, Delay: time.Millisecond, Steps: 2}, "worker 1 stall-compute 1ms x2 steps @ step 2"},
+		{Event{Step: 3, Worker: 0, Kind: KindDelayMsg, Delay: 5 * time.Millisecond}, "worker 0 delay-msg 5ms @ step 3"},
+		{Event{Step: 4, Worker: 2, Kind: KindDropMsg}, "worker 2 drop-msg x1 @ step 4"},
+		{Event{Step: 5, Worker: 0, Kind: KindKillWorker}, "worker 0 kill-worker @ step 5"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

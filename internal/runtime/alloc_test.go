@@ -31,7 +31,7 @@ func TestLiveSteadyStateStepAllocsZero(t *testing.T) {
 				replicas[i] = nn.NewMLP(sizes, src.Split(fmt.Sprintf("init-%d", i)))
 				opts[i] = nn.NewSGD(0.9, 0)
 			}
-			exec := newLiveExec(replicas, opts, 1024) // 13k params: multi-bucket streaming
+			exec := newLiveExec(replicas, opts, 1024, nil) // 13k params: multi-bucket streaming
 			defer exec.close()
 
 			xs := make([]*tensor.T, nWorkers)

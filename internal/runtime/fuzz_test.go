@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cannikin/internal/data"
+	"cannikin/internal/faultinject"
+	"cannikin/internal/rng"
+)
+
+// FuzzRingFaults throws randomly generated — but fully seeded — fault
+// schedules at small live runs and checks the fault-tolerance state
+// machine's total contract: the run never deadlocks, and it ends in one
+// of exactly three ways: (1) weights bitwise-identical to the fault-free
+// run (every fault absorbed), (2) a clean eviction report and a completed
+// run on the survivors, or (3) ErrNoSurvivors. Anything else — a hang, a
+// replica divergence, a malformed report — is a bug.
+func FuzzRingFaults(f *testing.F) {
+	f.Add(uint64(1), uint8(30), false)
+	f.Add(uint64(2), uint8(80), true)
+	f.Add(uint64(3), uint8(100), true)
+	f.Add(uint64(7), uint8(55), false)
+	f.Fuzz(func(t *testing.T, seed uint64, intensityPct uint8, kill bool) {
+		defer watchdog(t, 2*time.Minute)()
+		intensity := float64(intensityPct%100+1) / 100
+		src := rng.New(seed)
+		ds, err := data.SyntheticBlobs(96, 8, 4, 0.6, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Backend:      BackendLive,
+			LocalBatches: []int{4, 4, 4},
+			Sizes:        []int{8, 16, 4},
+			Epochs:       2,
+			LearningRate: 0.05,
+			Momentum:     0.9,
+			BucketBytes:  64 * 8,
+			Dataset:      ds,
+			Src:          src,
+		}
+		schedule, err := faultinject.Generate(faultinject.Profile{
+			Intensity: intensity,
+			Horizon:   12,
+			Kill:      kill,
+			MaxDelay:  4 * time.Millisecond,
+		}, len(cfg.LocalBatches), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultCfg := cfg
+		faultCfg.Fault = &FaultConfig{
+			Schedule:    schedule,
+			HopTimeout:  20 * time.Millisecond,
+			Retries:     3,
+			MaxTimeout:  160 * time.Millisecond,
+			StepTimeout: 1200 * time.Millisecond,
+		}
+		res, err := Train(faultCfg)
+		if errors.Is(err, ErrNoSurvivors) {
+			return // outcome (3): legitimate total loss
+		}
+		if err != nil {
+			t.Fatalf("schedule %v: %v", schedule, err)
+		}
+		if res.FinalWeights == nil || len(res.EpochLoss) != cfg.Epochs {
+			t.Fatalf("schedule %v: incomplete run: %d epochs, weights %v",
+				schedule, len(res.EpochLoss), res.FinalWeights != nil)
+		}
+		if len(res.Evictions) == 0 {
+			// Outcome (1): all faults absorbed — the trajectory must be
+			// bitwise-identical to the undisturbed run.
+			base, err := Train(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalWeights(base.FinalWeights, res.FinalWeights) {
+				t.Fatalf("schedule %v: absorbed faults changed the weights", schedule)
+			}
+			return
+		}
+		// Outcome (2): eviction reports must be internally consistent —
+		// evicted + survivors partition the previous incarnation, the
+		// checkpoint is full-dimension, and the batch plan covers survivors.
+		alive := len(cfg.LocalBatches)
+		for i, ev := range res.Evictions {
+			if len(ev.Workers) == 0 {
+				t.Fatalf("eviction %d evicted nobody: %+v", i, ev)
+			}
+			if len(ev.Workers)+len(ev.Survivors) != alive {
+				t.Fatalf("eviction %d: %d evicted + %d survivors != %d alive",
+					i, len(ev.Workers), len(ev.Survivors), alive)
+			}
+			if len(ev.SurvivorBatches) != len(ev.Survivors) {
+				t.Fatalf("eviction %d: batches %v vs survivors %v", i, ev.SurvivorBatches, ev.Survivors)
+			}
+			if len(ev.Checkpoint) == 0 || ev.Reason == "" {
+				t.Fatalf("eviction %d incomplete: %+v", i, ev)
+			}
+			alive = len(ev.Survivors)
+		}
+		if alive < 1 {
+			t.Fatal("run completed with zero survivors")
+		}
+	})
+}

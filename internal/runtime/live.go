@@ -1,11 +1,13 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"cannikin/internal/allreduce"
+	"cannikin/internal/faultinject"
 	"cannikin/internal/gns"
 	"cannikin/internal/nn"
 	"cannikin/internal/tensor"
@@ -23,9 +25,20 @@ const ringDepth = 8
 // already-finished buckets proceed while earlier layers are still
 // backpropagating: real compute/communication overlap, measured with
 // wall-clock timers rather than simulated.
+//
+// With fault tolerance armed (ft != nil) the engine runs every ring hop
+// under a per-hop deadline with bounded retry, consults the deterministic
+// fault injector at step start and first send, and turns the optimizer
+// update into a driver-coordinated commit: no replica applies a step until
+// every replica has finished the step's communication, so a failed step
+// never leaves the replicas divergent.
 type liveExec struct {
 	workers []*liveWorker
 	prof    *Profile
+	ft      *faultTolerance
+	// closing, when closed, wakes workers parked in injected stalls or
+	// kills so teardown never waits on a simulated-dead goroutine.
+	closing chan struct{}
 	wg      sync.WaitGroup
 	// sampleBatches and sampleNorms back the gns.Sample returned by step,
 	// reused across steps so the steady-state step path does not allocate.
@@ -48,6 +61,14 @@ type stepResult struct {
 	localSq  float64 // |g_i|² of the raw local gradient
 	globalSq float64 // |g|² of the reduced weighted gradient
 	sample   Sample
+	// err is the hop failure that aborted the step's communication;
+	// suspect the neighbor rank the failed hop depends on (-1 none).
+	err     error
+	suspect int
+	// aborted marks a result produced by teardown waking a parked worker.
+	aborted bool
+	// faults are the injected faults this worker consumed at this step.
+	faults faultinject.StepFaults
 }
 
 // commStats aggregates one step's communication timing inside the comm
@@ -56,6 +77,8 @@ type commStats struct {
 	busy     time.Duration // total time inside ring.Reduce
 	tu       time.Duration // the final bucket's reduce duration
 	lastDone time.Time     // when the final bucket's reduce returned
+	err      error         // sticky first hop failure (guarded mode)
+	suspect  int           // neighbor suspected by the failed hop
 }
 
 type liveWorker struct {
@@ -66,6 +89,8 @@ type liveWorker struct {
 	bucketLen int
 	buckets   int
 	ring      *allreduce.Ring
+	ft        *faultTolerance
+	closing   chan struct{}
 
 	// commBuf carries the weight-scaled local gradient into the ring and
 	// the reduced global gradient back out. The compute goroutine writes
@@ -77,14 +102,24 @@ type liveWorker struct {
 	paramOffs []int
 	// dlogits is the reusable loss-gradient workspace.
 	dlogits *tensor.T
+	// curFaults is written by the compute goroutine before it enqueues any
+	// bucket of the step and read by the comm goroutine after the first
+	// bucket arrives; the channel send orders the accesses.
+	curFaults faultinject.StepFaults
 
 	tasks    chan stepTask
 	results  chan stepResult
 	commQ    chan int // bucket indices; -1 ends the step
 	commDone chan commStats
+	// commitQ and ackQ coordinate the two-phase step commit in guarded
+	// mode: the driver votes commit/abort after collecting every worker's
+	// communication outcome, and the worker acknowledges with the measured
+	// optimizer-apply time.
+	commitQ chan bool
+	ackQ    chan time.Duration
 }
 
-func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *liveExec {
+func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faultTolerance) *liveExec {
 	n := len(replicas)
 	ring, err := allreduce.NewRing(n, ringDepth)
 	if err != nil {
@@ -98,6 +133,8 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *liveExe
 	e := &liveExec{
 		workers:       make([]*liveWorker, n),
 		prof:          &Profile{Workers: n, BucketLen: bucketLen},
+		ft:            ft,
+		closing:       make(chan struct{}),
 		sampleBatches: make([]int, n),
 		sampleNorms:   make([]float64, n),
 	}
@@ -117,6 +154,8 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *liveExe
 			bucketLen: bucketLen,
 			buckets:   buckets,
 			ring:      ring,
+			ft:        ft,
+			closing:   e.closing,
 			commBuf:   make([]float64, dim),
 			params:    params,
 			paramOffs: offs,
@@ -124,6 +163,8 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *liveExe
 			results:   make(chan stepResult, 1),
 			commQ:     make(chan int, buckets+1),
 			commDone:  make(chan commStats, 1),
+			commitQ:   make(chan bool, 1),
+			ackQ:      make(chan time.Duration, 1),
 		}
 		e.workers[i] = w
 		e.wg.Add(2)
@@ -163,6 +204,119 @@ func (e *liveExec) step(epoch, step int, xs []*tensor.T, labels [][]int, stepWei
 	return sample, nil
 }
 
+// stepGuarded runs one synchronized step under fault tolerance: workers
+// compute and communicate under per-hop deadlines, the driver collects
+// every outcome within the step deadline, and the optimizer update is
+// committed only if every worker finished cleanly. On failure it reports
+// which workers went silent and whom the failed hops suspect; no replica
+// has applied the step, so the replicas remain bitwise-consistent at the
+// last committed step.
+func (e *liveExec) stepGuarded(epoch, step int, xs []*tensor.T, labels [][]int, stepWeights []float64, lr float64) (gns.Sample, []FaultRecord, *stepFailure, error) {
+	n := len(e.workers)
+	for i, w := range e.workers {
+		w.tasks <- stepTask{epoch: epoch, step: step, x: xs[i], labels: labels[i], weight: stepWeights[i], lr: lr}
+	}
+	deadline := time.Now().Add(e.ft.stepTimeout)
+	results := make([]stepResult, n)
+	responded := make([]bool, n)
+	for i, w := range e.workers {
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case r := <-w.results:
+			results[i] = r
+			responded[i] = true
+		case <-timer.C:
+			// The deadline may have lapsed while earlier ranks were being
+			// collected; a result already buffered means this worker did
+			// respond in time.
+			select {
+			case r := <-w.results:
+				results[i] = r
+				responded[i] = true
+			default:
+			}
+		}
+		timer.Stop()
+	}
+
+	ok := true
+	var fail *stepFailure
+	for i := range e.workers {
+		if !responded[i] || results[i].aborted || results[i].err != nil {
+			ok = false
+		}
+	}
+	// Vote: every responsive worker applies the step iff all workers
+	// finished the step's communication.
+	for i, w := range e.workers {
+		if responded[i] && !results[i].aborted {
+			w.commitQ <- ok
+		}
+	}
+	for i, w := range e.workers {
+		if responded[i] && !results[i].aborted {
+			results[i].sample.Post = (<-w.ackQ).Seconds()
+		}
+	}
+
+	var records []FaultRecord
+	for i := range e.workers {
+		f := results[i].faults
+		if responded[i] && f.Any() {
+			records = append(records, FaultRecord{
+				Step: step, Worker: i,
+				Stall: f.Stall, SendDelay: f.SendDelay, SendDrops: f.SendDrops, Killed: f.Kill,
+			})
+		}
+	}
+	// A silent worker consumed its faults but could not report them; its
+	// schedule entry still explains the silence.
+	for i := range e.workers {
+		if !responded[i] {
+			if f := e.ft.inj.At(i, step); f.Any() {
+				records = append(records, FaultRecord{
+					Step: step, Worker: i,
+					Stall: f.Stall, SendDelay: f.SendDelay, SendDrops: f.SendDrops, Killed: f.Kill,
+				})
+			}
+		}
+	}
+
+	if !ok {
+		fail = &stepFailure{blame: make([]int, n)}
+		for i := range e.workers {
+			if !responded[i] || results[i].aborted {
+				fail.dead = append(fail.dead, i)
+				continue
+			}
+			if results[i].err != nil {
+				if fail.firstErr == nil {
+					fail.firstErr = results[i].err
+				}
+				if s := results[i].suspect; s >= 0 && s < n {
+					fail.blame[s]++
+				}
+			}
+		}
+		return gns.Sample{}, records, fail, nil
+	}
+
+	sample := gns.Sample{
+		Batches:      e.sampleBatches[:n],
+		LocalSqNorms: e.sampleNorms[:n],
+	}
+	for i := range e.workers {
+		r := results[i]
+		sample.Batches[i] = r.batch
+		sample.LocalSqNorms[i] = r.localSq
+		if i == 0 {
+			sample.GlobalSqNorm = r.globalSq
+		}
+		e.prof.Samples = append(e.prof.Samples, r.sample)
+	}
+	return sample, records, nil, nil
+}
+
 func (e *liveExec) network() *nn.Network { return e.workers[0].net }
 
 func (e *liveExec) finalWeights() ([]float64, error) {
@@ -175,9 +329,14 @@ func (e *liveExec) finalWeights() ([]float64, error) {
 	return ref, nil
 }
 
+// weights returns rank i's flat weight vector (used for survivor
+// checkpointing after a failed step).
+func (e *liveExec) weights(i int) []float64 { return e.workers[i].net.FlatWeights() }
+
 func (e *liveExec) profile() *Profile { return e.prof }
 
 func (e *liveExec) close() {
+	close(e.closing)
 	for _, w := range e.workers {
 		close(w.tasks)
 	}
@@ -186,7 +345,26 @@ func (e *liveExec) close() {
 
 func (w *liveWorker) computeLoop() {
 	for t := range w.tasks {
-		w.results <- w.runStep(t)
+		if w.ft == nil {
+			w.results <- w.runStep(t)
+			continue
+		}
+		r := w.runStepGuarded(t)
+		w.results <- r
+		if r.aborted {
+			continue
+		}
+		// Two-phase commit: apply the optimizer step only on a unanimous
+		// driver vote, so a failed step never diverges the replicas.
+		select {
+		case commit := <-w.commitQ:
+			start := time.Now()
+			if commit && r.err == nil {
+				w.applyStep(t.lr)
+			}
+			w.ackQ <- time.Since(start)
+		case <-w.closing:
+		}
 	}
 }
 
@@ -247,6 +425,7 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 		batch:    t.x.Rows(),
 		localSq:  localSq,
 		globalSq: globalSq,
+		suspect:  -1,
 		sample: Sample{
 			Epoch:          t.epoch,
 			Step:           t.step,
@@ -262,6 +441,96 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 			TuBusy:         cs.tu.Seconds(),
 		},
 	}
+}
+
+// runStepGuarded is runStep under fault injection and per-hop deadlines:
+// it consults the injector at the step boundary (kill, stall), performs
+// the identical compute and bucket-launch sequence, and stops before the
+// optimizer update — that is applied by applyStep after the driver's
+// commit vote. A kill parks the worker until teardown, simulating a
+// crashed process that simply stops responding.
+func (w *liveWorker) runStepGuarded(t stepTask) stepResult {
+	f := w.ft.inj.At(w.rank, t.step)
+	w.curFaults = f
+	if f.Kill {
+		<-w.closing
+		return stepResult{aborted: true, faults: f, suspect: -1}
+	}
+	if f.Stall > 0 {
+		timer := time.NewTimer(f.Stall)
+		select {
+		case <-timer.C:
+		case <-w.closing:
+			timer.Stop()
+			return stepResult{aborted: true, faults: f, suspect: -1}
+		}
+	}
+
+	start := time.Now()
+	w.net.ZeroGrad()
+	logits := w.net.Forward(t.x)
+	w.dlogits = tensor.Reuse(w.dlogits, logits.Rows(), logits.Cols())
+	nn.SoftmaxCrossEntropyInto(w.dlogits, logits, t.labels)
+	preEnd := time.Now()
+
+	nextBucket := w.buckets - 1
+	prevFr := w.dim
+	var syncStart time.Time
+	w.net.BackwardLayerwise(w.dlogits, func(fr int) {
+		if fr == prevFr {
+			return
+		}
+		w.stageGrads(fr, prevFr, t.weight)
+		for nextBucket >= 0 && nextBucket*w.bucketLen >= fr {
+			if syncStart.IsZero() {
+				syncStart = time.Now()
+			}
+			w.commQ <- nextBucket
+			nextBucket--
+		}
+		prevFr = fr
+	})
+	backEnd := time.Now()
+
+	localSq := 0.0
+	for _, p := range w.params {
+		for _, g := range p.Grad.Data() {
+			localSq += g * g
+		}
+	}
+	w.commQ <- -1
+	cs := <-w.commDone
+	if cs.err != nil {
+		return stepResult{err: cs.err, suspect: cs.suspect, faults: f}
+	}
+
+	return stepResult{
+		batch:    t.x.Rows(),
+		localSq:  localSq,
+		globalSq: sqNorm(w.commBuf),
+		suspect:  -1,
+		faults:   f,
+		sample: Sample{
+			Epoch:          t.epoch,
+			Step:           t.step,
+			Worker:         w.rank,
+			Batch:          t.x.Rows(),
+			Buckets:        w.buckets,
+			Pre:            preEnd.Sub(start).Seconds(),
+			Backprop:       backEnd.Sub(preEnd).Seconds(),
+			SyncStart:      syncStart.Sub(start).Seconds(),
+			LastBucketDone: cs.lastDone.Sub(start).Seconds(),
+			CommBusy:       cs.busy.Seconds(),
+			TuBusy:         cs.tu.Seconds(),
+		},
+	}
+}
+
+// applyStep writes the reduced gradient back and applies the optimizer —
+// the commit half of a guarded step.
+func (w *liveWorker) applyStep(lr float64) {
+	w.net.SetFlatGrads(w.commBuf)
+	w.opt.Step(w.params, lr)
 }
 
 // stageGrads copies the newly-final gradient region [fr, prevFr) into the
@@ -284,13 +553,20 @@ func (w *liveWorker) stageGrads(fr, prevFr int, weight float64) {
 // commLoop reduces buckets in arrival order. Because all ranks enqueue
 // buckets in the same sequence, the blocking ring collective is deadlock
 // free, and per-bucket FIFO links keep messages matched even when ranks
-// are several buckets apart.
+// are several buckets apart. In guarded mode every hop runs under the
+// retry policy's deadline; the first hop failure is sticky for the rest of
+// the step (remaining buckets are skipped, fail fast) and is reported to
+// the compute goroutine through commDone.
 func (w *liveWorker) commLoop() {
 	var cs commStats
+	cs.suspect = -1
+	newStep := true
 	for k := range w.commQ {
 		if k < 0 {
 			w.commDone <- cs
 			cs = commStats{}
+			cs.suspect = -1
+			newStep = true
 			continue
 		}
 		lo := k * w.bucketLen
@@ -298,8 +574,38 @@ func (w *liveWorker) commLoop() {
 		if hi > w.dim {
 			hi = w.dim
 		}
+		if w.ft == nil {
+			t0 := time.Now()
+			w.ring.Reduce(w.rank, w.commBuf[lo:hi])
+			now := time.Now()
+			cs.busy += now.Sub(t0)
+			cs.lastDone = now
+			if k == 0 {
+				cs.tu = now.Sub(t0)
+			}
+			continue
+		}
+		if cs.err != nil {
+			newStep = false
+			continue
+		}
+		g := allreduce.Guard{Policy: w.ft.policy}
+		if newStep {
+			// The step's injected message faults hit its first send.
+			g.SendDelay = w.curFaults.SendDelay
+			g.SendDrops = w.curFaults.SendDrops
+		}
+		newStep = false
 		t0 := time.Now()
-		w.ring.Reduce(w.rank, w.commBuf[lo:hi])
+		if err := w.ring.ReduceGuarded(w.rank, w.commBuf[lo:hi], g); err != nil {
+			cs.err = err
+			cs.suspect = -1
+			var rf *allreduce.RingFault
+			if errors.As(err, &rf) {
+				cs.suspect = rf.Suspect
+			}
+			continue
+		}
 		now := time.Now()
 		cs.busy += now.Sub(t0)
 		cs.lastDone = now

@@ -3,6 +3,7 @@ package runtime
 import (
 	"math"
 	"testing"
+	"time"
 
 	"cannikin/internal/data"
 	"cannikin/internal/rng"
@@ -40,6 +41,7 @@ func overlapConfig(t *testing.T, workers int) Config {
 // the last bucket's completion, and the first bucket enters the ring
 // before backprop has finished.
 func TestLiveOverlapObservable(t *testing.T) {
+	defer watchdog(t, 3*time.Minute)()
 	r, err := Train(overlapConfig(t, 3))
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +88,7 @@ func TestLiveOverlapObservable(t *testing.T) {
 // live samples feed the online perfmodel learner, which must produce a
 // valid cluster model with a finite reported fit error.
 func TestProfileFitsPerfModel(t *testing.T) {
+	defer watchdog(t, 3*time.Minute)()
 	src := rng.New(21)
 	// 300 samples over a 24-sample global batch: every epoch ends with a
 	// partial batch, so each node observes two distinct batch sizes — the

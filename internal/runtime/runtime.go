@@ -20,6 +20,17 @@
 // aggregation with summation order fixed by the ring topology and bucket
 // boundaries. For the same seed and config their model weights are
 // bitwise-identical — the differential tests in this package enforce it.
+//
+// With Config.Fault set (live backend only) the run additionally arms the
+// fault-tolerance layer: deterministic fault injection at phase
+// boundaries, per-hop ring deadlines with bounded retry, and — when a
+// step cannot complete — coordinated eviction of the failed worker
+// followed by recovery on the survivors. Recovery is checkpoint-restart:
+// survivors resume from the last fully-reduced weights with fresh
+// optimizer state and a fresh data stream, re-running the interrupted
+// epoch in full, so the post-eviction trajectory is bitwise-identical to
+// a fresh fault-free run launched from the same checkpoint on the
+// survivor cluster.
 package runtime
 
 import (
@@ -28,6 +39,7 @@ import (
 
 	"cannikin/internal/allreduce"
 	"cannikin/internal/data"
+	"cannikin/internal/faultinject"
 	"cannikin/internal/gns"
 	"cannikin/internal/nn"
 	"cannikin/internal/rng"
@@ -78,6 +90,15 @@ type Config struct {
 	// loader and replicas consume it in a fixed order, so two runs from
 	// equal sources are identical.
 	Src *rng.Source
+	// InitWeights, when set, is the flat weight vector every replica starts
+	// from, bypassing random initialization and the rank-0 broadcast. This
+	// is the recovery entry point: resuming from an Eviction's Checkpoint
+	// on the survivor cluster reproduces the post-eviction trajectory
+	// bitwise.
+	InitWeights []float64
+	// Fault, when set, enables deterministic fault injection and the
+	// fault-tolerance machinery (live backend only).
+	Fault *FaultConfig
 }
 
 func (c *Config) validate() error {
@@ -109,6 +130,14 @@ func (c *Config) validate() error {
 	default:
 		return fmt.Errorf("runtime: unknown backend %q", c.Backend)
 	}
+	if c.Fault != nil {
+		if c.Backend != BackendLive {
+			return errors.New("runtime: fault injection requires the live backend")
+		}
+		if err := c.Fault.validate(len(c.LocalBatches)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -116,8 +145,8 @@ func (c *Config) validate() error {
 type Result struct {
 	// Backend is the engine that executed the run.
 	Backend string
-	// Workers is the number of data-parallel replicas; GlobalBatch the
-	// initial per-step total batch.
+	// Workers is the number of data-parallel replicas the run started with;
+	// GlobalBatch the initial per-step total batch.
 	Workers     int
 	GlobalBatch int
 	// EpochLoss and EpochAccuracy are measured on the full dataset after
@@ -130,15 +159,23 @@ type Result struct {
 	BatchSchedule []int
 	LRSchedule    []float64
 	// FinalAccuracy is the last epoch's accuracy; Steps the total number
-	// of synchronized steps.
+	// of synchronized steps (committed steps only; failed steps do not
+	// count).
 	FinalAccuracy float64
 	Steps         int
 	// FinalWeights is the flat weight vector after training (identical on
 	// every replica — the run fails if they diverge).
 	FinalWeights []float64
 	// Profile holds the measured wall-clock phase samples (live backend
-	// only; nil for sim).
+	// only; nil for sim). After an eviction the profile covers the last
+	// incarnation of the cluster.
 	Profile *Profile
+	// Evictions records every coordinated worker eviction (fault-tolerant
+	// runs only; empty otherwise).
+	Evictions []Eviction
+	// FaultEvents records every injected fault a worker consumed, in the
+	// order they were suffered, with original worker ranks.
+	FaultEvents []FaultRecord
 }
 
 // executor is one execution engine driven by the shared training loop.
@@ -155,11 +192,32 @@ type executor interface {
 	close()
 }
 
+// incarnation is one cluster configuration the training loop runs under:
+// the initial cluster, and after each eviction, the survivor cluster. All
+// fields are in the incarnation's own rank space except origIdx, which
+// maps its ranks back to the run's original worker indices.
+type incarnation struct {
+	localBatches []int
+	lr           float64
+	src          *rng.Source
+	// initWeights, when set, seeds every replica directly (recovery from a
+	// checkpoint, or Config.InitWeights on the first incarnation).
+	initWeights []float64
+	schedule    faultinject.Schedule
+	// epochBase is the first (absolute) epoch this incarnation runs; after
+	// an eviction the interrupted epoch restarts from its beginning.
+	epochBase int
+	origIdx   []int
+}
+
 // Train runs the configured training job and reports it. The produced
 // model is a pure function of (Config minus Backend/BucketBytes): every
 // backend and bucket size yields bitwise-identical weights, because the
 // per-bucket ring fixes the summation order and both engines reduce the
-// same buckets.
+// same buckets. Fault-tolerant runs loop over cluster incarnations: each
+// eviction shrinks the cluster and training resumes from the survivors'
+// checkpoint until the epochs complete or no workers remain
+// (ErrNoSurvivors).
 func Train(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -180,30 +238,89 @@ func Train(cfg Config) (*Result, error) {
 		bucketLen = 1
 	}
 
-	loader := data.NewHeteroLoader(cfg.Dataset, cfg.Src)
-	nWorkers := len(cfg.LocalBatches)
 	globalBatch := 0
 	for _, b := range cfg.LocalBatches {
 		globalBatch += b
 	}
+	res := &Result{Backend: backend, Workers: len(cfg.LocalBatches), GlobalBatch: globalBatch}
+	inc := &incarnation{
+		localBatches: append([]int(nil), cfg.LocalBatches...),
+		lr:           cfg.LearningRate,
+		src:          cfg.Src,
+		initWeights:  cfg.InitWeights,
+		epochBase:    0,
+		origIdx:      identity(len(cfg.LocalBatches)),
+	}
+	if cfg.Fault != nil {
+		inc.schedule = cfg.Fault.Schedule
+	}
+	for {
+		next, err := runIncarnation(&cfg, inc, res, backend, bucketLen)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			return res, nil
+		}
+		inc = next
+	}
+}
 
-	// All replicas start from identical weights, synchronized the way DDP
-	// does it: rank 0 broadcasts its initialization over the ring.
+// runIncarnation trains one cluster incarnation from inc.epochBase to the
+// configured epoch count. It returns (nil, nil) on completion — res then
+// holds the finished run — or the next incarnation after a coordinated
+// eviction (the Eviction is already appended to res).
+func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string, bucketLen int) (*incarnation, error) {
+	loader := data.NewHeteroLoader(cfg.Dataset, inc.src)
+	nWorkers := len(inc.localBatches)
+	globalBatch := 0
+	for _, b := range inc.localBatches {
+		globalBatch += b
+	}
+
+	// All replicas start from identical weights: either the incarnation's
+	// seed vector (a recovery checkpoint, or Config.InitWeights), or a
+	// random initialization synchronized the way DDP does it — rank 0
+	// broadcasts over the ring.
 	replicas := make([]*nn.Network, nWorkers)
-	weightBufs := make([][]float64, nWorkers)
 	for i := range replicas {
-		replicas[i] = nn.NewMLP(cfg.Sizes, cfg.Src.Split(fmt.Sprintf("init-%d", i)))
-		weightBufs[i] = replicas[i].FlatWeights()
+		replicas[i] = nn.NewMLP(cfg.Sizes, inc.src.Split(fmt.Sprintf("init-%d", i)))
 	}
-	if err := allreduce.Broadcast(weightBufs, 0); err != nil {
-		return nil, err
-	}
-	for i := range replicas {
-		replicas[i].SetFlatWeights(weightBufs[i])
+	if inc.initWeights != nil {
+		if want := replicas[0].NumParams(); len(inc.initWeights) != want {
+			return nil, fmt.Errorf("runtime: init weights dim %d, want %d", len(inc.initWeights), want)
+		}
+		for i := range replicas {
+			replicas[i].SetFlatWeights(inc.initWeights)
+		}
+	} else {
+		weightBufs := make([][]float64, nWorkers)
+		for i := range replicas {
+			weightBufs[i] = replicas[i].FlatWeights()
+		}
+		if err := allreduce.Broadcast(weightBufs, 0); err != nil {
+			return nil, err
+		}
+		for i := range replicas {
+			replicas[i].SetFlatWeights(weightBufs[i])
+		}
 	}
 	opts := make([]*nn.SGD, nWorkers)
 	for i := range opts {
 		opts[i] = nn.NewSGD(cfg.Momentum, 0)
+	}
+
+	var ft *faultTolerance
+	if cfg.Fault != nil {
+		inj, err := faultinject.NewInjector(inc.schedule, nWorkers)
+		if err != nil {
+			return nil, err
+		}
+		ft = &faultTolerance{
+			inj:         inj,
+			policy:      cfg.Fault.policy(),
+			stepTimeout: cfg.Fault.stepTimeout(),
+		}
 	}
 
 	var exec executor
@@ -211,15 +328,18 @@ func Train(cfg Config) (*Result, error) {
 	case BackendSim:
 		exec = newSeqExec(replicas, opts, bucketLen)
 	case BackendLive:
-		exec = newLiveExec(replicas, opts, bucketLen)
+		exec = newLiveExec(replicas, opts, bucketLen, ft)
 	}
-	defer exec.close()
+	defer func() {
+		if exec != nil {
+			exec.close()
+		}
+	}()
 
 	tracker := gns.NewTracker(0.1)
 	estimator := gns.NewEstimator(cfg.NaiveGNS)
-	res := &Result{Backend: backend, Workers: nWorkers, GlobalBatch: globalBatch}
 	weights := make([]float64, nWorkers)
-	for i, b := range cfg.LocalBatches {
+	for i, b := range inc.localBatches {
 		weights[i] = float64(b) / float64(globalBatch)
 	}
 	// partialWeights is the reusable Eq. 9 weight buffer for the epoch-final
@@ -228,12 +348,14 @@ func Train(cfg Config) (*Result, error) {
 
 	fullX, fullLabels := cfg.Dataset.Batch(identity(cfg.Dataset.Len()))
 
-	localBatches := append([]int(nil), cfg.LocalBatches...)
+	localBatches := inc.localBatches
 	baseBatch := globalBatch
-	lr := cfg.LearningRate
+	lr := inc.lr
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		if cfg.GrowthEpoch > 0 && epoch == cfg.GrowthEpoch {
+	for epoch := inc.epochBase; epoch < cfg.Epochs; epoch++ {
+		// Growth fires once per run; an incarnation resuming at or after the
+		// growth epoch captured post-growth batches and learning rate.
+		if cfg.GrowthEpoch > 0 && epoch == cfg.GrowthEpoch && epoch > inc.epochBase {
 			for i := range localBatches {
 				localBatches[i] *= 2
 			}
@@ -267,9 +389,48 @@ func Train(cfg Config) (*Result, error) {
 					stepWeights[i] = float64(x.Rows()) / float64(got)
 				}
 			}
-			sample, err := exec.step(epoch, res.Steps, xs, labels, stepWeights, lr)
-			if err != nil {
-				return nil, err
+
+			var sample gns.Sample
+			if ft == nil {
+				sample, err = exec.step(epoch, res.Steps, xs, labels, stepWeights, lr)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				le := exec.(*liveExec)
+				var fail *stepFailure
+				for attempt := 0; ; attempt++ {
+					var records []FaultRecord
+					sample, records, fail, err = le.stepGuarded(epoch, res.Steps, xs, labels, stepWeights, lr)
+					if err != nil {
+						return nil, err
+					}
+					for _, r := range records {
+						r.Worker = inc.origIdx[r.Worker]
+						res.FaultEvents = append(res.FaultEvents, r)
+					}
+					if fail == nil {
+						break
+					}
+					if len(fail.dead) > 0 || attempt >= cfg.Fault.stepRetries() {
+						break
+					}
+					// Transient ring failure with every worker responsive:
+					// retry the step on a rebuilt ring. Replicas and
+					// optimizers carry over untouched (the failed step was
+					// never applied), so a successful retry is
+					// bitwise-identical to an undisturbed run.
+					exec.close()
+					le2 := newLiveExec(replicas, opts, bucketLen, ft)
+					le2.prof = le.prof
+					le, exec = le2, le2
+				}
+				if fail != nil {
+					next, err := evict(cfg, inc, res, le, fail, epoch, localBatches, lr)
+					exec.close()
+					exec = nil
+					return next, err
+				}
 			}
 			if nWorkers >= 2 {
 				if est, gerr := estimator.Estimate(sample); gerr == nil {
@@ -294,7 +455,83 @@ func Train(cfg Config) (*Result, error) {
 	}
 	res.FinalWeights = final
 	res.Profile = exec.profile()
-	return res, nil
+	return nil, nil
+}
+
+// evict turns a failed step into the next cluster incarnation: it picks
+// the victims, verifies the survivors' replicas are still bitwise
+// consistent at the last committed step, checkpoints their weights,
+// re-plans the survivor batches, records the Eviction, and builds the
+// recovery incarnation. The caller closes the executor; the survivor
+// networks stay readable afterwards because the driver owns them.
+func evict(cfg *Config, inc *incarnation, res *Result, le *liveExec, fail *stepFailure, epoch int, localBatches []int, lr float64) (*incarnation, error) {
+	victims := fail.victims()
+	if len(victims) == 0 {
+		if fail.firstErr != nil {
+			return nil, fail.firstErr
+		}
+		return nil, errors.New("runtime: step failed with no identifiable victim")
+	}
+	evicted := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		evicted[v] = true
+	}
+	var survivors []int // incarnation-relative ranks
+	for r := range inc.localBatches {
+		if !evicted[r] {
+			survivors = append(survivors, r)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, ErrNoSurvivors
+	}
+
+	// The two-phase commit guarantees every survivor sits at the last
+	// committed step; verify before checkpointing.
+	ref := le.weights(survivors[0])
+	for _, s := range survivors[1:] {
+		if d := maxAbsDiff(ref, le.weights(s)); d != 0 {
+			return nil, fmt.Errorf("runtime: survivors diverged by %g after failed step", d)
+		}
+	}
+	checkpoint := append([]float64(nil), ref...)
+
+	batches, replanned := replanSurvivors(cfg.Fault.Replan, le.profile(), survivors, localBatches)
+
+	reason := "ring fault"
+	if len(fail.dead) > 0 {
+		reason = "step timeout"
+	}
+	if fail.firstErr != nil {
+		reason = fmt.Sprintf("%s: %v", reason, fail.firstErr)
+	}
+	ev := Eviction{
+		Epoch:           epoch,
+		Step:            res.Steps,
+		Reason:          reason,
+		SurvivorBatches: batches,
+		Checkpoint:      checkpoint,
+		Replanned:       replanned,
+	}
+	for _, v := range victims {
+		ev.Workers = append(ev.Workers, inc.origIdx[v])
+	}
+	origIdx := make([]int, len(survivors))
+	for i, s := range survivors {
+		origIdx[i] = inc.origIdx[s]
+	}
+	ev.Survivors = origIdx
+	res.Evictions = append(res.Evictions, ev)
+
+	return &incarnation{
+		localBatches: batches,
+		lr:           lr,
+		src:          cfg.Src.Split(fmt.Sprintf("recovery-%d", len(res.Evictions))),
+		initWeights:  checkpoint,
+		schedule:     inc.schedule.Remap(survivors),
+		epochBase:    epoch,
+		origIdx:      origIdx,
+	}, nil
 }
 
 func identity(n int) []int {

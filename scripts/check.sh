@@ -30,13 +30,28 @@ go test -race -count=2 ./internal/runtime ./internal/allreduce
 echo "== go test -race -count=2 -cpu 1,2,4 (tensor kernel pool) =="
 go test -race -count=2 -cpu 1,2,4 -run 'Parallel|Pool' ./internal/tensor
 
+# The fault-tolerance layer races workers against injected stalls, drops,
+# and kills and drives the retry/eviction state machine from timeouts; run
+# the injector package and the fault-path tests (guarded ring, eviction,
+# differential recovery) under the race detector at several GOMAXPROCS
+# values — determinism claims must hold at every parallelism level.
+echo "== go test -race -count=2 -cpu 1,2,4 (fault injection + fault paths) =="
+go test -race -count=2 -cpu 1,2,4 ./internal/faultinject
+go test -race -count=2 -cpu 1,2,4 -run 'Fault|Evict|Recovery|Guarded' ./internal/runtime ./internal/allreduce
+
 echo "== live-backend smoke: short epochs through the CLI =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 -kernel-shards 2 >/dev/null
+
+echo "== fault-tolerance smoke: injected kill evicts and the run completes =="
+go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 8,8,8 -bucket-bytes 1024 -fault kill:1@6 >/dev/null
 
 echo "== audited fuzz smoke: optperf FuzzSolve =="
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/optperf
 
 echo "== audited fuzz smoke: gns FuzzEstimators =="
 go test -run='^$' -fuzz=FuzzEstimators -fuzztime=10s ./internal/gns
+
+echo "== fault fuzz smoke: runtime FuzzRingFaults =="
+go test -run='^$' -fuzz=FuzzRingFaults -fuzztime=10s ./internal/runtime
 
 echo "OK"
