@@ -11,7 +11,9 @@ package cannikin
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"cannikin/internal/allreduce"
 	"cannikin/internal/experiments"
@@ -350,6 +352,126 @@ func BenchmarkAllReduce(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchTCPRings builds an n-rank TCP ring over loopback: one transport
+// per rank (dialed concurrently — the ring interlocks), each wrapped in
+// its own Ring. Returns the rings, an aggregate wire-stats getter, and a
+// teardown func.
+func benchTCPRings(b *testing.B, n int, delay time.Duration) ([]*allreduce.Ring, func() allreduce.TCPStats, func()) {
+	b.Helper()
+	addrs, lns, err := allreduce.ReserveRingAddrs(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trs := make([]*allreduce.TCPTransport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = allreduce.NewTCPTransport(allreduce.TCPConfig{
+				Rank: r, Peers: addrs, Listener: lns[r], BatchDelay: delay,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			b.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	rings := make([]*allreduce.Ring, n)
+	for r := range rings {
+		if rings[r], err = allreduce.NewRingOver(trs[r]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stats := func() allreduce.TCPStats {
+		var sum allreduce.TCPStats
+		for _, tr := range trs {
+			st := tr.Stats()
+			sum.BytesSent += st.BytesSent
+			sum.BytesReceived += st.BytesReceived
+			sum.MessagesSent += st.MessagesSent
+			sum.MessagesRecv += st.MessagesRecv
+			sum.Batches += st.Batches
+		}
+		return sum
+	}
+	teardown := func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}
+	return rings, stats, teardown
+}
+
+// BenchmarkRingTransport measures one bucketless ring reduce across the
+// pluggable transports: the in-process channel ring, TCP over loopback
+// with batching off, and TCP with adaptive send-side batching. TCP rows
+// additionally report the wire cost (bytes per ring hop) and the achieved
+// coalescing factor (ring hops per network write).
+func BenchmarkRingTransport(b *testing.B) {
+	const n, dim = 4, 1 << 16
+	run := func(b *testing.B, rings []*allreduce.Ring, stats func() allreduce.TCPStats) {
+		segs := make([][]float64, n)
+		for i := range segs {
+			segs[i] = make([]float64, dim)
+		}
+		b.SetBytes(int64(8 * dim))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for r := range segs {
+				for j := range segs[r] {
+					segs[r][j] = float64(r + j)
+				}
+			}
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					if err := rings[r].ReduceWith(r, segs[r], allreduce.Options{}); err != nil {
+						b.Error(err)
+					}
+				}(r)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		if stats != nil {
+			st := stats()
+			if st.MessagesSent > 0 {
+				b.ReportMetric(float64(st.BytesSent)/float64(st.MessagesSent), "bytes/hop")
+				b.ReportMetric(st.MsgsPerBatch(), "msgs/batch")
+			}
+		}
+	}
+	b.Run("chan", func(b *testing.B) {
+		ring, err := allreduce.NewRing(n, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rings := make([]*allreduce.Ring, n)
+		for r := range rings {
+			rings[r] = ring
+		}
+		run(b, rings, nil)
+	})
+	b.Run("tcp", func(b *testing.B) {
+		rings, stats, teardown := benchTCPRings(b, n, 0)
+		defer teardown()
+		run(b, rings, stats)
+	})
+	b.Run("tcp-batch", func(b *testing.B) {
+		rings, stats, teardown := benchTCPRings(b, n, allreduce.BatchAuto)
+		defer teardown()
+		run(b, rings, stats)
+	})
 }
 
 // BenchmarkTrainMLPLiveVsSequential runs the identical training job on the

@@ -1,0 +1,132 @@
+// Command cannikin-worker runs ONE rank of a multi-process MLP training
+// job over a TCP ring. It is normally launched by `cannikin -mlp
+// -transport tcp`, which hands every rank the same spec file:
+//
+//	cannikin-worker -spec run.json -rank 2
+//
+// but it can be started by hand on separate machines too:
+//
+//	cannikin-worker -mlp -transport tcp -mlp-batches 8,8,4,4 \
+//	    -peers h0:7000,h1:7000,h2:7000,h3:7000 -rank 1 -listen 0.0.0.0:7000
+//
+// Every rank must receive the identical spec (same seed, batches, peers);
+// each deterministically reproduces the dataset and initial weights, so
+// the trained weights are bitwise-identical on every rank. The final line
+// of output is the proof token the coordinator compares across ranks:
+//
+//	weights-sha256: <hex>
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"cannikin"
+
+	"cannikin/internal/runspec"
+	"cannikin/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cannikin-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cannikin-worker", flag.ContinueOnError)
+	b := runspec.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := b.Resolve()
+	if err != nil {
+		return err
+	}
+	if spec.Transport != runspec.TransportTCP {
+		return fmt.Errorf("cannikin-worker requires -transport tcp (got %q)", spec.Transport)
+	}
+	if len(spec.Peers) == 0 {
+		return fmt.Errorf("cannikin-worker requires -peers (every rank's host:port, in rank order)")
+	}
+	if len(spec.Faults) > 0 || spec.FaultReplan != "" {
+		return fmt.Errorf("fault injection is not supported in worker mode")
+	}
+	delay, err := runspec.ParseBatchDelay(spec.BatchDelay)
+	if err != nil {
+		return err
+	}
+
+	cfg := cannikin.MLPConfig{
+		LocalBatches: spec.MLPBatches,
+		Seed:         spec.Seed,
+		BucketBytes:  spec.BucketBytes,
+		KernelShards: spec.KernelShards,
+	}
+	if spec.Epochs > 0 {
+		cfg.Epochs = spec.Epochs
+	}
+	res, st, err := cannikin.TrainMLPWorker(cfg, cannikin.WorkerRingConfig{
+		Rank:       spec.Rank,
+		Peers:      spec.Peers,
+		Listen:     spec.Listen,
+		BatchDelay: delay,
+		Guard:      spec.Guard,
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := printEpochs(w, res, spec.CSV); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nworker rank %d of %d (local batches %s): %d steps, final accuracy %.4f\n",
+		spec.Rank, res.Workers, intsToString(spec.MLPBatches), res.Steps, res.FinalAccuracy)
+	fmt.Fprintf(w, "ring: %d hops in %d network writes (%.2f msgs/batch), %d bytes sent, %d received\n",
+		st.MessagesSent, st.Batches, st.MsgsPerBatch, st.BytesSent, st.BytesReceived)
+	fmt.Fprintf(w, "weights-sha256: %s\n", weightsHash(res.FinalWeights))
+	return nil
+}
+
+// printEpochs prints the per-epoch table — identical on every rank, so
+// the coordinator shows rank 0's verbatim.
+func printEpochs(w io.Writer, res *cannikin.MLPResult, csv bool) error {
+	tab := trace.NewTable("epoch", "batch", "lr", "loss", "accuracy", "GNS")
+	for e := range res.EpochLoss {
+		tab.AddRowValues(e, res.BatchSchedule[e], res.LRSchedule[e],
+			res.EpochLoss[e], res.EpochAccuracy[e], res.NoiseEstimate[e])
+	}
+	if csv {
+		return tab.FprintCSV(w)
+	}
+	return tab.Fprint(w)
+}
+
+func intsToString(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, "/")
+}
+
+// weightsHash fingerprints the flat weight vector: sha256 over the
+// IEEE-754 bit patterns, little-endian. Must match the coordinator's.
+func weightsHash(weights []float64) string {
+	h := sha256.New()
+	var word [8]byte
+	for _, v := range weights {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			word[i] = byte(bits >> (8 * i))
+		}
+		h.Write(word[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,5 +1,11 @@
 // Command cannikin trains one workload on a simulated heterogeneous
 // cluster with a chosen training system and prints the per-epoch trace.
+// With -mlp it trains the real data-parallel MLP instead; -transport tcp
+// additionally spans the run across one OS process per worker, spawning
+// cannikin-worker ranks connected by a TCP ring.
+//
+// Every flag can also come from a JSON run-spec file (-spec run.json);
+// flags set explicitly on the command line override the file.
 //
 // Examples:
 //
@@ -9,19 +15,27 @@
 //	cannikin -cluster a -workload imagenet -chaos 0.3 -progress
 //	cannikin -mlp -backend live -mlp-batches 16,8,4 -epochs 5
 //	cannikin -mlp -backend live -fault "stall:0@3:40ms,kill:1@8" -fault-replan optperf
+//	cannikin -mlp -transport tcp -mlp-batches 8,8,4,4 -epochs 3 -batch-delay auto
+//	cannikin -spec run.json
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
-	"time"
 
 	"cannikin"
 
+	"cannikin/internal/allreduce"
+	"cannikin/internal/runspec"
 	"cannikin/internal/trace"
 )
 
@@ -34,61 +48,48 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cannikin", flag.ContinueOnError)
-	var (
-		clusterName  = fs.String("cluster", "a", `cluster preset: "a", "b", or "c"`)
-		models       = fs.String("models", "", "comma-separated GPU models for a custom cluster (overrides -cluster)")
-		workload     = fs.String("workload", "cifar10", "workload name (see -list)")
-		system       = fs.String("system", "cannikin", "training system: cannikin, adaptdl, lb-bsp, pytorch-ddp, hetpipe")
-		seed         = fs.Uint64("seed", 1, "random seed")
-		epochs       = fs.Int("epochs", 0, "epoch cap (0 = run to convergence)")
-		batch        = fs.Int("batch", 0, "fixed total batch size (0 = adaptive/default)")
-		list         = fs.Bool("list", false, "list workloads and GPU models, then exit")
-		csv          = fs.Bool("csv", false, "emit the epoch trace as CSV")
-		chaosChurn   = fs.Float64("chaos", 0, "per-epoch probability of a random resource perturbation, in (0, 1]")
-		progress     = fs.Bool("progress", false, "stream each epoch as it completes")
-		audit        = fs.String("audit", "", `verify OptPerf plans against the paper's optimality invariants: "advisory" or "strict"`)
-		mlp          = fs.Bool("mlp", false, "train the real MLP across data-parallel workers instead of the simulated workload")
-		backend      = fs.String("backend", "sim", `MLP execution engine: "sim" (sequential reference) or "live" (concurrent workers, overlapped ring all-reduce, wall-clock profile)`)
-		mlpBatches   = fs.String("mlp-batches", "16,8,4", "comma-separated per-worker local batch sizes for -mlp")
-		bucketBytes  = fs.Int("bucket-bytes", 0, "gradient bucket cap in bytes for -mlp (0 = DDP's 25 MB default)")
-		kernelShards = fs.Int("kernel-shards", 0, "matmul kernel parallelism for -mlp: shard each matmul across this many goroutines (0 = leave serial; results are bitwise identical at any value)")
-		fault        = fs.String("fault", "", `inject deterministic faults into the live MLP run: comma-separated events "kind:worker@step[:arg]" with kinds kill, stall (arg = duration), delay (arg = duration), drop (arg = count), e.g. "stall:0@3:40ms,kill:1@8"`)
-		faultReplan  = fs.String("fault-replan", "", `survivor batch policy after an eviction: "keep" (default) or "optperf"`)
-	)
+	b := runspec.Register(fs)
+	list := fs.Bool("list", false, "list workloads and GPU models, then exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := b.Resolve()
+	if err != nil {
 		return err
 	}
 	if *list {
 		return printCatalog(w)
 	}
-	if *mlp {
-		faultCfg, err := parseFaults(*fault, *faultReplan)
-		if err != nil {
-			return err
+	if spec.MLP {
+		if spec.Transport == runspec.TransportTCP {
+			return runMLPCoordinator(w, spec)
 		}
-		return runMLP(w, *mlpBatches, *backend, *seed, *epochs, *bucketBytes, *kernelShards, *csv, faultCfg)
+		return runMLP(w, spec)
 	}
-	if *fault != "" || *faultReplan != "" {
+	if len(spec.Faults) > 0 || spec.FaultReplan != "" {
 		return fmt.Errorf("-fault requires -mlp -backend live")
+	}
+	if spec.Transport != "" && spec.Transport != runspec.TransportChan {
+		return fmt.Errorf("-transport %s requires -mlp", spec.Transport)
 	}
 
 	cfg := cannikin.TrainConfig{
-		Workload:   *workload,
-		System:     cannikin.SystemKind(*system),
-		Seed:       *seed,
-		MaxEpochs:  *epochs,
-		FixedBatch: *batch,
+		Workload:   spec.Workload,
+		System:     cannikin.SystemKind(spec.System),
+		Seed:       spec.Seed,
+		MaxEpochs:  spec.Epochs,
+		FixedBatch: spec.Batch,
 	}
-	if *models != "" {
-		cfg.Cluster = cannikin.ClusterConfig{Models: strings.Split(*models, ",")}
+	if len(spec.Models) > 0 {
+		cfg.Cluster = cannikin.ClusterConfig{Models: spec.Models}
 	} else {
-		cfg.Cluster = cannikin.ClusterConfig{Preset: *clusterName}
+		cfg.Cluster = cannikin.ClusterConfig{Preset: spec.Cluster}
 	}
-	if *chaosChurn > 0 {
-		cfg.Chaos = cannikin.ChaosConfig{Churn: *chaosChurn}
+	if spec.Chaos > 0 {
+		cfg.Chaos = cannikin.ChaosConfig{Churn: spec.Chaos}
 	}
-	cfg.Audit = cannikin.AuditLevel(*audit)
-	if *progress {
+	cfg.Audit = cannikin.AuditLevel(spec.Audit)
+	if spec.Progress {
 		cfg.OnEpoch = func(e cannikin.EpochReport) error {
 			fmt.Fprintf(w, "epoch %3d  batch %4d  step %.4fs  metric %.4f\n",
 				e.Epoch, e.TotalBatch, e.AvgBatchTime, e.Metric)
@@ -109,7 +110,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	audited := *audit != ""
+	audited := spec.Audit != ""
 	cols := []string{"epoch", "batch", "local batches", "avg step (s)", "epoch (s)", "overhead (s)", "events"}
 	if audited {
 		cols = append(cols, "audit")
@@ -126,7 +127,7 @@ func run(args []string, w io.Writer) error {
 		tab.AddRowValues(row...)
 	}
 	var printErr error
-	if *csv {
+	if spec.CSV {
 		printErr = tab.FprintCSV(w)
 	} else {
 		printErr = tab.Fprint(w)
@@ -142,46 +143,35 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// runMLP trains the real data-parallel MLP on the selected execution
+// mlpConfigOf translates the spec's MLP fields to the public config.
+func mlpConfigOf(spec *runspec.Spec) cannikin.MLPConfig {
+	cfg := cannikin.MLPConfig{
+		LocalBatches: spec.MLPBatches,
+		Backend:      spec.Backend,
+		Seed:         spec.Seed,
+		BucketBytes:  spec.BucketBytes,
+		KernelShards: spec.KernelShards,
+		Fault:        faultsToConfig(spec.Faults, spec.FaultReplan),
+	}
+	if spec.Epochs > 0 {
+		cfg.Epochs = spec.Epochs
+	}
+	return cfg
+}
+
+// runMLP trains the real data-parallel MLP on the selected in-process
 // backend and prints the per-epoch trace plus, for the live backend, the
 // measured timing profile and the performance model fitted from it.
-func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketBytes, kernelShards int, csv bool, fault *cannikin.FaultConfig) error {
-	local, err := parseBatches(batches)
+func runMLP(w io.Writer, spec *runspec.Spec) error {
+	res, err := cannikin.TrainMLP(mlpConfigOf(spec))
 	if err != nil {
 		return err
 	}
-	cfg := cannikin.MLPConfig{
-		LocalBatches: local,
-		Backend:      backend,
-		Seed:         seed,
-		BucketBytes:  bucketBytes,
-		KernelShards: kernelShards,
-		Fault:        fault,
-	}
-	if epochs > 0 {
-		cfg.Epochs = epochs
-	}
-	res, err := cannikin.TrainMLP(cfg)
-	if err != nil {
+	if err := printMLPEpochs(w, res, spec.CSV); err != nil {
 		return err
-	}
-
-	tab := trace.NewTable("epoch", "batch", "lr", "loss", "accuracy", "GNS")
-	for e := range res.EpochLoss {
-		tab.AddRowValues(e, res.BatchSchedule[e], res.LRSchedule[e],
-			res.EpochLoss[e], res.EpochAccuracy[e], res.NoiseEstimate[e])
-	}
-	var printErr error
-	if csv {
-		printErr = tab.FprintCSV(w)
-	} else {
-		printErr = tab.Fprint(w)
-	}
-	if printErr != nil {
-		return printErr
 	}
 	fmt.Fprintf(w, "\n%s backend: %d workers (local batches %s), %d steps, final accuracy %.4f\n",
-		res.Backend, res.Workers, intsToString(local), res.Steps, res.FinalAccuracy)
+		res.Backend, res.Workers, intsToString(spec.MLPBatches), res.Steps, res.FinalAccuracy)
 	for _, f := range res.FaultEvents {
 		fmt.Fprintf(w, "fault: step %d worker %d %s %.3g\n", f.Step, f.Node, f.Kind, f.Value)
 	}
@@ -209,69 +199,204 @@ func runMLP(w io.Writer, batches, backend string, seed uint64, epochs, bucketByt
 	return nil
 }
 
-// parseFaults parses the -fault mini-DSL: comma-separated events of the
-// form "kind:worker@step[:arg]". The arg is a duration for stall/delay
-// and a count for drop; kill takes none.
-func parseFaults(spec, replan string) (*cannikin.FaultConfig, error) {
-	if spec == "" {
-		if replan != "" {
-			return &cannikin.FaultConfig{Replan: replan}, nil
+// printMLPEpochs prints the shared per-epoch table of an MLP run.
+func printMLPEpochs(w io.Writer, res *cannikin.MLPResult, csv bool) error {
+	tab := trace.NewTable("epoch", "batch", "lr", "loss", "accuracy", "GNS")
+	for e := range res.EpochLoss {
+		tab.AddRowValues(e, res.BatchSchedule[e], res.LRSchedule[e],
+			res.EpochLoss[e], res.EpochAccuracy[e], res.NoiseEstimate[e])
+	}
+	if csv {
+		return tab.FprintCSV(w)
+	}
+	return tab.Fprint(w)
+}
+
+// runMLPCoordinator spans the MLP run across one OS process per worker:
+// it reserves a loopback port per rank (unless -peers names them), writes
+// the resolved spec to a shared file, launches a cannikin-worker per rank,
+// and verifies every rank's final-weight hash against the others AND
+// against an in-process channel-transport reference run of the same seed —
+// the end-to-end bitwise-determinism check across transports and
+// processes.
+func runMLPCoordinator(w io.Writer, spec *runspec.Spec) error {
+	if len(spec.Faults) > 0 || spec.FaultReplan != "" {
+		return fmt.Errorf("-fault is not supported with -transport tcp (kill a worker process instead)")
+	}
+	if spec.Backend == "live" {
+		return fmt.Errorf("-transport tcp runs one process per worker; -backend live is the in-process engine")
+	}
+	if _, err := runspec.ParseBatchDelay(spec.BatchDelay); err != nil {
+		return err
+	}
+	n := len(spec.MLPBatches)
+	peers := spec.Peers
+	if len(peers) == 0 {
+		addrs, listeners, err := allreduce.ReserveRingAddrs(n)
+		if err != nil {
+			return err
 		}
-		return nil, nil
+		// The workers re-bind these just-vacated ports themselves.
+		for _, ln := range listeners {
+			ln.Close()
+		}
+		peers = addrs
+	}
+	if len(peers) != n {
+		return fmt.Errorf("%d peers for %d workers", len(peers), n)
+	}
+	workerBin, err := findWorkerBin(spec.WorkerBin)
+	if err != nil {
+		return err
+	}
+
+	// One shared spec file; each rank overrides -rank on its command line.
+	shared := *spec
+	shared.Peers = peers
+	shared.Backend = ""
+	shared.Transport = runspec.TransportTCP
+	dir, err := os.MkdirTemp("", "cannikin-run")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	specPath := filepath.Join(dir, "run.json")
+	if err := shared.Save(specPath); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "spawning %d cannikin-worker processes over tcp (%s)\n", n, strings.Join(peers, ", "))
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]bytes.Buffer, n)
+	for i := 0; i < n; i++ {
+		cmds[i] = exec.Command(workerBin, "-spec", specPath, "-rank", strconv.Itoa(i))
+		cmds[i].Stdout = &outs[i]
+		cmds[i].Stderr = &outs[i]
+		if err := cmds[i].Start(); err != nil {
+			return fmt.Errorf("start rank %d: %w", i, err)
+		}
+	}
+	var runErr error
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("rank %d: %w", i, err)
+		}
+	}
+	if runErr != nil {
+		for i := range outs {
+			for _, line := range strings.Split(strings.TrimRight(outs[i].String(), "\n"), "\n") {
+				fmt.Fprintf(w, "[rank %d] %s\n", i, line)
+			}
+		}
+		return runErr
+	}
+
+	hashes := make([]string, n)
+	for i := range outs {
+		if hashes[i] = extractWeightsHash(outs[i].String()); hashes[i] == "" {
+			return fmt.Errorf("rank %d printed no weights hash:\n%s", i, outs[i].String())
+		}
+	}
+	for i := 1; i < n; i++ {
+		if hashes[i] != hashes[0] {
+			return fmt.Errorf("rank %d weights %s diverged from rank 0 weights %s", i, hashes[i], hashes[0])
+		}
+	}
+
+	// The channel-transport reference: same seed, in this process.
+	refSpec := *spec
+	refSpec.Backend = "sim"
+	ref, err := cannikin.TrainMLP(mlpConfigOf(&refSpec))
+	if err != nil {
+		return fmt.Errorf("channel reference run: %w", err)
+	}
+	refHash := weightsHash(ref.FinalWeights)
+	if refHash != hashes[0] {
+		return fmt.Errorf("tcp weights %s diverged from channel-transport reference %s", hashes[0], refHash)
+	}
+
+	io.WriteString(w, outs[0].String())
+	fmt.Fprintf(w, "tcp transport: %d worker processes, weights sha256 %s — identical on every rank and to the channel-transport reference\n",
+		n, hashes[0][:16])
+	return nil
+}
+
+// findWorkerBin locates cannikin-worker: the explicit flag, then next to
+// this binary, then $PATH.
+func findWorkerBin(flagVal string) (string, error) {
+	if flagVal != "" {
+		return flagVal, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "cannikin-worker")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	if path, err := exec.LookPath("cannikin-worker"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("cannikin-worker binary not found (build it with `go build ./cmd/cannikin-worker` or pass -worker-bin)")
+}
+
+// weightsHash is the canonical cross-process weight fingerprint: sha256
+// over the vector's IEEE-754 bit patterns, little-endian.
+func weightsHash(weights []float64) string {
+	h := sha256.New()
+	var word [8]byte
+	for _, v := range weights {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			word[i] = byte(bits >> (8 * i))
+		}
+		h.Write(word[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// extractWeightsHash pulls the worker's "weights-sha256: <hex>" line.
+func extractWeightsHash(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "weights-sha256:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// parseFaults parses the -fault mini-DSL ("kind:worker@step[:arg]") into
+// the public fault config; kept as the conversion point between runspec's
+// transport-agnostic events and the cannikin API.
+func parseFaults(spec, replan string) (*cannikin.FaultConfig, error) {
+	events, err := runspec.ParseFaults(spec)
+	if err != nil {
+		return nil, err
+	}
+	return faultsToConfig(events, replan), nil
+}
+
+// faultsToConfig converts parsed fault events to the public config; nil
+// when no events and no replan policy are present.
+func faultsToConfig(events []runspec.Fault, replan string) *cannikin.FaultConfig {
+	if len(events) == 0 && replan == "" {
+		return nil
 	}
 	cfg := &cannikin.FaultConfig{Replan: replan}
-	for _, item := range strings.Split(spec, ",") {
-		item = strings.TrimSpace(item)
-		kind, rest, ok := strings.Cut(item, ":")
-		if !ok {
-			return nil, fmt.Errorf("bad fault %q: want kind:worker@step[:arg]", item)
-		}
-		target, arg, hasArg := strings.Cut(rest, ":")
-		workerStr, stepStr, ok := strings.Cut(target, "@")
-		if !ok {
-			return nil, fmt.Errorf("bad fault %q: missing @step", item)
-		}
-		worker, err := strconv.Atoi(workerStr)
-		if err != nil {
-			return nil, fmt.Errorf("bad fault %q: worker %q", item, workerStr)
-		}
-		step, err := strconv.Atoi(stepStr)
-		if err != nil {
-			return nil, fmt.Errorf("bad fault %q: step %q", item, stepStr)
-		}
-		ev := cannikin.FaultEvent{Step: step, Worker: worker}
-		switch kind {
+	for _, f := range events {
+		ev := cannikin.FaultEvent{Step: f.Step, Worker: f.Worker, Delay: f.Delay, Count: f.Count}
+		switch f.Kind {
 		case "kill":
 			ev.Kind = cannikin.FaultKillWorker
-			if hasArg {
-				return nil, fmt.Errorf("bad fault %q: kill takes no argument", item)
-			}
-		case "stall", "delay":
-			if kind == "stall" {
-				ev.Kind = cannikin.FaultStallCompute
-			} else {
-				ev.Kind = cannikin.FaultDelayMsg
-			}
-			if !hasArg {
-				return nil, fmt.Errorf("bad fault %q: %s needs a duration argument", item, kind)
-			}
-			if ev.Delay, err = time.ParseDuration(arg); err != nil || ev.Delay <= 0 {
-				return nil, fmt.Errorf("bad fault %q: duration %q", item, arg)
-			}
+		case "stall":
+			ev.Kind = cannikin.FaultStallCompute
+		case "delay":
+			ev.Kind = cannikin.FaultDelayMsg
 		case "drop":
 			ev.Kind = cannikin.FaultDropMsg
-			ev.Count = 1
-			if hasArg {
-				if ev.Count, err = strconv.Atoi(arg); err != nil || ev.Count < 1 {
-					return nil, fmt.Errorf("bad fault %q: drop count %q", item, arg)
-				}
-			}
-		default:
-			return nil, fmt.Errorf("bad fault %q: unknown kind %q (want kill, stall, delay, drop)", item, kind)
 		}
 		cfg.Events = append(cfg.Events, ev)
 	}
-	return cfg, nil
+	return cfg
 }
 
 // parseBatches parses "16,8,4" into per-worker local batch sizes.

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWorkerBin compiles cannikin-worker into a temp dir so the
+// coordinator test exercises the real multi-process path.
+func buildWorkerBin(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cannikin-worker")
+	cmd := exec.Command("go", "build", "-o", bin, "cannikin/cmd/cannikin-worker")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build cannikin-worker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRunTCPCoordinator is the end-to-end multi-process check: the
+// coordinator spawns three real cannikin-worker OS processes over
+// loopback TCP, every rank's weight hash must agree, and the hash must
+// match an in-process channel-transport reference run of the same seed.
+func TestRunTCPCoordinator(t *testing.T) {
+	bin := buildWorkerBin(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mlp", "-transport", "tcp", "-mlp-batches", "6,4,2",
+		"-epochs", "1", "-batch-delay", "auto", "-worker-bin", bin,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"spawning 3 cannikin-worker processes over tcp",
+		"worker rank 0 of 3",
+		"identical on every rank and to the channel-transport reference",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTCPCoordinatorGuarded repeats the run with per-hop deadlines and
+// no batching; determinism must hold at every transport setting.
+func TestRunTCPCoordinatorGuarded(t *testing.T) {
+	bin := buildWorkerBin(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mlp", "-transport", "tcp", "-mlp-batches", "4,4",
+		"-epochs", "1", "-guard", "-batch-delay", "0", "-worker-bin", bin,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "identical on every rank") {
+		t.Fatalf("determinism line missing:\n%s", buf.String())
+	}
+}
+
+// TestRunTCPRejects pins the coordinator's argument validation.
+func TestRunTCPRejects(t *testing.T) {
+	cases := [][]string{
+		{"-mlp", "-transport", "tcp", "-fault", "kill:0@2"},
+		{"-mlp", "-transport", "tcp", "-backend", "live"},
+		{"-mlp", "-transport", "tcp", "-batch-delay", "bogus"},
+		{"-mlp", "-transport", "tcp", "-mlp-batches", "8,4", "-peers", "h1:1"},
+		{"-transport", "tcp"}, // tcp without -mlp
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("accepted %v", args)
+		}
+	}
+}

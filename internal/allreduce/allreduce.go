@@ -1,12 +1,18 @@
 // Package allreduce implements a real bandwidth-optimal ring all-reduce
-// (reduce-scatter followed by all-gather) over in-process workers, with the
-// batch-weighted aggregation rule of Eq. 9:
+// (reduce-scatter followed by all-gather) with the batch-weighted
+// aggregation rule of Eq. 9:
 //
 //	g = Σ_i r_i · g_i
 //
 // so that samples on nodes with different local batch sizes carry identical
 // weight in the global gradient. PyTorch-DDP-style gradient bucketing is
 // supported by reducing the vector in fixed-size segments.
+//
+// Communication is pluggable: a Ring runs over any Transport — in-process
+// FIFO channels (ChanTransport, the bitwise reference) or real TCP sockets
+// spanning OS processes (TCPTransport). The arithmetic — chunk bounds and
+// summation order — is fixed by the ring topology alone, so every transport
+// produces bit-identical results.
 //
 // The collective is exercised by the real-gradient training paths; the
 // timing simulator uses the analytic model in internal/simnet instead.
@@ -16,45 +22,87 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+func errRingSize(n int) error { return fmt.Errorf("allreduce: ring of %d workers", n) }
+
+// Options configures one ring reduce call. The zero value is a plain
+// blocking reduce; unset guarded fields take defaults, so callers state
+// only what they deviate on. Options replaces the former sprawl of
+// Reduce / ReduceGuarded / Guard / RetryPolicy.WithDefaults call shapes
+// behind one surface (the legacy names remain as thin deprecated
+// wrappers).
+type Options struct {
+	// Guard runs every hop under the retry policy's deadline with bounded
+	// exponential-backoff retry. A hop that exhausts its budget — or whose
+	// link breaks, on remote transports — fails the call with a *RingFault
+	// naming the suspected neighbor. Required for fault blame and for any
+	// transport whose peers can die.
+	Guard bool
+	// Policy bounds each guarded hop; zero fields take the RetryPolicy
+	// defaults. Ignored when Guard is false.
+	Policy RetryPolicy
+	// SendDelay delays this call's first send attempt (injected fault,
+	// guarded calls only).
+	SendDelay time.Duration
+	// SendDrops drops that many attempts of this call's first send; each
+	// lost attempt costs the sender one retransmit timeout, exactly like a
+	// lost packet under a retransmission timer (guarded calls only).
+	SendDrops int
+}
 
 // Ring is a persistent set of point-to-point links connecting n workers,
 // the transport under every ring collective here. Unlike AllReduce, which
 // drives its own goroutines per call, a Ring is driven from the callers'
-// goroutines: each of the n ranks calls Reduce from its own goroutine, once
-// per segment, and all ranks must reduce the same segments in the same
-// order. Links are FIFO channels, so back-to-back reductions of different
-// gradient buckets pipeline safely — a fast rank may already be sending
-// bucket k-1 while a slow neighbor still drains bucket k.
+// goroutines: each of the n ranks calls ReduceWith from its own goroutine
+// (or its own OS process, on a remote transport), once per segment, and all
+// ranks must reduce the same segments in the same order. Links are FIFO, so
+// back-to-back reductions of different gradient buckets pipeline safely — a
+// fast rank may already be sending bucket k-1 while a slow neighbor still
+// drains bucket k.
 type Ring struct {
-	n     int
-	links []chan []float64
-	// scratch[rank] holds rank-private reusable state (chunk bounds and a
-	// spare message buffer), making steady-state Reduce calls allocation
-	// free. Each entry is touched only by its rank's goroutine.
+	n  int
+	tr Transport
+	// scratch[rank] holds rank-private reusable state (chunk bounds, a
+	// spare message buffer, and the resolved endpoint), making steady-state
+	// reduce calls allocation free. Each entry is touched only by its
+	// rank's goroutine; on remote transports only the local rank's entry is
+	// ever used.
 	scratch []ringScratch
 }
 
-// ringScratch is one rank's reusable Reduce state.
+// ringScratch is one rank's reusable reduce state.
 type ringScratch struct {
 	bounds []int
 	spare  []float64
+	ep     Endpoint
 }
 
-// NewRing returns a ring of n workers whose links buffer depth in-flight
-// messages (depth < 1 is raised to 1; deeper buffers let fast ranks run
-// further ahead without changing results).
+// NewRing returns a ring of n workers over an in-process channel transport
+// whose links buffer depth in-flight messages (depth < 1 is raised to 1;
+// deeper buffers let fast ranks run further ahead without changing
+// results).
 func NewRing(n, depth int) (*Ring, error) {
+	tr, err := NewChanTransport(n, depth)
+	if err != nil {
+		return nil, err
+	}
+	return NewRingOver(tr)
+}
+
+// NewRingOver returns a ring running over the given transport. The ring
+// does not take ownership of the transport; callers close it after the
+// last reduce.
+func NewRingOver(tr Transport) (*Ring, error) {
+	n := tr.Workers()
 	if n < 1 {
-		return nil, fmt.Errorf("allreduce: ring of %d workers", n)
+		return nil, errRingSize(n)
 	}
-	if depth < 1 {
-		depth = 1
-	}
-	r := &Ring{n: n, links: make([]chan []float64, n), scratch: make([]ringScratch, n)}
-	for i := range r.links {
-		r.links[i] = make(chan []float64, depth)
+	r := &Ring{n: n, tr: tr, scratch: make([]ringScratch, n)}
+	for i := range r.scratch {
 		r.scratch[i].bounds = make([]int, n+1)
+		r.scratch[i].ep = tr.Endpoint(i)
 	}
 	return r, nil
 }
@@ -62,23 +110,39 @@ func NewRing(n, depth int) (*Ring, error) {
 // Workers returns the ring size.
 func (r *Ring) Workers() int { return r.n }
 
-// Reduce performs rank's share of one segment's reduce-scatter followed by
-// all-gather: on return, seg holds the element-wise sum of every rank's
+// Transport returns the transport the ring runs over.
+func (r *Ring) Transport() Transport { return r.tr }
+
+// ReduceWith performs rank's share of one segment's reduce-scatter followed
+// by all-gather: on return, seg holds the element-wise sum of every rank's
 // segment. Weighted aggregation (Eq. 9) is the caller's concern — each rank
 // pre-scales its segment by its weight r_i before calling. All n ranks must
-// call Reduce concurrently, with segments of one common length; the
-// summation order is fixed by the ring topology alone, so the result is
-// bit-identical regardless of scheduling, buffering, or how the segment is
-// split into buckets by the caller.
-func (r *Ring) Reduce(rank int, seg []float64) {
+// call ReduceWith concurrently, with segments of one common length and
+// equal Guard settings; the summation order is fixed by the ring topology
+// alone, so the result is bit-identical regardless of scheduling,
+// buffering, transport, or how the segment is split into buckets by the
+// caller.
+//
+// With opts.Guard set, every hop runs under a per-hop deadline with bounded
+// retry; on exhaustion — or on a broken link — ReduceWith returns a
+// *RingFault naming the suspected neighbor, and the segment holds
+// partially-reduced data that the caller must discard. A guarded reduce
+// that completes is bitwise-identical to an unguarded one. When one rank
+// fails, its neighbors' pending hops are guaranteed to fail (or complete)
+// within their own budgets: no call blocks forever.
+func (r *Ring) ReduceWith(rank int, seg []float64, opts Options) error {
 	n := r.n
 	dim := len(seg)
 	if n == 1 || dim == 0 {
-		return
+		return nil
+	}
+	sc := &r.scratch[rank]
+	ep := sc.ep
+	if ep == nil {
+		return fmt.Errorf("allreduce: rank %d is not local to this transport", rank)
 	}
 	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]). The
 	// bounds slice is rank-private scratch reused across calls.
-	sc := &r.scratch[rank]
 	bounds := sc.bounds
 	for c := 0; c <= n; c++ {
 		bounds[c] = c * dim / n
@@ -87,13 +151,11 @@ func (r *Ring) Reduce(rank int, seg []float64) {
 		c = ((c % n) + n) % n
 		return seg[bounds[c]:bounds[c+1]]
 	}
-	out := r.links[rank]
-	in := r.links[(rank-1+n)%n]
 
 	// Message buffers circulate around the ring: once a received buffer
 	// has been consumed it becomes this rank's next send buffer, and the
 	// final buffer is parked in the rank's scratch for the next call, so a
-	// steady-state Reduce allocates nothing.
+	// steady-state reduce allocates nothing.
 	spare := sc.spare
 	sc.spare = nil
 	stage := func(src []float64) []float64 {
@@ -108,28 +170,97 @@ func (r *Ring) Reduce(rank int, seg []float64) {
 		return msg
 	}
 
+	var p RetryPolicy
+	if opts.Guard {
+		p = opts.Policy.WithDefaults()
+	}
+	hop := 0
+	firstSend := true
+	send := func(msg []float64) error {
+		if !opts.Guard {
+			if err := ep.Send(msg); err != nil {
+				return &RingFault{Rank: rank, Suspect: (rank + 1) % n, Op: "send", Hop: hop, Cause: err}
+			}
+			return nil
+		}
+		if firstSend {
+			firstSend = false
+			if opts.SendDelay > 0 {
+				time.Sleep(opts.SendDelay)
+			}
+			// Each dropped attempt is a lost packet: the payload is not
+			// delivered, and the sender retransmits after one hop timeout.
+			for d := 0; d < opts.SendDrops; d++ {
+				time.Sleep(p.HopTimeout)
+			}
+		}
+		if err := ep.SendTimed(msg, p); err != nil {
+			return &RingFault{Rank: rank, Suspect: (rank + 1) % n, Op: "send", Hop: hop, Cause: err}
+		}
+		return nil
+	}
+	recv := func() ([]float64, error) {
+		var msg []float64
+		var err error
+		if opts.Guard {
+			msg, err = ep.RecvTimed(p)
+		} else {
+			msg, err = ep.Recv()
+		}
+		if err != nil {
+			return nil, &RingFault{Rank: rank, Suspect: (rank - 1 + n) % n, Op: "recv", Hop: hop, Cause: err}
+		}
+		return msg, nil
+	}
+
 	// Reduce-scatter: after step s, worker rank holds the partial
 	// sum of chunk (rank - s) accumulated over s+1 workers. After
 	// n-1 steps, worker rank owns the complete chunk (rank+1).
 	for s := 0; s < n-1; s++ {
 		sendIdx := rank - s
-		out <- stage(chunk(sendIdx))
-		recv := <-in
+		if err := send(stage(chunk(sendIdx))); err != nil {
+			sc.spare = spare
+			return err
+		}
+		msg, err := recv()
+		if err != nil {
+			sc.spare = spare
+			return err
+		}
 		dst := chunk(sendIdx - 1)
 		for j := range dst {
-			dst[j] += recv[j]
+			dst[j] += msg[j]
 		}
-		spare = recv
+		spare = msg
+		hop++
 	}
 	// All-gather: circulate the completed chunks.
 	for s := 0; s < n-1; s++ {
 		sendIdx := rank + 1 - s
-		out <- stage(chunk(sendIdx))
-		recv := <-in
-		copy(chunk(sendIdx-1), recv)
-		spare = recv
+		if err := send(stage(chunk(sendIdx))); err != nil {
+			sc.spare = spare
+			return err
+		}
+		msg, err := recv()
+		if err != nil {
+			sc.spare = spare
+			return err
+		}
+		copy(chunk(sendIdx-1), msg)
+		spare = msg
+		hop++
 	}
 	sc.spare = spare
+	return nil
+}
+
+// Reduce is ReduceWith with zero Options on a channel ring, where
+// unguarded hops cannot fail.
+//
+// Deprecated: new code should call ReduceWith, which reports link failures
+// on remote transports.
+func (r *Ring) Reduce(rank int, seg []float64) {
+	_ = r.ReduceWith(rank, seg, Options{})
 }
 
 // AllReduce replaces every vectors[i] in place with the weighted sum
@@ -178,7 +309,7 @@ func AllReduce(vectors [][]float64, weights []float64) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			ring.Reduce(rank, vectors[rank])
+			_ = ring.ReduceWith(rank, vectors[rank], Options{})
 		}(i)
 	}
 	wg.Wait()

@@ -13,10 +13,10 @@ var ErrHopTimeout = errors.New("allreduce: ring hop timed out")
 // RetryPolicy bounds every hop of a guarded reduce: each send and receive
 // must complete within a deadline that starts at HopTimeout and grows by
 // Backoff per retry (capped at MaxTimeout), for at most Retries retries.
-// Because channel sends and receives are idempotent until they succeed,
-// "retry" is simply another bounded wait on the same operation — what makes
-// the whole collective deadlock-free by construction: every blocked hop
-// unblocks within the policy's finite total budget.
+// Because sends and receives are idempotent until they succeed, "retry" is
+// simply another bounded wait on the same operation — what makes the whole
+// collective deadlock-free by construction: every blocked hop unblocks
+// within the policy's finite total budget.
 type RetryPolicy struct {
 	// HopTimeout is the first attempt's deadline (default 20ms).
 	HopTimeout time.Duration
@@ -65,6 +65,9 @@ func (p RetryPolicy) Budget() time.Duration {
 
 // Guard configures one guarded reduce call: the retry policy plus the
 // injected faults this call must suffer (both zero for a clean call).
+//
+// Deprecated: new code should pass Options to ReduceWith; Guard remains as
+// the argument of the legacy ReduceGuarded wrapper.
 type Guard struct {
 	Policy RetryPolicy
 	// SendDelay delays this call's first send attempt.
@@ -76,8 +79,11 @@ type Guard struct {
 }
 
 // RingFault is the error of a failed guarded reduce: which rank gave up,
-// on which operation, and which neighbor it therefore suspects. It wraps
-// ErrHopTimeout.
+// on which operation, and which neighbor it therefore suspects. Cause
+// carries the underlying failure — ErrHopTimeout for an exhausted retry
+// budget, or the transport error for a broken link (a reset socket, say) —
+// and is exposed through Unwrap, so errors.Is(err, ErrHopTimeout)
+// distinguishes starvation from breakage.
 type RingFault struct {
 	// Rank is the caller that exhausted its retry budget.
 	Rank int
@@ -88,160 +94,44 @@ type RingFault struct {
 	// reduce (reduce-scatter hops first, then all-gather hops).
 	Op  string
 	Hop int
+	// Cause is the underlying hop failure (ErrHopTimeout when the retry
+	// budget ran out).
+	Cause error
 }
 
 func (f *RingFault) Error() string {
-	return fmt.Sprintf("allreduce: rank %d %s hop %d timed out (suspect rank %d): %v",
-		f.Rank, f.Op, f.Hop, f.Suspect, ErrHopTimeout)
+	cause := f.Cause
+	if cause == nil {
+		cause = ErrHopTimeout
+	}
+	return fmt.Sprintf("allreduce: rank %d %s hop %d failed (suspect rank %d): %v",
+		f.Rank, f.Op, f.Hop, f.Suspect, cause)
 }
 
-func (f *RingFault) Unwrap() error { return ErrHopTimeout }
+func (f *RingFault) Unwrap() error {
+	if f.Cause == nil {
+		return ErrHopTimeout
+	}
+	return f.Cause
+}
 
-// ReduceGuarded is Reduce with per-hop deadlines, bounded retry with
-// exponential backoff, and deterministic fault injection. It performs the
-// identical arithmetic to Reduce — same chunking, same summation order —
-// so a guarded reduce that completes yields bitwise-identical results to
-// an unguarded one. On retry exhaustion it returns a *RingFault naming the
+// ReduceGuarded is ReduceWith with Options{Guard: true} spelled through the
+// legacy Guard struct: per-hop deadlines, bounded retry with exponential
+// backoff, and deterministic fault injection. It performs the identical
+// arithmetic to Reduce — same chunking, same summation order — so a
+// guarded reduce that completes yields bitwise-identical results to an
+// unguarded one. On retry exhaustion it returns a *RingFault naming the
 // suspected neighbor; the segment then holds partially-reduced data and
 // must be discarded by the caller.
 //
-// All n ranks must call ReduceGuarded concurrently with the same policy.
-// When one rank fails, its neighbors' pending hops are guaranteed to fail
-// (or complete) within their own budgets: no call blocks forever.
+// Deprecated: new code should call ReduceWith directly.
 func (r *Ring) ReduceGuarded(rank int, seg []float64, g Guard) error {
-	n := r.n
-	dim := len(seg)
-	if n == 1 || dim == 0 {
-		return nil
-	}
-	p := g.Policy.WithDefaults()
-	sc := &r.scratch[rank]
-	bounds := sc.bounds
-	for c := 0; c <= n; c++ {
-		bounds[c] = c * dim / n
-	}
-	chunk := func(c int) []float64 {
-		c = ((c % n) + n) % n
-		return seg[bounds[c]:bounds[c+1]]
-	}
-	out := r.links[rank]
-	in := r.links[(rank-1+n)%n]
-
-	spare := sc.spare
-	sc.spare = nil
-	stage := func(src []float64) []float64 {
-		var msg []float64
-		if cap(spare) >= len(src) {
-			msg = spare[:len(src)]
-			spare = nil
-		} else {
-			msg = make([]float64, len(src))
-		}
-		copy(msg, src)
-		return msg
-	}
-
-	hop := 0
-	firstSend := true
-	send := func(msg []float64) error {
-		if firstSend {
-			firstSend = false
-			if g.SendDelay > 0 {
-				time.Sleep(g.SendDelay)
-			}
-			// Each dropped attempt is a lost packet: the payload is not
-			// delivered, and the sender retransmits after one hop timeout.
-			for d := 0; d < g.SendDrops; d++ {
-				time.Sleep(p.HopTimeout)
-			}
-		}
-		if err := sendTimed(out, msg, p); err != nil {
-			return &RingFault{Rank: rank, Suspect: (rank + 1) % n, Op: "send", Hop: hop}
-		}
-		return nil
-	}
-	recv := func() ([]float64, error) {
-		msg, err := recvTimed(in, p)
-		if err != nil {
-			return nil, &RingFault{Rank: rank, Suspect: (rank - 1 + n) % n, Op: "recv", Hop: hop}
-		}
-		return msg, nil
-	}
-
-	// Reduce-scatter, then all-gather: the exact hop sequence of Reduce.
-	for s := 0; s < n-1; s++ {
-		sendIdx := rank - s
-		if err := send(stage(chunk(sendIdx))); err != nil {
-			sc.spare = spare
-			return err
-		}
-		msg, err := recv()
-		if err != nil {
-			sc.spare = spare
-			return err
-		}
-		dst := chunk(sendIdx - 1)
-		for j := range dst {
-			dst[j] += msg[j]
-		}
-		spare = msg
-		hop++
-	}
-	for s := 0; s < n-1; s++ {
-		sendIdx := rank + 1 - s
-		if err := send(stage(chunk(sendIdx))); err != nil {
-			sc.spare = spare
-			return err
-		}
-		msg, err := recv()
-		if err != nil {
-			sc.spare = spare
-			return err
-		}
-		copy(chunk(sendIdx-1), msg)
-		spare = msg
-		hop++
-	}
-	sc.spare = spare
-	return nil
-}
-
-// sendTimed sends msg within the policy's retry budget.
-func sendTimed(out chan<- []float64, msg []float64, p RetryPolicy) error {
-	d := p.HopTimeout
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	for attempt := 0; ; attempt++ {
-		select {
-		case out <- msg:
-			return nil
-		case <-timer.C:
-			if attempt >= p.Retries {
-				return ErrHopTimeout
-			}
-			d = nextDeadline(d, p)
-			timer.Reset(d)
-		}
-	}
-}
-
-// recvTimed receives within the policy's retry budget.
-func recvTimed(in <-chan []float64, p RetryPolicy) ([]float64, error) {
-	d := p.HopTimeout
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	for attempt := 0; ; attempt++ {
-		select {
-		case msg := <-in:
-			return msg, nil
-		case <-timer.C:
-			if attempt >= p.Retries {
-				return nil, ErrHopTimeout
-			}
-			d = nextDeadline(d, p)
-			timer.Reset(d)
-		}
-	}
+	return r.ReduceWith(rank, seg, Options{
+		Guard:     true,
+		Policy:    g.Policy,
+		SendDelay: g.SendDelay,
+		SendDrops: g.SendDrops,
+	})
 }
 
 func nextDeadline(d time.Duration, p RetryPolicy) time.Duration {

@@ -1,0 +1,644 @@
+package allreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP wire protocol. Every connection starts with one fixed-size hello
+// frame identifying the dialing rank; after that the stream is a sequence
+// of length-prefixed messages:
+//
+//	hello:   magic "CKR1" | uint32 rank | uint32 workers      (12 bytes)
+//	message: uint32 count | count × uint64 float64 bits        (4 + 8·count)
+//
+// All integers are little-endian; floats travel as their IEEE-754 bit
+// patterns, so a value is reproduced exactly — transport can never perturb
+// arithmetic. Batching coalesces several messages into one write/syscall;
+// it is purely a framing concern: the receiver decodes messages one at a
+// time off the buffered stream, so grouping on the wire changes syscall
+// counts, never content or order.
+const tcpMagic = "CKR1"
+
+// tcpMaxMsgLen caps a single message's element count (64 MiB of payload),
+// guarding the reader against corrupt or hostile length prefixes.
+const tcpMaxMsgLen = 8 << 20
+
+// tcpAutoMaxDelay caps the adaptive batch delay; tcpAutoStep is its
+// additive increment. 200µs sits just above the swiftpaxos sweet spot
+// (150µs) and well below any per-hop retry deadline.
+const (
+	tcpAutoMaxDelay = 200 * time.Microsecond
+	tcpAutoStep     = 25 * time.Microsecond
+	// tcpCoalesceWindow is the arrival gap under which two consecutive
+	// batches would have fit into one: gaps shorter than this push the
+	// adaptive delay up, longer idle gaps decay it.
+	tcpCoalesceWindow = 100 * time.Microsecond
+	tcpIdleWindow     = time.Millisecond
+)
+
+// BatchAuto selects adaptive send-side batching: the transport tunes its
+// coalescing delay from observed message arrival gaps, between 0 and
+// tcpAutoMaxDelay.
+const BatchAuto time.Duration = -1
+
+// TCPConfig configures one rank's attachment to a ring spanning OS
+// processes over TCP.
+type TCPConfig struct {
+	// Rank is this process's ring position; Peers lists every rank's
+	// address in rank order (len(Peers) is the ring size). Peers[Rank] is
+	// the address this rank listens on, unless Listener is set.
+	Rank  int
+	Peers []string
+	// Listener, when non-nil, is an already-bound listener to accept the
+	// predecessor's connection on (its address supersedes Peers[Rank]).
+	// The transport takes ownership and closes it.
+	Listener net.Listener
+	// BatchDelay is the send-side coalescing delay: 0 sends immediately,
+	// a positive value sleeps that long after the first queued message so
+	// ring hops accumulate into one write, and BatchAuto (-1) tunes the
+	// delay adaptively from arrival gaps. Framing-only: results are
+	// bitwise-identical at every setting.
+	BatchDelay time.Duration
+	// DialTimeout bounds connection setup — dialing the successor and
+	// accepting the predecessor (default 10s). Workers of a multi-process
+	// run start at different times; dialing retries until the deadline.
+	DialTimeout time.Duration
+	// Depth is the send/receive queue depth in messages (default 16).
+	Depth int
+}
+
+func (c *TCPConfig) withDefaults() TCPConfig {
+	out := *c
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 10 * time.Second
+	}
+	if out.Depth < 1 {
+		out.Depth = 16
+	}
+	return out
+}
+
+// TCPStats counts one transport's wire activity. Batches is the number of
+// flushes (≈ send syscalls); Messages the ring hops carried, so
+// Messages/Batches is the achieved coalescing factor.
+type TCPStats struct {
+	BytesSent, BytesReceived   int64
+	MessagesSent, MessagesRecv int64
+	Batches                    int64
+}
+
+// MsgsPerBatch returns the mean number of ring hops coalesced per network
+// write (1 = no batching benefit).
+func (s TCPStats) MsgsPerBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.MessagesSent) / float64(s.Batches)
+}
+
+// TCPTransport connects one local rank into a ring of OS processes over
+// real sockets: an outgoing connection to the successor and an incoming
+// one from the predecessor. Endpoint returns non-nil only for the local
+// rank. Hop deadlines (RetryPolicy) bound waits on the transport's queues,
+// so a stalled peer surfaces as ErrHopTimeout exactly like a stalled
+// channel neighbor, while a broken socket fails pending and future hops
+// immediately with the underlying error — ReduceWith maps both onto
+// *RingFault blame.
+type TCPTransport struct {
+	rank, n int
+	cfg     TCPConfig
+
+	ln       net.Listener
+	sendConn net.Conn // to successor
+	recvConn net.Conn // from predecessor
+
+	sendQ chan []float64
+	recvQ chan []float64
+	free  chan []float64 // recycled message buffers: writer → reader
+
+	done     chan struct{}
+	quit     chan struct{} // graceful close: writer drains sendQ, flushes, exits
+	wDone    chan struct{} // writeLoop finished (drain complete or failed)
+	started  bool          // reader/writer loops are running
+	closeErr sync.Once
+	err      atomic.Value // error: first fatal transport failure
+	wg       sync.WaitGroup
+	closed   sync.Once
+
+	bytesSent, bytesRecv int64
+	msgsSent, msgsRecv   int64
+	batches              int64
+}
+
+// NewTCPTransport sets this rank's ring connections up and starts its
+// reader and writer. It blocks until both neighbor links are established
+// or the dial timeout lapses. Every rank of the ring must run
+// NewTCPTransport with the same Peers list.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	n := len(cfg.Peers)
+	if n < 1 {
+		return nil, errRingSize(n)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return nil, fmt.Errorf("allreduce: tcp rank %d of %d", cfg.Rank, n)
+	}
+	cfg = cfg.withDefaults()
+	t := &TCPTransport{
+		rank:  cfg.Rank,
+		n:     n,
+		cfg:   cfg,
+		sendQ: make(chan []float64, cfg.Depth),
+		recvQ: make(chan []float64, cfg.Depth),
+		free:  make(chan []float64, 2*cfg.Depth),
+		done:  make(chan struct{}),
+		quit:  make(chan struct{}),
+		wDone: make(chan struct{}),
+	}
+	if n == 1 {
+		t.ln = cfg.Listener // still owned: Close must release it
+		return t, nil       // a single-rank ring exchanges nothing
+	}
+	if err := t.connect(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	t.started = true
+	t.wg.Add(2)
+	go t.writeLoop()
+	go t.readLoop()
+	return t, nil
+}
+
+// connect establishes the two neighbor links: listen for the predecessor,
+// dial the successor (retrying while it boots), and exchange hellos.
+func (t *TCPTransport) connect() error {
+	deadline := time.Now().Add(t.cfg.DialTimeout)
+	ln := t.cfg.Listener
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", t.cfg.Peers[t.rank]); err != nil {
+			return fmt.Errorf("allreduce: rank %d listen %s: %w", t.rank, t.cfg.Peers[t.rank], err)
+		}
+	}
+	t.ln = ln
+
+	succ := (t.rank + 1) % t.n
+	pred := (t.rank - 1 + t.n) % t.n
+
+	// Dial the successor in the background while accepting the
+	// predecessor; with both sides of every process doing this, ring
+	// bring-up needs no global ordering.
+	type dialResult struct {
+		conn net.Conn
+		err  error
+	}
+	dialCh := make(chan dialResult, 1)
+	go func() {
+		var lastErr error
+		for time.Now().Before(deadline) {
+			conn, err := net.DialTimeout("tcp", t.cfg.Peers[succ], time.Until(deadline))
+			if err == nil {
+				if err = writeHello(conn, t.rank, t.n); err == nil {
+					dialCh <- dialResult{conn: conn}
+					return
+				}
+				conn.Close()
+			}
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+		}
+		dialCh <- dialResult{err: fmt.Errorf("allreduce: rank %d dial successor %d (%s): %w",
+			t.rank, succ, t.cfg.Peers[succ], lastErr)}
+	}()
+
+	var acceptErr error
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = d.SetDeadline(deadline)
+	}
+	for t.recvConn == nil {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr = fmt.Errorf("allreduce: rank %d accept predecessor %d: %w", t.rank, pred, err)
+			break
+		}
+		from, workers, err := readHello(conn)
+		if err != nil || workers != t.n || from != pred {
+			// A stray or malformed connection (port scan, stale dial from a
+			// previous run): drop it and keep accepting.
+			conn.Close()
+			continue
+		}
+		t.recvConn = conn
+	}
+
+	res := <-dialCh
+	if res.err == nil {
+		t.sendConn = res.conn
+	}
+	if acceptErr != nil {
+		return acceptErr
+	}
+	return res.err
+}
+
+func writeHello(conn net.Conn, rank, n int) error {
+	var buf [12]byte
+	copy(buf[:4], tcpMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(rank))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(n))
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readHello(conn net.Conn) (rank, n int, err error) {
+	var buf [12]byte
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	if _, err = io.ReadFull(conn, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	if string(buf[:4]) != tcpMagic {
+		return 0, 0, fmt.Errorf("allreduce: bad hello magic %q", buf[:4])
+	}
+	return int(binary.LittleEndian.Uint32(buf[4:8])), int(binary.LittleEndian.Uint32(buf[8:12])), nil
+}
+
+// Workers returns the ring size.
+func (t *TCPTransport) Workers() int { return t.n }
+
+// Endpoint returns the local rank's endpoint and nil for every other rank:
+// remote ranks live in other processes.
+func (t *TCPTransport) Endpoint(rank int) Endpoint {
+	if rank != t.rank {
+		return nil
+	}
+	return (*tcpEndpoint)(t)
+}
+
+// Rank returns the local rank.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Stats snapshots the transport's wire counters.
+func (t *TCPTransport) Stats() TCPStats {
+	return TCPStats{
+		BytesSent:     atomic.LoadInt64(&t.bytesSent),
+		BytesReceived: atomic.LoadInt64(&t.bytesRecv),
+		MessagesSent:  atomic.LoadInt64(&t.msgsSent),
+		MessagesRecv:  atomic.LoadInt64(&t.msgsRecv),
+		Batches:       atomic.LoadInt64(&t.batches),
+	}
+}
+
+// Close tears the connections down. Messages already handed to Send are
+// flushed first (briefly bounded), so a rank that finishes its run and
+// closes does not strand its successor's final hops; only then do
+// in-flight and future hops fail promptly with ErrTransportClosed (or the
+// earlier fatal error).
+func (t *TCPTransport) Close() error {
+	t.closed.Do(func() {
+		if t.started {
+			close(t.quit)
+			select {
+			case <-t.wDone:
+			case <-time.After(2 * time.Second):
+			}
+		}
+		t.fail(ErrTransportClosed)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		if t.sendConn != nil {
+			t.sendConn.Close()
+		}
+		if t.recvConn != nil {
+			t.recvConn.Close()
+		}
+		t.wg.Wait()
+	})
+	return nil
+}
+
+// ErrTransportClosed reports a hop attempted on a closed transport.
+var ErrTransportClosed = errors.New("allreduce: transport closed")
+
+// fail records the first fatal error and releases every blocked hop.
+func (t *TCPTransport) fail(err error) {
+	t.closeErr.Do(func() {
+		t.err.Store(err)
+		close(t.done)
+	})
+}
+
+func (t *TCPTransport) fatal() error {
+	if err, ok := t.err.Load().(error); ok {
+		return err
+	}
+	return ErrTransportClosed
+}
+
+// writeLoop drains the send queue onto the socket, coalescing bursts of
+// ring hops into single buffered writes — the swiftpaxos batching recipe:
+// take one message, optionally linger BatchDelay, then drain everything
+// pending and flush once. With BatchAuto the linger adapts to the arrival
+// pattern: back-to-back batches (gap < tcpCoalesceWindow) grow it
+// additively toward tcpAutoMaxDelay, idle gaps decay it multiplicatively.
+func (t *TCPTransport) writeLoop() {
+	defer t.wg.Done()
+	defer close(t.wDone)
+	w := bufio.NewWriterSize(t.sendConn, 256<<10)
+	var scratch [4]byte
+	delay := t.cfg.BatchDelay
+	adaptive := delay < 0
+	if adaptive {
+		delay = 0
+	}
+	var lastFlush time.Time
+	for {
+		// Note no done case: done may fire because the *read* side saw a
+		// finished peer close (EOF) while the successor still needs our
+		// queued and future sends, so the writer keeps serving sendQ until
+		// graceful close (quit) or its own write error below.
+		var msg []float64
+		select {
+		case msg = <-t.sendQ:
+		case <-t.quit:
+			t.drainSends(w, scratch[:])
+			return
+		}
+		if adaptive && !lastFlush.IsZero() {
+			switch gap := time.Since(lastFlush); {
+			case gap < tcpCoalesceWindow && delay < tcpAutoMaxDelay:
+				delay += tcpAutoStep
+			case gap > tcpIdleWindow:
+				delay /= 2
+			}
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		batch := int64(0)
+		bytes := int64(0)
+		for {
+			n, err := t.writeMsg(w, msg, scratch[:])
+			t.recycle(msg)
+			if err != nil {
+				t.fail(fmt.Errorf("allreduce: rank %d send to %d: %w", t.rank, (t.rank+1)%t.n, err))
+				return
+			}
+			batch++
+			bytes += n
+			select {
+			case msg = <-t.sendQ:
+				continue
+			default:
+			}
+			break
+		}
+		if err := w.Flush(); err != nil {
+			t.fail(fmt.Errorf("allreduce: rank %d flush to %d: %w", t.rank, (t.rank+1)%t.n, err))
+			return
+		}
+		atomic.AddInt64(&t.batches, 1)
+		atomic.AddInt64(&t.msgsSent, batch)
+		atomic.AddInt64(&t.bytesSent, bytes)
+		lastFlush = time.Now()
+	}
+}
+
+// drainSends writes and flushes every message still queued at graceful
+// close, so the successor's pending hops complete before the socket drops.
+func (t *TCPTransport) drainSends(w *bufio.Writer, scratch []byte) {
+	batch := int64(0)
+	bytes := int64(0)
+	for {
+		select {
+		case msg := <-t.sendQ:
+			n, err := t.writeMsg(w, msg, scratch)
+			t.recycle(msg)
+			if err != nil {
+				return
+			}
+			batch++
+			bytes += n
+		default:
+			if batch > 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+				atomic.AddInt64(&t.batches, 1)
+				atomic.AddInt64(&t.msgsSent, batch)
+				atomic.AddInt64(&t.bytesSent, bytes)
+			} else {
+				w.Flush()
+			}
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) writeMsg(w *bufio.Writer, msg []float64, scratch []byte) (int64, error) {
+	binary.LittleEndian.PutUint32(scratch, uint32(len(msg)))
+	if _, err := w.Write(scratch); err != nil {
+		return 0, err
+	}
+	var word [8]byte
+	for _, v := range msg {
+		binary.LittleEndian.PutUint64(word[:], math.Float64bits(v))
+		if _, err := w.Write(word[:]); err != nil {
+			return 0, err
+		}
+	}
+	return int64(4 + 8*len(msg)), nil
+}
+
+// readLoop decodes messages off the predecessor's stream into the receive
+// queue, reusing buffers the writer retired.
+func (t *TCPTransport) readLoop() {
+	defer t.wg.Done()
+	r := bufio.NewReaderSize(t.recvConn, 256<<10)
+	var scratch [8]byte
+	for {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			t.fail(fmt.Errorf("allreduce: rank %d recv from %d: %w", t.rank, (t.rank-1+t.n)%t.n, err))
+			return
+		}
+		count := int(binary.LittleEndian.Uint32(scratch[:4]))
+		if count > tcpMaxMsgLen {
+			t.fail(fmt.Errorf("allreduce: rank %d recv frame of %d elements", t.rank, count))
+			return
+		}
+		msg := t.take(count)
+		ok := true
+		for i := range msg {
+			if _, err := io.ReadFull(r, scratch[:]); err != nil {
+				t.fail(fmt.Errorf("allreduce: rank %d recv from %d: %w", t.rank, (t.rank-1+t.n)%t.n, err))
+				ok = false
+				break
+			}
+			msg[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+		}
+		if !ok {
+			return
+		}
+		atomic.AddInt64(&t.msgsRecv, 1)
+		atomic.AddInt64(&t.bytesRecv, int64(4+8*count))
+		select {
+		case t.recvQ <- msg:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// take returns a message buffer of the given element count, preferring a
+// recycled one.
+func (t *TCPTransport) take(count int) []float64 {
+	select {
+	case buf := <-t.free:
+		if cap(buf) >= count {
+			return buf[:count]
+		}
+	default:
+	}
+	return make([]float64, count)
+}
+
+// recycle parks a retired buffer for the reader (best-effort: dropped when
+// the pool is full).
+func (t *TCPTransport) recycle(buf []float64) {
+	select {
+	case t.free <- buf:
+	default:
+	}
+}
+
+// tcpEndpoint adapts the transport to the local rank's Endpoint. Deadline
+// semantics live here, on the queues: a peer that stalls starves recvQ (or
+// backs sendQ up) and the policy timer fires ErrHopTimeout; a peer whose
+// socket breaks trips done and the hop fails immediately with the socket
+// error. That is the whole failure-semantics mapping — RingFault blame on
+// top is transport-independent.
+type tcpEndpoint TCPTransport
+
+func (e *tcpEndpoint) t() *TCPTransport { return (*TCPTransport)(e) }
+
+func (e *tcpEndpoint) Send(msg []float64) error {
+	t := e.t()
+	select {
+	case t.sendQ <- msg:
+		return nil
+	case <-t.done:
+		// done may stem from a read-side failure while the send socket is
+		// healthy and the writer still running — prefer handing the
+		// message over (the successor may need it) and fail only when the
+		// queue is genuinely stuck.
+		select {
+		case t.sendQ <- msg:
+			return nil
+		default:
+			return t.fatal()
+		}
+	}
+}
+
+func (e *tcpEndpoint) Recv() ([]float64, error) {
+	t := e.t()
+	select {
+	case msg := <-t.recvQ:
+		return msg, nil
+	case <-t.done:
+		// done often fires from EOF when a finished peer closes; the
+		// reader enqueues every delivered message before it can fail, so
+		// a final queue check cannot miss data that arrived pre-EOF —
+		// without it this select could randomly prefer done over a
+		// non-empty queue and strand the run's last hops.
+		select {
+		case msg := <-t.recvQ:
+			return msg, nil
+		default:
+			return nil, t.fatal()
+		}
+	}
+}
+
+func (e *tcpEndpoint) SendTimed(msg []float64, p RetryPolicy) error {
+	t := e.t()
+	d := p.HopTimeout
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case t.sendQ <- msg:
+			return nil
+		case <-t.done:
+			select { // see Send: the writer may still be serving the queue
+			case t.sendQ <- msg:
+				return nil
+			default:
+				return t.fatal()
+			}
+		case <-timer.C:
+			if attempt >= p.Retries {
+				return ErrHopTimeout
+			}
+			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}
+
+func (e *tcpEndpoint) RecvTimed(p RetryPolicy) ([]float64, error) {
+	t := e.t()
+	d := p.HopTimeout
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case msg := <-t.recvQ:
+			return msg, nil
+		case <-t.done:
+			select { // see Recv: drain data delivered before the failure
+			case msg := <-t.recvQ:
+				return msg, nil
+			default:
+				return nil, t.fatal()
+			}
+		case <-timer.C:
+			if attempt >= p.Retries {
+				return nil, ErrHopTimeout
+			}
+			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}
+
+// ReserveRingAddrs binds n loopback listeners on kernel-assigned ports and
+// returns them with their addresses, so a set of in-process ranks (tests,
+// benchmarks) can build a TCP ring without a port race: pass addrs as
+// every rank's Peers and listeners[i] as rank i's Listener.
+func ReserveRingAddrs(n int) (addrs []string, listeners []net.Listener, err error) {
+	addrs = make([]string, n)
+	listeners = make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, listeners, nil
+}

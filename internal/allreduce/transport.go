@@ -1,0 +1,154 @@
+package allreduce
+
+import "time"
+
+// Transport wires the n ranks of a ring together: it hands every rank an
+// Endpoint holding that rank's pair of neighbor links (send side toward the
+// successor, receive side from the predecessor). The transport owns the
+// links' lifetime; Close releases them.
+//
+// Two implementations exist:
+//
+//   - ChanTransport: the in-process reference — links are FIFO Go channels,
+//     every rank's endpoint lives in one address space. This is the
+//     transport behind NewRing and the one every golden test pins.
+//   - TCPTransport: one rank per OS process over real sockets, with
+//     length-prefixed framing and adaptive send-side batching (tcp.go).
+//
+// The ring arithmetic (chunking, summation order) lives entirely in
+// Ring.ReduceWith and never depends on the transport, so switching
+// transports can change wall-clock behavior and failure modes but never
+// the reduced values: a TCP ring is bitwise-identical to a channel ring.
+type Transport interface {
+	// Workers returns the ring size n.
+	Workers() int
+	// Endpoint returns rank's attachment to the ring, or nil when that rank
+	// is not local to this transport instance (a TCPTransport holds exactly
+	// one local rank; a ChanTransport holds all of them).
+	Endpoint(rank int) Endpoint
+	// Close tears the links down. Blocked and future endpoint operations
+	// fail promptly after Close.
+	Close() error
+}
+
+// Endpoint is one rank's pair of neighbor links. Buffer ownership follows
+// message flow: Send transfers ownership of msg to the transport, and Recv
+// transfers ownership of the returned buffer to the caller — exactly the
+// contract Ring's circulating-buffer scheme is built on, which is what
+// keeps steady-state channel reduces allocation-free.
+type Endpoint interface {
+	// Send hands msg to the successor link, blocking until the transport
+	// accepts it. A non-nil error means the link is broken (remote
+	// transports only; channel sends cannot fail).
+	Send(msg []float64) error
+	// Recv returns the next message from the predecessor, blocking until
+	// one arrives or the link breaks.
+	Recv() ([]float64, error)
+	// SendTimed is Send bounded by the policy's retry budget: each attempt
+	// waits one deadline, the deadline grows by Backoff per retry, and
+	// exhaustion returns an error wrapping ErrHopTimeout.
+	SendTimed(msg []float64, p RetryPolicy) error
+	// RecvTimed is Recv under the same bounded budget.
+	RecvTimed(p RetryPolicy) ([]float64, error)
+}
+
+// ChanTransport is the in-process transport: n buffered FIFO channels, one
+// per rank, connecting each rank's send side to its successor's receive
+// side. It is the transport NewRing builds and the reference every other
+// transport must match bitwise.
+type ChanTransport struct {
+	n     int
+	links []chan []float64
+	eps   []chanEndpoint
+}
+
+// NewChanTransport returns an in-process transport for n ranks whose links
+// buffer depth in-flight messages (depth < 1 is raised to 1; deeper buffers
+// let fast ranks run further ahead without changing results).
+func NewChanTransport(n, depth int) (*ChanTransport, error) {
+	if n < 1 {
+		return nil, errRingSize(n)
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	t := &ChanTransport{n: n, links: make([]chan []float64, n), eps: make([]chanEndpoint, n)}
+	for i := range t.links {
+		t.links[i] = make(chan []float64, depth)
+	}
+	for i := range t.eps {
+		t.eps[i] = chanEndpoint{out: t.links[i], in: t.links[(i-1+n)%n]}
+	}
+	return t, nil
+}
+
+// Workers returns the ring size.
+func (t *ChanTransport) Workers() int { return t.n }
+
+// Endpoint returns rank's endpoint (every rank is local to a ChanTransport).
+func (t *ChanTransport) Endpoint(rank int) Endpoint {
+	if rank < 0 || rank >= t.n {
+		return nil
+	}
+	return &t.eps[rank]
+}
+
+// Close is a no-op: channel links hold no external resources, and leaving
+// them open keeps in-flight reduces on other goroutines well-defined.
+func (t *ChanTransport) Close() error { return nil }
+
+// chanEndpoint adapts one rank's channel pair to the Endpoint interface.
+type chanEndpoint struct {
+	out chan<- []float64
+	in  <-chan []float64
+}
+
+func (e *chanEndpoint) Send(msg []float64) error {
+	e.out <- msg
+	return nil
+}
+
+func (e *chanEndpoint) Recv() ([]float64, error) {
+	return <-e.in, nil
+}
+
+// SendTimed sends msg within the policy's retry budget. Because a channel
+// send is idempotent until it succeeds, "retry" is simply another bounded
+// wait on the same operation — what makes guarded collectives deadlock-free
+// by construction.
+func (e *chanEndpoint) SendTimed(msg []float64, p RetryPolicy) error {
+	d := p.HopTimeout
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case e.out <- msg:
+			return nil
+		case <-timer.C:
+			if attempt >= p.Retries {
+				return ErrHopTimeout
+			}
+			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}
+
+// RecvTimed receives within the policy's retry budget.
+func (e *chanEndpoint) RecvTimed(p RetryPolicy) ([]float64, error) {
+	d := p.HopTimeout
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case msg := <-e.in:
+			return msg, nil
+		case <-timer.C:
+			if attempt >= p.Retries {
+				return nil, ErrHopTimeout
+			}
+			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}

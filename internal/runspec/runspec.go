@@ -1,0 +1,388 @@
+// Package runspec is the single parsed configuration behind the cannikin
+// command-line tools. One Spec describes a run completely — simulated
+// cluster or real MLP training, fault mini-DSL, chaos, and the transport
+// wiring of a multi-process ring — and can come from flags, from a JSON
+// file (-spec run.json), or both: flags set explicitly on the command line
+// override the file, so `cannikin-worker -spec run.json -rank 2` launches
+// rank 2 of a shared spec.
+//
+// The package is deliberately dependency-light (stdlib only): the cmds
+// translate a Spec into the public cannikin API, not the other way around.
+package runspec
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault is one scheduled fault event of the -fault mini-DSL
+// ("kind:worker@step[:arg]"). Kind is one of "kill", "stall", "delay",
+// "drop"; Delay carries the stall/delay duration and Count the drop count.
+type Fault struct {
+	Kind   string        `json:"kind"`
+	Worker int           `json:"worker"`
+	Step   int           `json:"step"`
+	Delay  time.Duration `json:"delay,omitempty"`
+	Count  int           `json:"count,omitempty"`
+}
+
+// Spec is the full run configuration. JSON field names double as the file
+// format; zero values mean "use the default".
+type Spec struct {
+	// Simulated-cluster mode.
+	Cluster  string   `json:"cluster,omitempty"`
+	Models   []string `json:"models,omitempty"`
+	Workload string   `json:"workload,omitempty"`
+	System   string   `json:"system,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	Epochs   int      `json:"epochs,omitempty"`
+	Batch    int      `json:"batch,omitempty"`
+	Chaos    float64  `json:"chaos,omitempty"`
+	Audit    string   `json:"audit,omitempty"`
+	Progress bool     `json:"progress,omitempty"`
+	CSV      bool     `json:"csv,omitempty"`
+
+	// Real MLP training mode.
+	MLP          bool    `json:"mlp,omitempty"`
+	Backend      string  `json:"backend,omitempty"`
+	MLPBatches   []int   `json:"mlp_batches,omitempty"`
+	BucketBytes  int     `json:"bucket_bytes,omitempty"`
+	KernelShards int     `json:"kernel_shards,omitempty"`
+	Faults       []Fault `json:"faults,omitempty"`
+	FaultReplan  string  `json:"fault_replan,omitempty"`
+
+	// Ring transport wiring (MLP mode). Transport "chan" runs all workers
+	// in one process over channels; "tcp" spans one OS process per rank.
+	// Peers lists every rank's address (empty in coordinator mode: the
+	// coordinator reserves localhost ports itself). Rank and Listen belong
+	// to a single worker process; BatchDelay is a duration, "auto", or
+	// empty (send immediately).
+	Transport  string   `json:"transport,omitempty"`
+	Rank       int      `json:"rank,omitempty"`
+	Peers      []string `json:"peers,omitempty"`
+	Listen     string   `json:"listen,omitempty"`
+	BatchDelay string   `json:"batch_delay,omitempty"`
+	Guard      bool     `json:"guard,omitempty"`
+	WorkerBin  string   `json:"worker_bin,omitempty"`
+}
+
+// Default returns the Spec matching the historical flag defaults.
+func Default() *Spec {
+	return &Spec{
+		Cluster:    "a",
+		Workload:   "cifar10",
+		System:     "cannikin",
+		Seed:       1,
+		Backend:    "sim",
+		MLPBatches: []int{16, 8, 4},
+		Transport:  TransportChan,
+	}
+}
+
+// Transport names accepted by Spec.Transport.
+const (
+	TransportChan = "chan"
+	TransportTCP  = "tcp"
+)
+
+// BatchAuto is the BatchDelay sentinel for adaptive send-side batching.
+const BatchAuto = "auto"
+
+// Load reads a Spec from a JSON file. Unknown fields are rejected, so a
+// typo in a spec file fails loudly instead of silently running defaults.
+func Load(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runspec: %w", err)
+	}
+	defer f.Close()
+	s := Default()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("runspec: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the Spec as indented JSON — the coordinator uses it to hand
+// one shared spec file to every worker process.
+func (s *Spec) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runspec: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseBatchDelay interprets a Spec.BatchDelay string: empty or "0" sends
+// immediately, "auto" selects adaptive batching (returned as -1), anything
+// else is a non-negative duration.
+func ParseBatchDelay(s string) (time.Duration, error) {
+	switch s {
+	case "", "0":
+		return 0, nil
+	case BatchAuto:
+		return -1, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("runspec: batch delay %q (want a duration, %q, or 0)", s, BatchAuto)
+	}
+	return d, nil
+}
+
+// ParseFaults parses the -fault mini-DSL: comma-separated events of the
+// form "kind:worker@step[:arg]". The arg is a duration for stall/delay and
+// a count for drop; kill takes none.
+func ParseFaults(spec string) ([]Fault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		kind, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q: want kind:worker@step[:arg]", item)
+		}
+		target, arg, hasArg := strings.Cut(rest, ":")
+		workerStr, stepStr, ok := strings.Cut(target, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q: missing @step", item)
+		}
+		worker, err := strconv.Atoi(workerStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault %q: worker %q", item, workerStr)
+		}
+		step, err := strconv.Atoi(stepStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault %q: step %q", item, stepStr)
+		}
+		f := Fault{Kind: kind, Worker: worker, Step: step}
+		switch kind {
+		case "kill":
+			if hasArg {
+				return nil, fmt.Errorf("bad fault %q: kill takes no argument", item)
+			}
+		case "stall", "delay":
+			if !hasArg {
+				return nil, fmt.Errorf("bad fault %q: %s needs a duration argument", item, kind)
+			}
+			if f.Delay, err = time.ParseDuration(arg); err != nil || f.Delay <= 0 {
+				return nil, fmt.Errorf("bad fault %q: duration %q", item, arg)
+			}
+		case "drop":
+			f.Count = 1
+			if hasArg {
+				if f.Count, err = strconv.Atoi(arg); err != nil || f.Count < 1 {
+					return nil, fmt.Errorf("bad fault %q: drop count %q", item, arg)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("bad fault %q: unknown kind %q (want kill, stall, delay, drop)", item, kind)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// FormatFaults renders events back into the canonical mini-DSL;
+// ParseFaults(FormatFaults(fs)) round-trips exactly.
+func FormatFaults(fs []Fault) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		s := fmt.Sprintf("%s:%d@%d", f.Kind, f.Worker, f.Step)
+		switch f.Kind {
+		case "stall", "delay":
+			s += ":" + f.Delay.String()
+		case "drop":
+			if f.Count != 1 {
+				s += ":" + strconv.Itoa(f.Count)
+			}
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
+// Binding connects a FlagSet to a Spec: every flag writes into the bound
+// Spec, and Resolve applies the flag-over-file precedence when -spec names
+// a JSON file.
+type Binding struct {
+	fs       *flag.FlagSet
+	flat     *Spec
+	specPath string
+	// override copies one explicitly-set flag's value from the flag-parsed
+	// Spec onto the file-loaded Spec, keyed by flag name.
+	override map[string]func(dst, src *Spec)
+}
+
+// Register installs the full Spec flag surface (plus -spec itself) on fs,
+// returning the binding to Resolve after fs.Parse.
+func Register(fs *flag.FlagSet) *Binding {
+	s := Default()
+	b := &Binding{fs: fs, flat: s, override: map[string]func(dst, src *Spec){}}
+	fs.StringVar(&b.specPath, "spec", "", "JSON run-spec file; explicit flags override its fields")
+
+	str := func(name string, p *string, usage string, cp func(dst, src *Spec)) {
+		fs.StringVar(p, name, *p, usage)
+		b.override[name] = cp
+	}
+	boolf := func(name string, p *bool, usage string, cp func(dst, src *Spec)) {
+		fs.BoolVar(p, name, *p, usage)
+		b.override[name] = cp
+	}
+	intf := func(name string, p *int, usage string, cp func(dst, src *Spec)) {
+		fs.IntVar(p, name, *p, usage)
+		b.override[name] = cp
+	}
+
+	str("cluster", &s.Cluster, `cluster preset: "a", "b", or "c"`,
+		func(dst, src *Spec) { dst.Cluster = src.Cluster })
+	fs.Var(&commaStrings{&s.Models}, "models", "comma-separated GPU models for a custom cluster (overrides -cluster)")
+	b.override["models"] = func(dst, src *Spec) { dst.Models = src.Models }
+	str("workload", &s.Workload, "workload name (see -list)",
+		func(dst, src *Spec) { dst.Workload = src.Workload })
+	str("system", &s.System, "training system: cannikin, adaptdl, lb-bsp, pytorch-ddp, hetpipe",
+		func(dst, src *Spec) { dst.System = src.System })
+	fs.Uint64Var(&s.Seed, "seed", s.Seed, "random seed")
+	b.override["seed"] = func(dst, src *Spec) { dst.Seed = src.Seed }
+	intf("epochs", &s.Epochs, "epoch cap (0 = run to convergence; MLP default 10)",
+		func(dst, src *Spec) { dst.Epochs = src.Epochs })
+	intf("batch", &s.Batch, "fixed total batch size (0 = adaptive/default)",
+		func(dst, src *Spec) { dst.Batch = src.Batch })
+	fs.Float64Var(&s.Chaos, "chaos", s.Chaos, "per-epoch probability of a random resource perturbation, in (0, 1]")
+	b.override["chaos"] = func(dst, src *Spec) { dst.Chaos = src.Chaos }
+	str("audit", &s.Audit, `verify OptPerf plans against the paper's optimality invariants: "advisory" or "strict"`,
+		func(dst, src *Spec) { dst.Audit = src.Audit })
+	boolf("progress", &s.Progress, "stream each epoch as it completes",
+		func(dst, src *Spec) { dst.Progress = src.Progress })
+	boolf("csv", &s.CSV, "emit the epoch trace as CSV",
+		func(dst, src *Spec) { dst.CSV = src.CSV })
+
+	boolf("mlp", &s.MLP, "train the real MLP across data-parallel workers instead of the simulated workload",
+		func(dst, src *Spec) { dst.MLP = src.MLP })
+	str("backend", &s.Backend, `MLP execution engine: "sim" (sequential reference) or "live" (concurrent workers, overlapped ring all-reduce, wall-clock profile)`,
+		func(dst, src *Spec) { dst.Backend = src.Backend })
+	fs.Var(&commaInts{&s.MLPBatches}, "mlp-batches", "comma-separated per-worker local batch sizes for -mlp")
+	b.override["mlp-batches"] = func(dst, src *Spec) { dst.MLPBatches = src.MLPBatches }
+	intf("bucket-bytes", &s.BucketBytes, "gradient bucket cap in bytes for -mlp (0 = DDP's 25 MB default)",
+		func(dst, src *Spec) { dst.BucketBytes = src.BucketBytes })
+	intf("kernel-shards", &s.KernelShards, "matmul kernel parallelism for -mlp: shard each matmul across this many goroutines (0 = leave serial; results are bitwise identical at any value)",
+		func(dst, src *Spec) { dst.KernelShards = src.KernelShards })
+	fs.Var(&faultsValue{&s.Faults}, "fault", `inject deterministic faults into the live MLP run: comma-separated events "kind:worker@step[:arg]" with kinds kill, stall (arg = duration), delay (arg = duration), drop (arg = count), e.g. "stall:0@3:40ms,kill:1@8"`)
+	b.override["fault"] = func(dst, src *Spec) { dst.Faults = src.Faults }
+	str("fault-replan", &s.FaultReplan, `survivor batch policy after an eviction: "keep" (default) or "optperf"`,
+		func(dst, src *Spec) { dst.FaultReplan = src.FaultReplan })
+
+	str("transport", &s.Transport, `ring transport for -mlp: "chan" (in-process) or "tcp" (one OS process per worker over real sockets)`,
+		func(dst, src *Spec) { dst.Transport = src.Transport })
+	intf("rank", &s.Rank, "this process's ring rank (worker mode)",
+		func(dst, src *Spec) { dst.Rank = src.Rank })
+	fs.Var(&commaStrings{&s.Peers}, "peers", "comma-separated host:port of every rank, in rank order (empty = coordinator reserves localhost ports)")
+	b.override["peers"] = func(dst, src *Spec) { dst.Peers = src.Peers }
+	str("listen", &s.Listen, "listen address override for this rank (default: peers[rank])",
+		func(dst, src *Spec) { dst.Listen = src.Listen })
+	str("batch-delay", &s.BatchDelay, `TCP send-side coalescing delay: a duration, "auto" (adaptive), or 0 (send immediately)`,
+		func(dst, src *Spec) { dst.BatchDelay = src.BatchDelay })
+	boolf("guard", &s.Guard, "run every ring hop under per-hop deadlines, so a stalled peer fails the run with blame",
+		func(dst, src *Spec) { dst.Guard = src.Guard })
+	str("worker-bin", &s.WorkerBin, "path to the cannikin-worker binary (coordinator mode; default: next to this binary, then $PATH)",
+		func(dst, src *Spec) { dst.WorkerBin = src.WorkerBin })
+	return b
+}
+
+// Resolve returns the final Spec after fs.Parse: the flag-built Spec when
+// no -spec file was named, otherwise the file's Spec with every explicitly
+// set flag copied over it.
+func (b *Binding) Resolve() (*Spec, error) {
+	if b.specPath == "" {
+		return b.flat, nil
+	}
+	s, err := Load(b.specPath)
+	if err != nil {
+		return nil, err
+	}
+	b.fs.Visit(func(f *flag.Flag) {
+		if cp := b.override[f.Name]; cp != nil {
+			cp(s, b.flat)
+		}
+	})
+	return s, nil
+}
+
+// commaInts is a flag.Value for "16,8,4"-style int lists.
+type commaInts struct{ p *[]int }
+
+func (v *commaInts) String() string {
+	if v.p == nil || *v.p == nil {
+		return ""
+	}
+	parts := make([]string, len(*v.p))
+	for i, x := range *v.p {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (v *commaInts) Set(s string) error {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		b, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || b < 1 {
+			return fmt.Errorf("bad local batch %q in %q", p, s)
+		}
+		out = append(out, b)
+	}
+	*v.p = out
+	return nil
+}
+
+// commaStrings is a flag.Value for comma-separated string lists.
+type commaStrings struct{ p *[]string }
+
+func (v *commaStrings) String() string {
+	if v.p == nil || *v.p == nil {
+		return ""
+	}
+	return strings.Join(*v.p, ",")
+}
+
+func (v *commaStrings) Set(s string) error {
+	if s == "" {
+		*v.p = nil
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	*v.p = parts
+	return nil
+}
+
+// faultsValue is a flag.Value speaking the fault mini-DSL.
+type faultsValue struct{ p *[]Fault }
+
+func (v *faultsValue) String() string {
+	if v.p == nil {
+		return ""
+	}
+	return FormatFaults(*v.p)
+}
+
+func (v *faultsValue) Set(s string) error {
+	fs, err := ParseFaults(s)
+	if err != nil {
+		return err
+	}
+	*v.p = fs
+	return nil
+}

@@ -1,0 +1,191 @@
+package runspec
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFaultDSLRoundTrip(t *testing.T) {
+	faults := []Fault{
+		{Kind: "stall", Worker: 0, Step: 3, Delay: 40 * time.Millisecond},
+		{Kind: "kill", Worker: 1, Step: 8},
+		{Kind: "drop", Worker: 2, Step: 5, Count: 3},
+		{Kind: "drop", Worker: 0, Step: 1, Count: 1},
+		{Kind: "delay", Worker: 1, Step: 2, Delay: 10 * time.Millisecond},
+	}
+	dsl := FormatFaults(faults)
+	if want := "stall:0@3:40ms,kill:1@8,drop:2@5:3,drop:0@1,delay:1@2:10ms"; dsl != want {
+		t.Fatalf("FormatFaults = %q, want %q", dsl, want)
+	}
+	back, err := ParseFaults(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, faults) {
+		t.Fatalf("round trip: %+v != %+v", back, faults)
+	}
+	// Whitespace-tolerant parse, canonical re-format.
+	loose, err := ParseFaults(" stall:0@3:40ms , kill:1@8 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatFaults(loose); got != "stall:0@3:40ms,kill:1@8" {
+		t.Fatalf("canonical format = %q", got)
+	}
+}
+
+func TestFaultDSLRejects(t *testing.T) {
+	for _, bad := range []string{
+		"kill", "kill:1", "kill:one@2", "kill:1@two", "kill:1@2:5ms",
+		"stall:1@2", "stall:1@2:bogus", "stall:1@2:-5ms",
+		"drop:1@2:0", "meteor:1@2",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseBatchDelay(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"0", 0}, {"auto", -1}, {"150us", 150 * time.Microsecond}, {"2ms", 2 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got, err := ParseBatchDelay(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseBatchDelay(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"-5ms", "fast", "auto2"} {
+		if _, err := ParseBatchDelay(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func fullSpec() *Spec {
+	return &Spec{
+		Cluster: "b", Models: []string{"H100", "P100"}, Workload: "imagenet",
+		System: "adaptdl", Seed: 7, Epochs: 12, Batch: 256, Chaos: 0.3,
+		Audit: "strict", Progress: true, CSV: true,
+		MLP: true, Backend: "live", MLPBatches: []int{8, 4, 2},
+		BucketBytes: 2048, KernelShards: 2,
+		Faults:      []Fault{{Kind: "stall", Worker: 1, Step: 4, Delay: 20 * time.Millisecond}},
+		FaultReplan: "optperf",
+		Transport:   TransportTCP, Rank: 2,
+		Peers:  []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"},
+		Listen: "0.0.0.0:9003", BatchDelay: "auto", Guard: true, WorkerBin: "/tmp/worker",
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	want := fullSpec()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("JSON round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := writeFile(path, `{"mlp": true, "transprot": "tcp"}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+}
+
+func TestFlagsAlone(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := Register(fs)
+	err := fs.Parse([]string{
+		"-mlp", "-backend", "live", "-mlp-batches", "8,4",
+		"-transport", "tcp", "-peers", "h1:1,h2:2", "-rank", "1",
+		"-batch-delay", "auto", "-guard",
+		"-fault", "kill:0@2,stall:1@3:5ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MLP || s.Backend != "live" || !reflect.DeepEqual(s.MLPBatches, []int{8, 4}) {
+		t.Fatalf("mlp flags: %+v", s)
+	}
+	if s.Transport != TransportTCP || s.Rank != 1 || !reflect.DeepEqual(s.Peers, []string{"h1:1", "h2:2"}) {
+		t.Fatalf("transport flags: %+v", s)
+	}
+	if s.BatchDelay != "auto" || !s.Guard {
+		t.Fatalf("batching flags: %+v", s)
+	}
+	if len(s.Faults) != 2 || s.Faults[0].Kind != "kill" || s.Faults[1].Delay != 5*time.Millisecond {
+		t.Fatalf("faults: %+v", s.Faults)
+	}
+	// Untouched fields keep their defaults.
+	if s.Cluster != "a" || s.Seed != 1 || s.System != "cannikin" {
+		t.Fatalf("defaults clobbered: %+v", s)
+	}
+}
+
+// TestFlagOverridesSpecFile is the precedence contract: a -spec file sets
+// the baseline, explicitly-set flags win, untouched fields come from the
+// file — which is exactly how the coordinator shares one spec across ranks
+// (`cannikin-worker -spec run.json -rank N`).
+func TestFlagOverridesSpecFile(t *testing.T) {
+	base := fullSpec()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := Register(fs)
+	if err := fs.Parse([]string{"-spec", path, "-rank", "0", "-seed", "99", "-batch-delay", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rank != 0 || s.Seed != 99 || s.BatchDelay != "0" {
+		t.Fatalf("flags did not override file: %+v", s)
+	}
+	// Everything else comes from the file.
+	if s.Cluster != "b" || !s.MLP || s.Backend != "live" || !s.Guard ||
+		!reflect.DeepEqual(s.MLPBatches, []int{8, 4, 2}) ||
+		!reflect.DeepEqual(s.Peers, base.Peers) || len(s.Faults) != 1 {
+		t.Fatalf("file fields lost: %+v", s)
+	}
+}
+
+func TestResolveMissingFile(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := Register(fs)
+	if err := fs.Parse([]string{"-spec", "/nonexistent/run.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Resolve(); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -576,7 +576,7 @@ func (w *liveWorker) commLoop() {
 		}
 		if w.ft == nil {
 			t0 := time.Now()
-			w.ring.Reduce(w.rank, w.commBuf[lo:hi])
+			_ = w.ring.ReduceWith(w.rank, w.commBuf[lo:hi], allreduce.Options{})
 			now := time.Now()
 			cs.busy += now.Sub(t0)
 			cs.lastDone = now
@@ -589,15 +589,15 @@ func (w *liveWorker) commLoop() {
 			newStep = false
 			continue
 		}
-		g := allreduce.Guard{Policy: w.ft.policy}
+		o := allreduce.Options{Guard: true, Policy: w.ft.policy}
 		if newStep {
 			// The step's injected message faults hit its first send.
-			g.SendDelay = w.curFaults.SendDelay
-			g.SendDrops = w.curFaults.SendDrops
+			o.SendDelay = w.curFaults.SendDelay
+			o.SendDrops = w.curFaults.SendDrops
 		}
 		newStep = false
 		t0 := time.Now()
-		if err := w.ring.ReduceGuarded(w.rank, w.commBuf[lo:hi], g); err != nil {
+		if err := w.ring.ReduceWith(w.rank, w.commBuf[lo:hi], o); err != nil {
 			cs.err = err
 			cs.suspect = -1
 			var rf *allreduce.RingFault

@@ -43,7 +43,6 @@ import (
 	"cannikin/internal/gns"
 	"cannikin/internal/nn"
 	"cannikin/internal/rng"
-	"cannikin/internal/simnet"
 	"cannikin/internal/tensor"
 )
 
@@ -229,14 +228,7 @@ func Train(cfg Config) (*Result, error) {
 	if cfg.KernelShards > 0 {
 		tensor.SetParallelism(cfg.KernelShards)
 	}
-	bucketBytes := cfg.BucketBytes
-	if bucketBytes <= 0 {
-		bucketBytes = simnet.DefaultBucketBytes
-	}
-	bucketLen := bucketBytes / 8
-	if bucketLen < 1 {
-		bucketLen = 1
-	}
+	bucketLen := bucketLenOf(cfg.BucketBytes)
 
 	globalBatch := 0
 	for _, b := range cfg.LocalBatches {

@@ -1,0 +1,199 @@
+package runtime
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"cannikin/internal/allreduce"
+	"cannikin/internal/nn"
+)
+
+// buildWorkerRings stands a TCP ring up on loopback and returns one Ring
+// per rank, each over a transport hosting exactly that rank — the same
+// topology as n OS processes.
+func buildWorkerRings(t *testing.T, n int, delay time.Duration) ([]*allreduce.Ring, func()) {
+	t.Helper()
+	addrs, listeners, err := allreduce.ReserveRingAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]*allreduce.TCPTransport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = allreduce.NewTCPTransport(allreduce.TCPConfig{
+				Rank:        rank,
+				Peers:       addrs,
+				Listener:    listeners[rank],
+				BatchDelay:  delay,
+				DialTimeout: 10 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	closeAll := func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	}
+	rings := make([]*allreduce.Ring, n)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			closeAll()
+			t.Fatalf("rank %d transport: %v", i, errs[i])
+		}
+		if rings[i], err = allreduce.NewRingOver(trs[i]); err != nil {
+			closeAll()
+			t.Fatalf("rank %d ring: %v", i, err)
+		}
+	}
+	return rings, closeAll
+}
+
+// TestWorkerMatchesTrainBitwise is the multi-process differential test:
+// n TrainWorker ranks over a real TCP ring — each with its own rng source
+// and its own copy of the dataset, exactly like n OS processes — must
+// produce weights and schedules bitwise-identical to the single-process
+// Train reference, with and without send-side batching.
+func TestWorkerMatchesTrainBitwise(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches []int
+		samples int
+		delay   time.Duration
+		guard   bool
+		mutate  func(*Config)
+	}{
+		{name: "four-unbatched", batches: []int{8, 6, 4, 2}, samples: 200, delay: 0},
+		{name: "four-batched", batches: []int{8, 6, 4, 2}, samples: 200, delay: 150 * time.Microsecond},
+		{name: "four-batch-auto", batches: []int{8, 6, 4, 2}, samples: 200, delay: allreduce.BatchAuto},
+		{name: "two-guarded", batches: []int{12, 6}, samples: 180, guard: true},
+		{name: "growth-adascale", batches: []int{8, 4}, samples: 240, mutate: func(c *Config) {
+			c.Epochs = 4
+			c.GrowthEpoch = 2
+			c.Scaler = nn.AdaScale{}
+		}},
+		{name: "tiny-buckets", batches: []int{10, 5}, samples: 300, mutate: func(c *Config) {
+			c.BucketBytes = 64 * 8
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := testConfig(t, 7, tc.batches, tc.samples)
+			if tc.mutate != nil {
+				tc.mutate(&ref)
+			}
+			ref.Backend = BackendSim
+			want, err := Train(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			n := len(tc.batches)
+			rings, closeAll := buildWorkerRings(t, n, tc.delay)
+			defer closeAll()
+			results := make([]*Result, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					// A fresh config per rank: separate rng source and dataset
+					// copy, as separate OS processes would construct.
+					cfg := testConfig(t, 7, tc.batches, tc.samples)
+					if tc.mutate != nil {
+						tc.mutate(&cfg)
+					}
+					results[rank], errs[rank] = TrainWorker(WorkerConfig{
+						Config: cfg,
+						Rank:   rank,
+						Ring:   rings[rank],
+						Guard:  tc.guard,
+						Policy: allreduce.RetryPolicy{HopTimeout: 200 * time.Millisecond},
+					})
+				}(i)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", rank, err)
+				}
+			}
+
+			for rank, got := range results {
+				if got.Steps != want.Steps {
+					t.Fatalf("rank %d: %d steps, reference ran %d", rank, got.Steps, want.Steps)
+				}
+				if len(got.FinalWeights) != len(want.FinalWeights) {
+					t.Fatalf("rank %d: %d weights, want %d", rank, len(got.FinalWeights), len(want.FinalWeights))
+				}
+				for j := range got.FinalWeights {
+					if math.Float64bits(got.FinalWeights[j]) != math.Float64bits(want.FinalWeights[j]) {
+						t.Fatalf("rank %d weight %d: %v != reference %v",
+							rank, j, got.FinalWeights[j], want.FinalWeights[j])
+					}
+				}
+				for e := range want.LRSchedule {
+					if got.LRSchedule[e] != want.LRSchedule[e] {
+						t.Fatalf("rank %d epoch %d lr %v != reference %v", rank, e, got.LRSchedule[e], want.LRSchedule[e])
+					}
+					if got.NoiseEstimate[e] != want.NoiseEstimate[e] {
+						t.Fatalf("rank %d epoch %d noise %v != reference %v", rank, e, got.NoiseEstimate[e], want.NoiseEstimate[e])
+					}
+					if got.BatchSchedule[e] != want.BatchSchedule[e] {
+						t.Fatalf("rank %d epoch %d batch %d != reference %d", rank, e, got.BatchSchedule[e], want.BatchSchedule[e])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerDeadPeerFault: when one rank of a TCP ring dies mid-run, the
+// survivors' TrainWorker calls fail with a *RingFault instead of hanging.
+func TestWorkerDeadPeerFault(t *testing.T) {
+	const n = 3
+	rings, closeAll := buildWorkerRings(t, n, 0)
+	defer closeAll()
+
+	// Rank 2 never trains and closes its transport shortly after startup —
+	// a crashed process.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		rings[2].Transport().(*allreduce.TCPTransport).Close()
+	}()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// A real process's exit closes its sockets, cascading the failure
+			// around the ring; mirror that here.
+			defer rings[rank].Transport().Close()
+			cfg := testConfig(t, 9, []int{8, 8, 8}, 192)
+			cfg.Epochs = 50 // long enough to be mid-run when the peer dies
+			_, errs[rank] = TrainWorker(WorkerConfig{Config: cfg, Rank: rank, Ring: rings[rank]})
+		}(i)
+	}
+	wg.Wait()
+	for rank := 0; rank < n-1; rank++ {
+		if errs[rank] == nil {
+			t.Fatalf("rank %d: trained to completion across a dead peer", rank)
+		}
+		var fault *allreduce.RingFault
+		if !errors.As(errs[rank], &fault) {
+			t.Fatalf("rank %d: non-RingFault error %v", rank, errs[rank])
+		}
+	}
+}

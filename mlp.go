@@ -185,6 +185,26 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	rc, err := cfg.lowerRuntime()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Fault != nil {
+		if rc.Fault, err = cfg.Fault.lower(len(cfg.LocalBatches), cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	r, err := runtime.Train(*rc)
+	if err != nil {
+		return nil, err
+	}
+	return mlpResultOf(r), nil
+}
+
+// lowerRuntime translates a defaulted MLPConfig into the internal runtime
+// config: scaler lookup, synthetic dataset, layer sizes, rng source. Fault
+// lowering stays with the callers (worker mode rejects faults).
+func (cfg *MLPConfig) lowerRuntime() (*runtime.Config, error) {
 	var scaler nn.LRScaler
 	switch cfg.Scaler {
 	case "adascale":
@@ -206,14 +226,7 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
 	sizes = append(sizes, cfg.Classes)
 
-	var fault *runtime.FaultConfig
-	if cfg.Fault != nil {
-		if fault, err = cfg.Fault.lower(len(cfg.LocalBatches), cfg.Seed); err != nil {
-			return nil, err
-		}
-	}
-
-	r, err := runtime.Train(runtime.Config{
+	return &runtime.Config{
 		Backend:      cfg.Backend,
 		LocalBatches: cfg.LocalBatches,
 		Sizes:        sizes,
@@ -228,12 +241,11 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 		Dataset:      ds,
 		Src:          src,
 		InitWeights:  cfg.InitWeights,
-		Fault:        fault,
-	})
-	if err != nil {
-		return nil, err
-	}
+	}, nil
+}
 
+// mlpResultOf converts the internal result to the public one.
+func mlpResultOf(r *runtime.Result) *MLPResult {
 	res := &MLPResult{
 		Backend:       r.Backend,
 		Workers:       r.Workers,
@@ -265,7 +277,7 @@ func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
 	for _, f := range r.FaultEvents {
 		res.FaultEvents = append(res.FaultEvents, faultEventRecords(f)...)
 	}
-	return res, nil
+	return res
 }
 
 // summarizeProfile reduces the raw per-step samples to the public summary.

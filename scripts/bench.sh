@@ -28,7 +28,7 @@ trap 'rm -f "$RAW"' EXIT
 HOST_CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 echo "== go test -bench (allreduce + live-vs-sequential, benchtime $BENCHTIME, cpu $CPUS) =="
-go test -run '^$' -bench 'BenchmarkAllReduce$|BenchmarkTrainMLPLiveVsSequential' \
+go test -run '^$' -bench 'BenchmarkAllReduce$|BenchmarkTrainMLPLiveVsSequential|BenchmarkRingTransport' \
 	-benchtime "$BENCHTIME" -cpu "$CPUS" . | tee "$RAW"
 
 echo "== go test -bench (tensor kernels, benchtime $KERNEL_BENCHTIME, cpu $CPUS) =="
@@ -49,9 +49,25 @@ function stripcpu(name) { sub(/-[0-9]+$/, "", name); return name }
 	split($1, parts, "/")
 	sub(/^n/, "", parts[2]); sub(/^dim/, "", parts[3])
 	cpu = cpuof(parts[3]); parts[3] = stripcpu(parts[3])
-	ar = ar arsep sprintf("    {\"workers\": %s, \"dim\": %s, \"cpu\": %s, \"ns_per_op\": %s}", \
+	ar = ar arsep sprintf("    {\"transport\": \"chan\", \"workers\": %s, \"dim\": %s, \"cpu\": %s, \"ns_per_op\": %s}", \
 		parts[2], parts[3], cpu, $3)
 	arsep = ",\n"
+}
+# BenchmarkRingTransport/<transport> rows: the reduce over the pluggable
+# transports; tcp rows carry bytes/hop and msgs coalesced per network
+# write as trailing custom metrics.
+/^BenchmarkRingTransport\// {
+	split($1, parts, "/")
+	tname = parts[2]
+	cpu = cpuof(tname); tname = stripcpu(tname)
+	bph = 0; mpb = 0
+	for (i = 4; i <= NF; i++) {
+		if ($i == "bytes/hop") bph = $(i-1)
+		if ($i == "msgs/batch") mpb = $(i-1)
+	}
+	rt = rt rtsep sprintf("    {\"transport\": \"%s\", \"workers\": 4, \"dim\": 65536, \"cpu\": %s, \"ns_per_op\": %s, \"bytes_per_hop\": %s, \"msgs_per_batch\": %s}", \
+		tname, cpu, $3, bph, mpb)
+	rtsep = ",\n"
 }
 /^BenchmarkTrainMLPLiveVsSequential\// {
 	split($1, parts, "/")
@@ -78,10 +94,11 @@ END {
 		key = order[i]
 		split(key, kp, "/")
 		speedup = (t[key "/live"] > 0) ? t[key "/sim"] / t[key "/live"] : 0
-		printf "    {\"workers\": %s, \"cpu\": %s, \"sim_ns_per_op\": %s, \"live_ns_per_op\": %s, \"live_speedup\": %.4f}%s\n", \
+		printf "    {\"transport\": \"chan\", \"workers\": %s, \"cpu\": %s, \"sim_ns_per_op\": %s, \"live_ns_per_op\": %s, \"live_speedup\": %.4f}%s\n", \
 			kp[1], kp[2], t[key "/sim"], t[key "/live"], speedup, (i < n) ? "," : ""
 	}
 	printf "  ],\n"
+	printf "  \"ring_transport\": [\n%s\n  ],\n", rt
 	printf "  \"kernels\": [\n%s\n  ]\n}\n", kr
 }' "$RAW" > "$OUT"
 

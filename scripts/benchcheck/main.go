@@ -5,6 +5,10 @@
 // beat the sequential loop exactly when the host really has >= 4 cores AND
 // the run used >= 4 cpus AND >= 4 workers. On fewer cores (or at cpu 1)
 // the engines are near parity; those rows are recorded, not judged.
+// Every entry carries a "transport" field so comparisons stay
+// like-for-like across ring transports too: chan rows are never judged
+// against tcp rows, and tcp rows must report their wire cost (bytes/hop)
+// and coalescing factor (msgs/batch).
 package main
 
 import (
@@ -21,18 +25,29 @@ type benchFile struct {
 	HostCores  int   `json:"host_cores"`
 	GoMaxProcs []int `json:"gomaxprocs"`
 	AllReduce  []struct {
-		Workers int     `json:"workers"`
-		Dim     int     `json:"dim"`
-		CPU     int     `json:"cpu"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Transport string  `json:"transport"`
+		Workers   int     `json:"workers"`
+		Dim       int     `json:"dim"`
+		CPU       int     `json:"cpu"`
+		NsPerOp   float64 `json:"ns_per_op"`
 	} `json:"allreduce"`
 	TrainMLP []struct {
+		Transport   string  `json:"transport"`
 		Workers     int     `json:"workers"`
 		CPU         int     `json:"cpu"`
 		SimNsPerOp  float64 `json:"sim_ns_per_op"`
 		LiveNsPerOp float64 `json:"live_ns_per_op"`
 		LiveSpeedup float64 `json:"live_speedup"`
 	} `json:"train_mlp"`
+	RingTransport []struct {
+		Transport    string  `json:"transport"`
+		Workers      int     `json:"workers"`
+		Dim          int     `json:"dim"`
+		CPU          int     `json:"cpu"`
+		NsPerOp      float64 `json:"ns_per_op"`
+		BytesPerHop  float64 `json:"bytes_per_hop"`
+		MsgsPerBatch float64 `json:"msgs_per_batch"`
+	} `json:"ring_transport"`
 	Kernels []struct {
 		Name    string  `json:"name"`
 		CPU     int     `json:"cpu"`
@@ -79,11 +94,53 @@ func check() error {
 			want, nCPU, len(f.AllReduce))
 	}
 	for _, r := range f.AllReduce {
+		if r.Transport != "chan" {
+			return fmt.Errorf("allreduce n=%d dim=%d: transport %q (the in-process helper always runs over chan)", r.Workers, r.Dim, r.Transport)
+		}
 		if !cpus[r.CPU] {
 			return fmt.Errorf("allreduce n=%d dim=%d: cpu %d not in the sweep", r.Workers, r.Dim, r.CPU)
 		}
 		if r.NsPerOp <= 0 {
 			return fmt.Errorf("allreduce n=%d dim=%d cpu=%d: non-positive ns/op", r.Workers, r.Dim, r.CPU)
+		}
+	}
+
+	// The ring-transport sweep: the same reduce over each pluggable
+	// transport, once per GOMAXPROCS value. The transport field keeps the
+	// comparison like-for-like — a chan row is never judged against a tcp
+	// row; tcp rows must additionally report wire cost and coalescing.
+	ringTransports := []string{"chan", "tcp", "tcp-batch"}
+	if want := len(ringTransports) * nCPU; len(f.RingTransport) != want {
+		return fmt.Errorf("want %d ring-transport entries (%d transports x %d cpus), got %d",
+			want, len(ringTransports), nCPU, len(f.RingTransport))
+	}
+	seen := make(map[string]bool, len(f.RingTransport))
+	known := make(map[string]bool, len(ringTransports))
+	for _, tr := range ringTransports {
+		known[tr] = true
+	}
+	for _, r := range f.RingTransport {
+		if !known[r.Transport] {
+			return fmt.Errorf("ring-transport: unknown transport %q", r.Transport)
+		}
+		if !cpus[r.CPU] {
+			return fmt.Errorf("ring-transport %s: cpu %d not in the sweep", r.Transport, r.CPU)
+		}
+		key := fmt.Sprintf("%s/%d", r.Transport, r.CPU)
+		if seen[key] {
+			return fmt.Errorf("ring-transport %s cpu=%d: duplicate entry", r.Transport, r.CPU)
+		}
+		seen[key] = true
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("ring-transport %s cpu=%d: non-positive ns/op", r.Transport, r.CPU)
+		}
+		if r.Transport != "chan" {
+			if r.BytesPerHop <= 0 {
+				return fmt.Errorf("ring-transport %s cpu=%d: non-positive bytes/hop", r.Transport, r.CPU)
+			}
+			if r.MsgsPerBatch < 1 {
+				return fmt.Errorf("ring-transport %s cpu=%d: msgs/batch %.2f < 1", r.Transport, r.CPU, r.MsgsPerBatch)
+			}
 		}
 	}
 
@@ -93,6 +150,9 @@ func check() error {
 	}
 	enforced := 0
 	for _, r := range f.TrainMLP {
+		if r.Transport != "chan" {
+			return fmt.Errorf("train-mlp w=%d: transport %q (sim-vs-live rows compare in-process engines)", r.Workers, r.Transport)
+		}
 		if !cpus[r.CPU] {
 			return fmt.Errorf("train-mlp w=%d: cpu %d not in the sweep", r.Workers, r.CPU)
 		}

@@ -39,6 +39,28 @@ echo "== go test -race -count=2 -cpu 1,2,4 (fault injection + fault paths) =="
 go test -race -count=2 -cpu 1,2,4 ./internal/faultinject
 go test -race -count=2 -cpu 1,2,4 -run 'Fault|Evict|Recovery|Guarded' ./internal/runtime ./internal/allreduce
 
+# The TCP ring transport runs a writer and a reader goroutine per process
+# against real sockets, and the multi-process worker runtime layers the
+# deterministic training loop on top; run both transports' conformance
+# suite and the worker bitwise-parity tests under the race detector at
+# several GOMAXPROCS values.
+echo "== go test -race -cpu 1,2,4 (tcp transport + worker runtime) =="
+go test -race -count=1 -cpu 1,2,4 -run 'Transport|TCP|Worker' ./internal/allreduce ./internal/runtime
+
+echo "== multi-process smoke: coordinator + worker processes over loopback tcp =="
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/cannikin" ./cmd/cannikin
+go build -o "$BIN/cannikin-worker" ./cmd/cannikin-worker
+# 3 worker processes, adaptive batching; the coordinator itself verifies
+# every rank's weight hash against the in-process channel-transport
+# reference, so a plain exit-0 here is the bitwise cross-check.
+"$BIN/cannikin" -mlp -transport tcp -mlp-batches 8,4,2 -epochs 1 \
+	-batch-delay auto -worker-bin "$BIN/cannikin-worker" >/dev/null
+# 2 worker processes, guarded hops, no batching.
+"$BIN/cannikin" -mlp -transport tcp -mlp-batches 6,6 -epochs 1 \
+	-guard -worker-bin "$BIN/cannikin-worker" >/dev/null
+
 echo "== live-backend smoke: short epochs through the CLI =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 -kernel-shards 2 >/dev/null
 

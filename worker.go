@@ -1,0 +1,121 @@
+package cannikin
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"cannikin/internal/allreduce"
+	"cannikin/internal/runtime"
+)
+
+// WorkerRingConfig describes one process's attachment to a multi-process
+// training ring over TCP.
+type WorkerRingConfig struct {
+	// Rank is this process's ring position; Peers lists every rank's
+	// host:port in rank order (len(Peers) must equal the worker count of
+	// the MLPConfig's LocalBatches).
+	Rank  int
+	Peers []string
+	// Listen overrides the address this rank listens on (default:
+	// Peers[Rank]) — useful when ranks bind 0.0.0.0 but advertise a
+	// routable address.
+	Listen string
+	// BatchDelay is the send-side coalescing delay: 0 sends every ring hop
+	// immediately, a positive value lingers that long to pack hops into one
+	// network write, and a negative value selects adaptive auto-tuning.
+	// Batching is framing-only; results are bitwise-identical at every
+	// setting.
+	BatchDelay time.Duration
+	// DialTimeout bounds ring bring-up (default 10s).
+	DialTimeout time.Duration
+	// Guard runs every ring hop under per-hop deadlines so a stalled peer
+	// fails the run with blame; without it, hops block on a silent peer but
+	// still fail promptly when a peer's socket breaks.
+	Guard bool
+}
+
+// RingStats reports a worker's wire activity: Batches counts network
+// writes (flushes), MessagesSent the ring hops carried, so MsgsPerBatch
+// is the achieved coalescing factor.
+type RingStats struct {
+	BytesSent, BytesReceived   int64
+	MessagesSent, MessagesRecv int64
+	Batches                    int64
+	MsgsPerBatch               float64
+}
+
+// TrainMLPWorker runs this process's rank of a data-parallel MLP training
+// job spanning several OS processes connected by a TCP ring. Every process
+// must be started with the identical MLPConfig (same seed above all) and
+// the identical Peers list; each then reproduces the dataset, the loader
+// sequence, and the common initial weights deterministically, and the ring
+// fixes the gradient summation order — so the trained weights are
+// bitwise-identical on every rank, and bitwise-identical to a
+// single-process TrainMLP run of the same config.
+//
+// Fault injection (MLPConfig.Fault) and growth-free recovery are
+// unsupported in worker mode: a dead peer fails the run with a ring fault
+// naming the suspect.
+func TrainMLPWorker(cfg MLPConfig, ring WorkerRingConfig) (*MLPResult, *RingStats, error) {
+	if cfg.Fault != nil {
+		return nil, nil, errors.New("cannikin: fault injection is not supported in worker mode")
+	}
+	if cfg.Backend != "" {
+		return nil, nil, fmt.Errorf("cannikin: worker mode selects its own backend (got %q)", cfg.Backend)
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	if len(ring.Peers) != len(cfg.LocalBatches) {
+		return nil, nil, fmt.Errorf("cannikin: %d peers for %d workers", len(ring.Peers), len(cfg.LocalBatches))
+	}
+	rc, err := cfg.lowerRuntime()
+	if err != nil {
+		return nil, nil, err
+	}
+	rc.Backend = ""
+
+	tcpCfg := allreduce.TCPConfig{
+		Rank:        ring.Rank,
+		Peers:       ring.Peers,
+		BatchDelay:  ring.BatchDelay,
+		DialTimeout: ring.DialTimeout,
+	}
+	if ring.Listen != "" {
+		ln, err := net.Listen("tcp", ring.Listen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cannikin: rank %d listen %s: %w", ring.Rank, ring.Listen, err)
+		}
+		tcpCfg.Listener = ln
+	}
+	tr, err := allreduce.NewTCPTransport(tcpCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tr.Close()
+	r, err := allreduce.NewRingOver(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res, err := runtime.TrainWorker(runtime.WorkerConfig{
+		Config: *rc,
+		Rank:   ring.Rank,
+		Ring:   r,
+		Guard:  ring.Guard,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := tr.Stats()
+	return mlpResultOf(res), &RingStats{
+		BytesSent:     st.BytesSent,
+		BytesReceived: st.BytesReceived,
+		MessagesSent:  st.MessagesSent,
+		MessagesRecv:  st.MessagesRecv,
+		Batches:       st.Batches,
+		MsgsPerBatch:  st.MsgsPerBatch(),
+	}, nil
+}
