@@ -494,7 +494,9 @@ func BenchmarkTrainMLPLiveVsSequential(b *testing.B) {
 						Epochs:       2,
 						Seed:         1,
 						Backend:      backend,
-						BucketBytes:  64 << 10,
+						// BucketBytes 0: exercise the adaptive bucket rule the
+						// runtime ships with, so the recorded live-vs-sim rows
+						// measure the default configuration users get.
 					})
 					if err != nil {
 						b.Fatal(err)

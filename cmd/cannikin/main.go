@@ -148,6 +148,7 @@ func mlpConfigOf(spec *runspec.Spec) cannikin.MLPConfig {
 	cfg := cannikin.MLPConfig{
 		LocalBatches: spec.MLPBatches,
 		Backend:      spec.Backend,
+		CommMode:     spec.CommMode,
 		Seed:         spec.Seed,
 		BucketBytes:  spec.BucketBytes,
 		KernelShards: spec.KernelShards,

@@ -120,8 +120,14 @@ func (r *Ring) Transport() Transport { return r.tr }
 // call ReduceWith concurrently, with segments of one common length and
 // equal Guard settings; the summation order is fixed by the ring topology
 // alone, so the result is bit-identical regardless of scheduling,
-// buffering, transport, or how the segment is split into buckets by the
-// caller.
+// buffering, or transport. Splitting a segment into buckets moves elements
+// to different chunk indices and therefore changes the order in which IEEE
+// additions associate: with n == 2 every element is a single two-term sum
+// and any bucket partition is bit-identical, but for n >= 3 different
+// partitions legitimately differ in the last bits. Bitwise reproducibility
+// across runs requires reducing the same buckets in the same order, which
+// is why the runtime derives its bucket partition from (dim, workers,
+// BucketBytes) only — never from scheduling state such as GOMAXPROCS.
 //
 // With opts.Guard set, every hop runs under a per-hop deadline with bounded
 // retry; on exhaustion — or on a broken link — ReduceWith returns a
@@ -263,6 +269,53 @@ func (r *Ring) Reduce(rank int, seg []float64) {
 	_ = r.ReduceWith(rank, seg, Options{})
 }
 
+// smallReduceBytes is the payload size at or below which AllReduce computes
+// the ring arithmetic inline on the calling goroutine instead of fanning out
+// one goroutine per participant. For small messages the goroutine spawn,
+// channel hops, and cross-P wakeups cost more than the arithmetic itself —
+// and on an oversubscribed host (GOMAXPROCS > cores) the futex churn makes
+// ns/op *rise* with added CPUs. This is the MPI-style algorithm switch by
+// message size; the inline path is bit-identical to the concurrent ring by
+// construction (see ringReduceInline).
+const smallReduceBytes = 32 << 10
+
+// ringReduceInline performs the exact arithmetic of an n-way ring
+// reduce-scatter + all-gather sequentially. For chunk c the ring produces
+// the right-associated sum
+//
+//	v[c-1] + (v[c-2] + (... + (v[c+1] + v[c])))
+//
+// (indices mod n, starting from rank c and walking the ring). Left-to-right
+// accumulation starting at v[c] — acc = v[c]; acc += v[c+1]; ... —
+// reproduces it bit-for-bit: each partial differs from the ring's only by
+// the operand order of a single two-term IEEE addition, which is exactly
+// commutative. Associativity is never re-grouped, so no float property
+// beyond commutativity is assumed.
+func ringReduceInline(vectors [][]float64) {
+	n := len(vectors)
+	dim := len(vectors[0])
+	for c := 0; c < n; c++ {
+		lo, hi := c*dim/n, (c+1)*dim/n
+		acc := vectors[c][lo:hi]
+		for s := 1; s < n; s++ {
+			src := vectors[(c+s)%n][lo:hi]
+			for j := range acc {
+				acc[j] += src[j]
+			}
+		}
+	}
+	// All-gather: every vector receives each finished chunk unchanged.
+	for c := 0; c < n; c++ {
+		lo, hi := c*dim/n, (c+1)*dim/n
+		done := vectors[c][lo:hi]
+		for i, v := range vectors {
+			if i != c {
+				copy(v[lo:hi], done)
+			}
+		}
+	}
+}
+
 // AllReduce replaces every vectors[i] in place with the weighted sum
 // Σ_j weights[j]·vectors[j], using a ring reduce-scatter + all-gather among
 // len(vectors) concurrent workers. All vectors must share one length.
@@ -299,6 +352,10 @@ func AllReduce(vectors [][]float64, weights []float64) error {
 	if n == 1 || dim == 0 {
 		return nil
 	}
+	if dim*8 <= smallReduceBytes {
+		ringReduceInline(vectors)
+		return nil
+	}
 
 	ring, err := NewRing(n, 1)
 	if err != nil {
@@ -328,16 +385,21 @@ func AllReduceBuckets(vectors [][]float64, weights []float64, bucketLen int) err
 		return errors.New("allreduce: no participants")
 	}
 	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return fmt.Errorf("allreduce: vector %d has length %d, want %d", i, len(v), dim)
+		}
+	}
+	// One view slice reused across buckets: the sequential backend calls
+	// this every step, and a per-bucket allocation here is steady-state GC
+	// pressure the AllocsPerRun tests on the live path never see.
+	views := make([][]float64, n)
 	for start := 0; start < dim; start += bucketLen {
 		end := start + bucketLen
 		if end > dim {
 			end = dim
 		}
-		views := make([][]float64, n)
 		for i, v := range vectors {
-			if len(v) != dim {
-				return fmt.Errorf("allreduce: vector %d has length %d, want %d", i, len(v), dim)
-			}
 			views[i] = v[start:end]
 		}
 		if err := AllReduce(views, weights); err != nil {

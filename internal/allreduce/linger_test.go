@@ -1,0 +1,185 @@
+package allreduce
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLingerControlCadenceBound checks the contention fix: under
+// back-to-back arrivals the linger may grow, but never beyond twice the
+// observed arrival cadence (nor the absolute cap).
+func TestLingerControlCadenceBound(t *testing.T) {
+	var lc lingerControl
+	now := time.Unix(0, 0)
+	gap := 10 * time.Microsecond // far below tcpCoalesceWindow
+	var last time.Duration
+	for i := 0; i < 50; i++ {
+		now = now.Add(gap)
+		last = lc.next(now, 0)
+		if last > 2*gap {
+			t.Fatalf("step %d: linger %v exceeds 2×gap %v", i, last, 2*gap)
+		}
+		if last > tcpAutoMaxDelay {
+			t.Fatalf("step %d: linger %v exceeds absolute cap %v", i, last, tcpAutoMaxDelay)
+		}
+	}
+	if last == 0 {
+		t.Fatal("sustained burst should have grown a non-zero linger")
+	}
+}
+
+// TestLingerControlAbsoluteCap: with a cadence near the coalesce window the
+// 2×gap bound is looser than tcpAutoMaxDelay, which must then win.
+func TestLingerControlAbsoluteCap(t *testing.T) {
+	var lc lingerControl
+	now := time.Unix(0, 0)
+	gap := tcpCoalesceWindow - time.Microsecond
+	for i := 0; i < 50; i++ {
+		now = now.Add(gap)
+		if d := lc.next(now, 0); d > tcpAutoMaxDelay {
+			t.Fatalf("step %d: linger %v exceeds cap %v", i, d, tcpAutoMaxDelay)
+		}
+	}
+}
+
+// TestLingerControlIdleReset checks the decay fix: after an idle gap the
+// linger returns to zero immediately, so the first hops of the next burst
+// pay no stale delay.
+func TestLingerControlIdleReset(t *testing.T) {
+	var lc lingerControl
+	now := time.Unix(0, 0)
+	gap := 50 * time.Microsecond
+	for i := 0; i < 20; i++ {
+		now = now.Add(gap)
+		lc.next(now, 0)
+	}
+	if lc.delay == 0 {
+		t.Fatal("setup: expected a non-zero linger after the burst")
+	}
+	now = now.Add(10 * time.Millisecond) // > tcpIdleWindow
+	if d := lc.next(now, 0); d != 0 {
+		t.Fatalf("first post-idle batch lingered %v, want 0", d)
+	}
+	// The next batch after the reset starts growing from zero again, not
+	// from the pre-idle value.
+	now = now.Add(gap)
+	if d := lc.next(now, 0); d > tcpAutoStep {
+		t.Fatalf("second post-idle batch lingered %v, want <= one step %v", d, tcpAutoStep)
+	}
+}
+
+// TestLingerControlPendingSkips: when messages are already queued the batch
+// exists without waiting — the linger must be skipped.
+func TestLingerControlPendingSkips(t *testing.T) {
+	var lc lingerControl
+	now := time.Unix(0, 0)
+	gap := 20 * time.Microsecond
+	for i := 0; i < 10; i++ {
+		now = now.Add(gap)
+		lc.next(now, 0)
+	}
+	now = now.Add(gap)
+	if d := lc.next(now, 3); d != 0 {
+		t.Fatalf("linger %v with 3 pending messages, want 0", d)
+	}
+}
+
+// measureTCPRing builds a 1-process ring of n ranks over loopback TCP with
+// the given batch delay and returns the best (minimum) wall time of trials
+// runs of rounds back-to-back reduces — the same min-of-count discipline
+// bench.sh uses, so scheduler noise on a loaded host can only slow a trial
+// down, never speed it up.
+func measureTCPRing(t *testing.T, n, dim, rounds, trials int, batch time.Duration) time.Duration {
+	t.Helper()
+	addrs, lns, err := ReserveRingAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]*TCPTransport, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := NewTCPTransport(TCPConfig{
+				Rank: rank, Peers: addrs, Listener: lns[rank], BatchDelay: batch,
+			})
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
+			trs[rank] = tr
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	defer func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	}()
+	rings := make([]*Ring, n)
+	for i, tr := range trs {
+		if rings[i], err = NewRingOver(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := make([][]float64, n)
+	for i := range segs {
+		segs[i] = make([]float64, dim)
+		for j := range segs[i] {
+			segs[i][j] = float64(i*dim + j)
+		}
+	}
+	best := time.Duration(1<<62 - 1)
+	for trial := 0; trial < trials; trial++ {
+		start := time.Now()
+		var rwg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			rwg.Add(1)
+			go func(rank int) {
+				defer rwg.Done()
+				for r := 0; r < rounds; r++ {
+					if err := rings[rank].ReduceWith(rank, segs[rank], Options{}); err != nil {
+						t.Errorf("rank %d round %d: %v", rank, r, err)
+						return
+					}
+				}
+			}(i)
+		}
+		rwg.Wait()
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// TestTCPBatchAutoNotSlowerThanPlain is the bench-backed regression test
+// for the BatchAuto over-linger: adaptive batching must stay within 1.1× of
+// plain immediate sends (plus a small absolute slack for timing noise on
+// tiny runs). Before the lingerControl fix this failed by ~2× whenever the
+// host was contended.
+func TestTCPBatchAutoNotSlowerThanPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	const (
+		n      = 4
+		dim    = 8192
+		rounds = 20
+		trials = 5
+	)
+	plain := measureTCPRing(t, n, dim, rounds, trials, 0)
+	auto := measureTCPRing(t, n, dim, rounds, trials, BatchAuto)
+	slack := 10 * time.Millisecond
+	if limit := plain + plain/10 + slack; auto > limit {
+		t.Fatalf("BatchAuto %v vs plain %v: exceeds 1.1× + %v slack (limit %v)", auto, plain, slack, limit)
+	}
+	t.Logf("plain=%v auto=%v (ratio %.2f)", plain, auto, float64(auto)/float64(plain))
+}

@@ -134,6 +134,11 @@ type TCPTransport struct {
 	wg       sync.WaitGroup
 	closed   sync.Once
 
+	// Guarded-hop deadline timers, reused across hops (see chanEndpoint);
+	// owned by the local rank's goroutine.
+	sendTimer *time.Timer
+	recvTimer *time.Timer
+
 	bytesSent, bytesRecv int64
 	msgsSent, msgsRecv   int64
 	batches              int64
@@ -345,12 +350,74 @@ func (t *TCPTransport) fatal() error {
 	return ErrTransportClosed
 }
 
+// lingerControl tunes BatchAuto's send-side coalescing delay from observed
+// message arrival gaps. The old ratchet (gap < window ⇒ delay += step, one
+// halving per idle gap) had two failure modes this replaces:
+//
+//   - Over-linger under contention: on a busy host the queue drains in
+//     bursts whose gaps stay under the coalesce window, so the delay
+//     ratcheted to its 200µs max and every batch paid it — making adaptive
+//     batching ~2× slower than plain tcp. Now the linger is additionally
+//     capped at twice the smoothed arrival gap: sleeping longer than the
+//     cadence at which messages actually arrive cannot coalesce more of
+//     them, it only adds latency.
+//   - Stale linger after a burst: one halving per idle arrival decays
+//     200µs → 0 only after ~8 further batches, so the first hops of the
+//     next training step paid the previous step's delay. An idle gap now
+//     resets the linger (and the learned cadence) to zero outright.
+type lingerControl struct {
+	delay   time.Duration // current linger before a flush
+	ewmaGap time.Duration // smoothed gap between batch-opening arrivals
+	last    time.Time     // when the previous batch opened
+}
+
+// next returns the linger to apply for the batch opening at now; pending is
+// the number of messages already queued behind it.
+func (lc *lingerControl) next(now time.Time, pending int) time.Duration {
+	var gap time.Duration
+	if lc.last.IsZero() {
+		gap = tcpIdleWindow + 1 // first batch ever: treat as idle
+	} else {
+		gap = now.Sub(lc.last)
+	}
+	lc.last = now
+	switch {
+	case gap > tcpIdleWindow:
+		// Idle connection: back to zero linger so the first hops of a fresh
+		// burst never pay a stale delay, and forget the stale cadence.
+		lc.delay = 0
+		lc.ewmaGap = 0
+	case gap < tcpCoalesceWindow:
+		// Back-to-back batches: grow the linger, bounded by both the
+		// absolute cap and twice the observed arrival cadence.
+		if lc.ewmaGap == 0 {
+			lc.ewmaGap = gap
+		} else {
+			lc.ewmaGap = (3*lc.ewmaGap + gap) / 4
+		}
+		lc.delay += tcpAutoStep
+		if lim := 2 * lc.ewmaGap; lc.delay > lim {
+			lc.delay = lim
+		}
+		if lc.delay > tcpAutoMaxDelay {
+			lc.delay = tcpAutoMaxDelay
+		}
+	default:
+		lc.delay /= 2
+	}
+	if pending > 0 {
+		// A batch is already formed in the queue — lingering buys nothing.
+		return 0
+	}
+	return lc.delay
+}
+
 // writeLoop drains the send queue onto the socket, coalescing bursts of
 // ring hops into single buffered writes — the swiftpaxos batching recipe:
 // take one message, optionally linger BatchDelay, then drain everything
-// pending and flush once. With BatchAuto the linger adapts to the arrival
-// pattern: back-to-back batches (gap < tcpCoalesceWindow) grow it
-// additively toward tcpAutoMaxDelay, idle gaps decay it multiplicatively.
+// pending and flush once. With BatchAuto the linger follows lingerControl:
+// bounded by the observed arrival cadence, reset to zero after idle gaps,
+// and skipped entirely when messages are already queued.
 func (t *TCPTransport) writeLoop() {
 	defer t.wg.Done()
 	defer close(t.wDone)
@@ -358,10 +425,7 @@ func (t *TCPTransport) writeLoop() {
 	var scratch [4]byte
 	delay := t.cfg.BatchDelay
 	adaptive := delay < 0
-	if adaptive {
-		delay = 0
-	}
-	var lastFlush time.Time
+	var lc lingerControl
 	for {
 		// Note no done case: done may fire because the *read* side saw a
 		// finished peer close (EOF) while the successor still needs our
@@ -374,13 +438,8 @@ func (t *TCPTransport) writeLoop() {
 			t.drainSends(w, scratch[:])
 			return
 		}
-		if adaptive && !lastFlush.IsZero() {
-			switch gap := time.Since(lastFlush); {
-			case gap < tcpCoalesceWindow && delay < tcpAutoMaxDelay:
-				delay += tcpAutoStep
-			case gap > tcpIdleWindow:
-				delay /= 2
-			}
+		if adaptive {
+			delay = lc.next(time.Now(), len(t.sendQ))
 		}
 		if delay > 0 {
 			time.Sleep(delay)
@@ -410,7 +469,6 @@ func (t *TCPTransport) writeLoop() {
 		atomic.AddInt64(&t.batches, 1)
 		atomic.AddInt64(&t.msgsSent, batch)
 		atomic.AddInt64(&t.bytesSent, bytes)
-		lastFlush = time.Now()
 	}
 }
 
@@ -573,7 +631,7 @@ func (e *tcpEndpoint) Recv() ([]float64, error) {
 func (e *tcpEndpoint) SendTimed(msg []float64, p RetryPolicy) error {
 	t := e.t()
 	d := p.HopTimeout
-	timer := time.NewTimer(d)
+	timer := armTimer(&t.sendTimer, d)
 	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
 		select {
@@ -599,7 +657,7 @@ func (e *tcpEndpoint) SendTimed(msg []float64, p RetryPolicy) error {
 func (e *tcpEndpoint) RecvTimed(p RetryPolicy) ([]float64, error) {
 	t := e.t()
 	d := p.HopTimeout
-	timer := time.NewTimer(d)
+	timer := armTimer(&t.recvTimer, d)
 	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
 		select {

@@ -98,9 +98,29 @@ func (t *ChanTransport) Endpoint(rank int) Endpoint {
 func (t *ChanTransport) Close() error { return nil }
 
 // chanEndpoint adapts one rank's channel pair to the Endpoint interface.
+// The timers are per-direction scratch for the guarded ops: hop deadlines
+// fire on every guarded hop, and allocating a fresh runtime timer each time
+// is measurable steady-state GC pressure (the guarded path's analogue of
+// the circulating message buffers). Safe because an endpoint is driven from
+// its rank's single goroutine.
 type chanEndpoint struct {
 	out chan<- []float64
 	in  <-chan []float64
+
+	sendTimer *time.Timer
+	recvTimer *time.Timer
+}
+
+// armTimer returns *tp reset to d, creating it on first use. Go 1.23+ timer
+// semantics (Reset flushes a stale fire) make the bare Reset race-free for
+// a single-goroutine owner.
+func armTimer(tp **time.Timer, d time.Duration) *time.Timer {
+	if *tp == nil {
+		*tp = time.NewTimer(d)
+	} else {
+		(*tp).Reset(d)
+	}
+	return *tp
 }
 
 func (e *chanEndpoint) Send(msg []float64) error {
@@ -118,7 +138,7 @@ func (e *chanEndpoint) Recv() ([]float64, error) {
 // by construction.
 func (e *chanEndpoint) SendTimed(msg []float64, p RetryPolicy) error {
 	d := p.HopTimeout
-	timer := time.NewTimer(d)
+	timer := armTimer(&e.sendTimer, d)
 	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
 		select {
@@ -137,7 +157,7 @@ func (e *chanEndpoint) SendTimed(msg []float64, p RetryPolicy) error {
 // RecvTimed receives within the policy's retry budget.
 func (e *chanEndpoint) RecvTimed(p RetryPolicy) ([]float64, error) {
 	d := p.HopTimeout
-	timer := time.NewTimer(d)
+	timer := armTimer(&e.recvTimer, d)
 	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
 		select {

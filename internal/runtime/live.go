@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	stdruntime "runtime"
 	"sync"
 	"time"
 
@@ -17,6 +18,32 @@ import (
 // that a fast rank can run a few bucket reductions ahead of a straggling
 // neighbor without blocking its backprop.
 const ringDepth = 8
+
+// resolveCommMode decides whether this incarnation's live workers run the
+// merged single-goroutine loop (true) or the overlapped compute+comm pair
+// (false). CommAuto merges when the workers alone already cover the host's
+// usable parallelism — min(GOMAXPROCS, NumCPU), so an oversubscribed
+// GOMAXPROCS doesn't fake capacity — because then the extra comm goroutines
+// buy no overlap, only scheduler churn. Fault-tolerant runs always run the
+// pair: the guarded step's fail-fast skip of remaining buckets lives in the
+// comm goroutine (validate rejects an explicit merged+Fault combination).
+func resolveCommMode(mode string, nWorkers int, ft *faultTolerance) bool {
+	if ft != nil {
+		return false
+	}
+	switch mode {
+	case CommMerged:
+		return true
+	case CommOverlap:
+		return false
+	default: // "" or CommAuto
+		usable := stdruntime.GOMAXPROCS(0)
+		if ncpu := stdruntime.NumCPU(); ncpu < usable {
+			usable = ncpu
+		}
+		return nWorkers >= usable
+	}
+}
 
 // liveExec runs every worker as its own pair of goroutines — one compute,
 // one communication — connected by a persistent ring. The compute
@@ -44,6 +71,13 @@ type liveExec struct {
 	// reused across steps so the steady-state step path does not allocate.
 	sampleBatches []int
 	sampleNorms   []float64
+	// stepResults, stepResponded, and collectTimer are stepGuarded's
+	// reusable per-step state (guarded runs only): the guarded path must be
+	// as allocation-free per step as the plain one, or long fault-tolerant
+	// runs accumulate GC pressure the AllocsPerRun tests never saw.
+	stepResults   []stepResult
+	stepResponded []bool
+	collectTimer  *time.Timer
 }
 
 // stepTask is one worker's share of a synchronized step.
@@ -91,6 +125,15 @@ type liveWorker struct {
 	ring      *allreduce.Ring
 	ft        *faultTolerance
 	closing   chan struct{}
+	// merged runs the worker as a single event-driven goroutine: each
+	// bucket is reduced inline at the backprop frontier instead of being
+	// handed to a comm goroutine (commQ/commDone stay nil). Chosen when
+	// workers alone saturate the host, where the dedicated comm goroutine
+	// can't overlap anything and its channel handoffs plus scheduler
+	// wakeups are pure overhead. Arithmetic is unchanged: the same buckets
+	// go through the same ring in the same order, so weights stay
+	// bitwise-identical to the overlapped mode.
+	merged bool
 
 	// commBuf carries the weight-scaled local gradient into the ring and
 	// the reduced global gradient back out. The compute goroutine writes
@@ -119,7 +162,7 @@ type liveWorker struct {
 	ackQ    chan time.Duration
 }
 
-func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faultTolerance) *liveExec {
+func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faultTolerance, merged bool) *liveExec {
 	n := len(replicas)
 	ring, err := allreduce.NewRing(n, ringDepth)
 	if err != nil {
@@ -137,6 +180,10 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faul
 		closing:       make(chan struct{}),
 		sampleBatches: make([]int, n),
 		sampleNorms:   make([]float64, n),
+	}
+	if ft != nil {
+		e.stepResults = make([]stepResult, n)
+		e.stepResponded = make([]bool, n)
 	}
 	for i := range e.workers {
 		params := replicas[i].Params()
@@ -156,17 +203,26 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faul
 			ring:      ring,
 			ft:        ft,
 			closing:   e.closing,
+			merged:    merged,
 			commBuf:   make([]float64, dim),
 			params:    params,
 			paramOffs: offs,
 			tasks:     make(chan stepTask),
 			results:   make(chan stepResult, 1),
-			commQ:     make(chan int, buckets+1),
-			commDone:  make(chan commStats, 1),
 			commitQ:   make(chan bool, 1),
 			ackQ:      make(chan time.Duration, 1),
 		}
 		e.workers[i] = w
+		if merged {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				w.computeLoop()
+			}()
+			continue
+		}
+		w.commQ = make(chan int, buckets+1)
+		w.commDone = make(chan commStats, 1)
 		e.wg.Add(2)
 		go func() {
 			defer e.wg.Done()
@@ -217,15 +273,26 @@ func (e *liveExec) stepGuarded(epoch, step int, xs []*tensor.T, labels [][]int, 
 		w.tasks <- stepTask{epoch: epoch, step: step, x: xs[i], labels: labels[i], weight: stepWeights[i], lr: lr}
 	}
 	deadline := time.Now().Add(e.ft.stepTimeout)
-	results := make([]stepResult, n)
-	responded := make([]bool, n)
+	results := e.stepResults
+	responded := e.stepResponded
+	for i := range responded {
+		results[i] = stepResult{}
+		responded[i] = false
+	}
 	for i, w := range e.workers {
-		timer := time.NewTimer(time.Until(deadline))
+		// One reusable timer across workers and steps (Go 1.23+ Reset
+		// semantics): per-step timer churn was the guarded path's dominant
+		// steady-state allocation.
+		if e.collectTimer == nil {
+			e.collectTimer = time.NewTimer(time.Until(deadline))
+		} else {
+			e.collectTimer.Reset(time.Until(deadline))
+		}
 		select {
 		case r := <-w.results:
 			results[i] = r
 			responded[i] = true
-		case <-timer.C:
+		case <-e.collectTimer.C:
 			// The deadline may have lapsed while earlier ranks were being
 			// collected; a result already buffered means this worker did
 			// respond in time.
@@ -236,7 +303,7 @@ func (e *liveExec) stepGuarded(epoch, step int, xs []*tensor.T, labels [][]int, 
 			default:
 			}
 		}
-		timer.Stop()
+		e.collectTimer.Stop()
 	}
 
 	ok := true
@@ -380,10 +447,12 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 
 	// Backprop with streaming bucket launch: the frontier walks down as
 	// layers finish; completed regions are scaled by r_i into commBuf and
-	// every fully-final bucket is handed to the comm goroutine. Buckets go
-	// out high-index-first because gradients finalize in reverse layer
-	// order — every rank enqueues the identical sequence, which keeps the
-	// FIFO ring links aligned.
+	// every fully-final bucket is handed to the comm goroutine (or, in
+	// merged mode, reduced inline right here). Buckets go out
+	// high-index-first because gradients finalize in reverse layer order —
+	// every rank launches the identical sequence, which keeps the FIFO ring
+	// links aligned.
+	var cs commStats
 	nextBucket := w.buckets - 1
 	prevFr := w.dim
 	var syncStart time.Time
@@ -396,7 +465,11 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 			if syncStart.IsZero() {
 				syncStart = time.Now()
 			}
-			w.commQ <- nextBucket
+			if w.merged {
+				w.reduceBucket(nextBucket, &cs)
+			} else {
+				w.commQ <- nextBucket
+			}
 			nextBucket--
 		}
 		prevFr = fr
@@ -405,17 +478,25 @@ func (w *liveWorker) runStep(t stepTask) stepResult {
 
 	// |g_i|² over the raw (unscaled) gradients in flat order — identical
 	// association order to the sequential reference — while the ring is
-	// still draining.
+	// still draining (overlapped mode; in merged mode it is already done).
 	localSq := 0.0
 	for _, p := range w.params {
 		for _, g := range p.Grad.Data() {
 			localSq += g * g
 		}
 	}
-	w.commQ <- -1
-	cs := <-w.commDone
+	if !w.merged {
+		w.commQ <- -1
+		cs = <-w.commDone
+	}
 
-	globalSq := sqNorm(w.commBuf)
+	// |g|² of the reduced gradient: the driver only consumes rank 0's
+	// value (the all-gather makes every rank's commBuf identical), so the
+	// other ranks skip the pass entirely.
+	var globalSq float64
+	if w.rank == 0 {
+		globalSq = sqNorm(w.commBuf)
+	}
 	postStart := time.Now()
 	w.net.SetFlatGrads(w.commBuf)
 	w.opt.Step(w.params, t.lr)
@@ -504,10 +585,16 @@ func (w *liveWorker) runStepGuarded(t stepTask) stepResult {
 		return stepResult{err: cs.err, suspect: cs.suspect, faults: f}
 	}
 
+	// As in runStep: only rank 0's reduced-gradient norm is consumed.
+	var globalSq float64
+	if w.rank == 0 {
+		globalSq = sqNorm(w.commBuf)
+	}
+
 	return stepResult{
 		batch:    t.x.Rows(),
 		localSq:  localSq,
-		globalSq: sqNorm(w.commBuf),
+		globalSq: globalSq,
 		suspect:  -1,
 		faults:   f,
 		sample: Sample{
@@ -550,6 +637,25 @@ func (w *liveWorker) stageGrads(fr, prevFr int, weight float64) {
 	}
 }
 
+// reduceBucket runs bucket k's unguarded ring reduction and accumulates
+// its timing — the one body shared by the overlapped comm goroutine and
+// the merged inline path, so both modes measure identically.
+func (w *liveWorker) reduceBucket(k int, cs *commStats) {
+	lo := k * w.bucketLen
+	hi := lo + w.bucketLen
+	if hi > w.dim {
+		hi = w.dim
+	}
+	t0 := time.Now()
+	_ = w.ring.ReduceWith(w.rank, w.commBuf[lo:hi], allreduce.Options{})
+	now := time.Now()
+	cs.busy += now.Sub(t0)
+	cs.lastDone = now
+	if k == 0 {
+		cs.tu = now.Sub(t0)
+	}
+}
+
 // commLoop reduces buckets in arrival order. Because all ranks enqueue
 // buckets in the same sequence, the blocking ring collective is deadlock
 // free, and per-bucket FIFO links keep messages matched even when ranks
@@ -575,14 +681,7 @@ func (w *liveWorker) commLoop() {
 			hi = w.dim
 		}
 		if w.ft == nil {
-			t0 := time.Now()
-			_ = w.ring.ReduceWith(w.rank, w.commBuf[lo:hi], allreduce.Options{})
-			now := time.Now()
-			cs.busy += now.Sub(t0)
-			cs.lastDone = now
-			if k == 0 {
-				cs.tu = now.Sub(t0)
-			}
+			w.reduceBucket(k, &cs)
 			continue
 		}
 		if cs.err != nil {

@@ -52,6 +52,22 @@ const (
 	BackendLive = "live"
 )
 
+// Comm modes accepted by Config.CommMode (live backend only).
+const (
+	// CommAuto (the default) picks per incarnation: the merged loop when
+	// the workers would oversubscribe the host's usable parallelism, the
+	// overlapped pair otherwise. The choice affects scheduling only, never
+	// arithmetic — weights are bitwise-identical either way.
+	CommAuto = "auto"
+	// CommOverlap always runs one compute + one comm goroutine per worker,
+	// overlapping bucket reduction with backprop.
+	CommOverlap = "overlap"
+	// CommMerged always runs one goroutine per worker that reduces each
+	// bucket inline at the backprop frontier. Incompatible with Fault (the
+	// guarded two-phase path needs the dedicated comm goroutine).
+	CommMerged = "merged"
+)
+
 // Config describes one data-parallel training run.
 type Config struct {
 	// Backend selects the execution engine: BackendSim (default) or
@@ -80,9 +96,17 @@ type Config struct {
 	// identical to serial ones, so this changes wall-clock time only, never
 	// the trained weights. The setting persists after Train returns.
 	KernelShards int
-	// BucketBytes caps the gradient bucket size for the ring all-reduce
-	// (default simnet.DefaultBucketBytes, PyTorch DDP's 25 MB).
+	// BucketBytes caps the gradient bucket size for the ring all-reduce. A
+	// positive value is an explicit per-bucket byte cap (PyTorch DDP uses
+	// 25 MB); zero (the default) sizes buckets adaptively from the model
+	// size and worker count — see bucketLenFor. The partition is a pure
+	// function of (BucketBytes, model dim, worker count), never of
+	// scheduling state, so every process of a multi-rank run derives the
+	// identical buckets.
 	BucketBytes int
+	// CommMode selects the live backend's worker-goroutine layout:
+	// CommAuto (default), CommOverlap, or CommMerged. Sim ignores it.
+	CommMode string
 	// Dataset is the training set; evaluation runs on all of it.
 	Dataset *data.Dataset
 	// Src drives all run randomness (shard shuffling, replica init). The
@@ -128,6 +152,14 @@ func (c *Config) validate() error {
 	case "", BackendSim, BackendLive:
 	default:
 		return fmt.Errorf("runtime: unknown backend %q", c.Backend)
+	}
+	switch c.CommMode {
+	case "", CommAuto, CommOverlap, CommMerged:
+	default:
+		return fmt.Errorf("runtime: unknown comm mode %q", c.CommMode)
+	}
+	if c.CommMode == CommMerged && c.Fault != nil {
+		return errors.New("runtime: merged comm mode is incompatible with fault injection (the guarded step needs the dedicated comm goroutine)")
 	}
 	if c.Fault != nil {
 		if c.Backend != BackendLive {
@@ -210,13 +242,17 @@ type incarnation struct {
 }
 
 // Train runs the configured training job and reports it. The produced
-// model is a pure function of (Config minus Backend/BucketBytes): every
-// backend and bucket size yields bitwise-identical weights, because the
-// per-bucket ring fixes the summation order and both engines reduce the
-// same buckets. Fault-tolerant runs loop over cluster incarnations: each
-// eviction shrinks the cluster and training resumes from the survivors'
-// checkpoint until the epochs complete or no workers remain
-// (ErrNoSurvivors).
+// model is a pure function of (Config minus Backend/CommMode): every
+// backend and comm mode yields bitwise-identical weights, because the
+// per-bucket ring fixes the summation order and every engine reduces the
+// same buckets. The bucket partition itself (BucketBytes) is part of the
+// arithmetic for three or more workers — different partitions re-associate
+// the per-element sums — so it is derived deterministically from the config
+// alone; with one or two workers every partition is bit-identical (each
+// element is at most one two-term sum). Fault-tolerant runs loop over
+// cluster incarnations: each eviction shrinks the cluster and training
+// resumes from the survivors' checkpoint until the epochs complete or no
+// workers remain (ErrNoSurvivors).
 func Train(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -228,7 +264,6 @@ func Train(cfg Config) (*Result, error) {
 	if cfg.KernelShards > 0 {
 		tensor.SetParallelism(cfg.KernelShards)
 	}
-	bucketLen := bucketLenOf(cfg.BucketBytes)
 
 	globalBatch := 0
 	for _, b := range cfg.LocalBatches {
@@ -247,7 +282,7 @@ func Train(cfg Config) (*Result, error) {
 		inc.schedule = cfg.Fault.Schedule
 	}
 	for {
-		next, err := runIncarnation(&cfg, inc, res, backend, bucketLen)
+		next, err := runIncarnation(&cfg, inc, res, backend)
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +297,12 @@ func Train(cfg Config) (*Result, error) {
 // configured epoch count. It returns (nil, nil) on completion — res then
 // holds the finished run — or the next incarnation after a coordinated
 // eviction (the Eviction is already appended to res).
-func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string, bucketLen int) (*incarnation, error) {
+//
+// The bucket partition and comm mode are resolved per incarnation: adaptive
+// buckets depend on the worker count, and a fresh run launched from an
+// eviction checkpoint on the survivor cluster would derive exactly these —
+// which is what keeps the recovery differential test bitwise.
+func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) (*incarnation, error) {
 	loader := data.NewHeteroLoader(cfg.Dataset, inc.src)
 	nWorkers := len(inc.localBatches)
 	globalBatch := 0
@@ -315,12 +355,15 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string, 
 		}
 	}
 
+	bucketLen := bucketLenFor(cfg.BucketBytes, replicas[0].NumParams(), nWorkers)
+	merged := resolveCommMode(cfg.CommMode, nWorkers, ft)
+
 	var exec executor
 	switch backend {
 	case BackendSim:
 		exec = newSeqExec(replicas, opts, bucketLen)
 	case BackendLive:
-		exec = newLiveExec(replicas, opts, bucketLen, ft)
+		exec = newLiveExec(replicas, opts, bucketLen, ft, merged)
 	}
 	defer func() {
 		if exec != nil {
@@ -413,7 +456,7 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string, 
 					// never applied), so a successful retry is
 					// bitwise-identical to an undisturbed run.
 					exec.close()
-					le2 := newLiveExec(replicas, opts, bucketLen, ft)
+					le2 := newLiveExec(replicas, opts, bucketLen, ft, merged)
 					le2.prof = le.prof
 					le, exec = le2, le2
 				}

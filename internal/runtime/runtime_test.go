@@ -54,6 +54,15 @@ func TestLiveMatchesSequentialBitwise(t *testing.T) {
 			c.BucketBytes = 64 * 8 // 64-element buckets: many per step
 		}},
 		{"naive-gns", []int{16, 8}, 300, func(c *Config) { c.NaiveGNS = true }},
+		// The comm mode is scheduling only — sim must match live in every
+		// mode, including the merged single-goroutine loop, at three workers
+		// (where summation order is most fragile) and with many buckets.
+		{"merged-comm", []int{12, 6, 3}, 300, func(c *Config) { c.CommMode = CommMerged }},
+		{"overlap-comm", []int{12, 6, 3}, 300, func(c *Config) { c.CommMode = CommOverlap }},
+		{"merged-tiny-buckets", []int{10, 5}, 300, func(c *Config) {
+			c.CommMode = CommMerged
+			c.BucketBytes = 64 * 8
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -112,9 +121,13 @@ func TestLiveMatchesSequentialBitwise(t *testing.T) {
 	}
 }
 
-// TestBucketSizeDoesNotChangeWeights: the bucket split only partitions the
-// ring segments; the per-bucket summation order is unchanged, so every
-// bucket size must give the same bits.
+// TestBucketSizeDoesNotChangeWeights: with two workers every reduced
+// element is a single two-term sum, so any bucket partition — adaptive,
+// huge, tiny — must give the same bits. (This invariance is specific to
+// n <= 2: at three or more workers the partition changes which ring chunk
+// an element lands in and therefore how its sum associates; that regime is
+// covered by TestBucketPartitionBackendsAgree, which fixes the partition
+// and varies the backend instead.)
 func TestBucketSizeDoesNotChangeWeights(t *testing.T) {
 	var ref []float64
 	for _, bytes := range []int{0, 64 * 8, 1000 * 8, 7 * 8} {
@@ -134,6 +147,105 @@ func TestBucketSizeDoesNotChangeWeights(t *testing.T) {
 				t.Fatalf("bucketBytes=%d: weight %d differs", bytes, i)
 			}
 		}
+	}
+}
+
+// TestBucketPartitionBackendsAgree is the bucket-selection property test:
+// for every partition the runtime can produce — one bucket, adaptive,
+// many tiny buckets, even single-element buckets — the sequential backend
+// and the live backend in both comm modes must produce bitwise-identical
+// weights and GNS trajectories. Run at three workers, where the partition
+// itself affects association order, so nothing here may silently fall back
+// on two-worker commutativity.
+func TestBucketPartitionBackendsAgree(t *testing.T) {
+	partitions := []struct {
+		name  string
+		bytes int
+	}{
+		{"adaptive", 0},
+		{"single-bucket", 1 << 20}, // far above the 420-param test model
+		{"tiny", 64 * 8},
+		{"per-element", 8},
+	}
+	for _, p := range partitions {
+		t.Run(p.name, func(t *testing.T) {
+			var ref *Result
+			backends := []struct {
+				name    string
+				backend string
+				comm    string
+			}{
+				{"sim", BackendSim, ""},
+				{"live-overlap", BackendLive, CommOverlap},
+				{"live-merged", BackendLive, CommMerged},
+			}
+			for _, b := range backends {
+				cfg := testConfig(t, 21, []int{12, 6, 3}, 300)
+				cfg.Backend = b.backend
+				cfg.CommMode = b.comm
+				cfg.BucketBytes = p.bytes
+				r, err := Train(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", b.name, err)
+				}
+				if ref == nil {
+					ref = r
+					continue
+				}
+				for i := range ref.FinalWeights {
+					if ref.FinalWeights[i] != r.FinalWeights[i] {
+						t.Fatalf("%s: weight %d differs from sim", b.name, i)
+					}
+				}
+				for e := range ref.NoiseEstimate {
+					if ref.NoiseEstimate[e] != r.NoiseEstimate[e] {
+						t.Fatalf("%s: epoch %d noise differs from sim", b.name, e)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBucketLenForRule pins the adaptive sizing contract: explicit caps
+// pass through untouched, small models always get one bucket (the 256 KB
+// floor), bucket count respects the hop budget, and the result is a pure
+// function of (bytes, dim, workers) — reproducible across processes.
+func TestBucketLenForRule(t *testing.T) {
+	// Explicit caps: DDP semantics, byte cap → element count.
+	if got := bucketLenFor(64*8, 1_000_000, 4); got != 64 {
+		t.Fatalf("explicit 512B cap: bucketLen %d, want 64", got)
+	}
+	if got := bucketLenFor(3, 100, 2); got != 1 {
+		t.Fatalf("sub-element cap: bucketLen %d, want 1", got)
+	}
+	// Every model under the 256 KB floor gets exactly one bucket — this is
+	// what keeps the repo's goldens byte-identical under the adaptive
+	// default (all its models are well under 32768 params).
+	for _, dim := range []int{1, 420, 13000, 32768} {
+		for _, n := range []int{1, 2, 3, 8} {
+			if got := bucketLenFor(0, dim, n); got < dim {
+				t.Fatalf("dim=%d n=%d: bucketLen %d splits a sub-floor model", dim, n, got)
+			}
+		}
+	}
+	// Large models split, but never below the floor and never past the hop
+	// budget.
+	for _, dim := range []int{1 << 20, 10 << 20} {
+		for _, n := range []int{2, 4, 8, 32} {
+			bl := bucketLenFor(0, dim, n)
+			buckets := (dim + bl - 1) / bl
+			if bl*8 < minAutoBucketBytes && buckets > 1 {
+				t.Fatalf("dim=%d n=%d: bucket of %d bytes under floor", dim, n, bl*8)
+			}
+			if hops := buckets * n; hops > autoBucketHopBudget && buckets > 1 {
+				t.Fatalf("dim=%d n=%d: %d buckets exceed hop budget", dim, n, buckets)
+			}
+		}
+	}
+	// Purity: same inputs, same answer.
+	if bucketLenFor(0, 1<<20, 4) != bucketLenFor(0, 1<<20, 4) {
+		t.Fatal("bucketLenFor is not deterministic")
 	}
 }
 
@@ -180,6 +292,12 @@ func TestTrainValidation(t *testing.T) {
 		{"no-dataset", func(c *Config) { c.Dataset = nil }},
 		{"no-src", func(c *Config) { c.Src = nil }},
 		{"bad-backend", func(c *Config) { c.Backend = "cuda" }},
+		{"bad-comm-mode", func(c *Config) { c.CommMode = "turbo" }},
+		{"merged-with-fault", func(c *Config) {
+			c.Backend = BackendLive
+			c.CommMode = CommMerged
+			c.Fault = &FaultConfig{}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

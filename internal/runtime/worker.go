@@ -8,7 +8,6 @@ import (
 	"cannikin/internal/data"
 	"cannikin/internal/gns"
 	"cannikin/internal/nn"
-	"cannikin/internal/simnet"
 	"cannikin/internal/tensor"
 )
 
@@ -76,7 +75,6 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	if cfg.KernelShards > 0 {
 		tensor.SetParallelism(cfg.KernelShards)
 	}
-	bucketLen := bucketLenOf(cfg.BucketBytes)
 
 	globalBatch := 0
 	for _, b := range cfg.LocalBatches {
@@ -99,6 +97,9 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	opt := nn.NewSGD(cfg.Momentum, 0)
 	params := net.Params()
 	dim := net.NumParams()
+	// Every process must derive the identical partition from the shared
+	// Config alone — bucketLenFor depends only on (BucketBytes, dim, n).
+	bucketLen := bucketLenFor(cfg.BucketBytes, dim, n)
 
 	rank := cfg.Rank
 	opts := allreduce.Options{Guard: cfg.Guard, Policy: cfg.Policy}
@@ -219,14 +220,47 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	return res, nil
 }
 
-// bucketLenOf converts the configured bucket byte cap to an element count.
-func bucketLenOf(bucketBytes int) int {
-	if bucketBytes <= 0 {
-		bucketBytes = simnet.DefaultBucketBytes
+// Adaptive bucket sizing (BucketBytes <= 0). A bucket costs 2(n-1) ring
+// hops regardless of its size, so small models want few large buckets —
+// the fixed 25 MB DDP cap already degenerates to one bucket for every model
+// in this repo, but an explicit small cap (or a huge model) could shatter a
+// kilobyte-scale gradient into dozens of buckets whose per-bucket channel
+// and goroutine overhead dwarfs the arithmetic. The rule: never build a
+// bucket smaller than minAutoBucketBytes, and never spend more than
+// autoBucketHopBudget total hops on a step's reduction (buckets ≤
+// budget/workers). Deliberately a pure function of (dim, workers): bucket
+// partition is part of the arithmetic for n ≥ 3, so it must never depend on
+// scheduling state like GOMAXPROCS, which multi-process ranks would not
+// agree on.
+const (
+	minAutoBucketBytes  = 256 << 10
+	autoBucketHopBudget = 16
+)
+
+// bucketLenFor converts the configured bucket cap to a per-bucket element
+// count: explicit positive caps are honored as-is (DDP semantics), zero
+// picks the adaptive size above.
+func bucketLenFor(bucketBytes, dim, workers int) int {
+	if bucketBytes > 0 {
+		bucketLen := bucketBytes / 8
+		if bucketLen < 1 {
+			bucketLen = 1
+		}
+		return bucketLen
 	}
-	bucketLen := bucketBytes / 8
-	if bucketLen < 1 {
-		bucketLen = 1
+	if dim < 1 || workers < 1 {
+		return 1
 	}
-	return bucketLen
+	maxBuckets := autoBucketHopBudget / workers
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	buckets := dim * 8 / minAutoBucketBytes
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > maxBuckets {
+		buckets = maxBuckets
+	}
+	return (dim + buckets - 1) / buckets
 }

@@ -50,9 +50,17 @@ type MLPConfig struct {
 	// and wall-clock phase profiling. Both backends produce bitwise
 	// identical model weights for the same seed.
 	Backend string
-	// BucketBytes caps the gradient bucket size for the ring all-reduce
-	// (default 25 MB, PyTorch DDP's cap).
+	// BucketBytes caps the gradient bucket size for the ring all-reduce. A
+	// positive value is an explicit per-bucket byte cap (PyTorch DDP uses
+	// 25 MB); 0 (the default) sizes buckets adaptively from the model size
+	// and worker count.
 	BucketBytes int
+	// CommMode selects the live backend's worker-goroutine layout: "auto"
+	// (default — merged when workers already saturate the host, overlapped
+	// otherwise), "overlap" (dedicated comm goroutine per worker), or
+	// "merged" (single event-driven goroutine per worker). Scheduling only:
+	// weights are bitwise-identical in every mode.
+	CommMode string
 	// KernelShards, when positive, shards every matmul across that many
 	// goroutines by contiguous output rows (1 = serial, the default).
 	// Parallel and serial kernels are bitwise identical, so this is purely
@@ -111,6 +119,11 @@ func (c *MLPConfig) defaults() error {
 	case "", "sim", "live":
 	default:
 		return fmt.Errorf("cannikin: unknown backend %q", c.Backend)
+	}
+	switch c.CommMode {
+	case "", "auto", "overlap", "merged":
+	default:
+		return fmt.Errorf("cannikin: unknown comm mode %q", c.CommMode)
 	}
 	return nil
 }
@@ -237,6 +250,7 @@ func (cfg *MLPConfig) lowerRuntime() (*runtime.Config, error) {
 		Scaler:       scaler,
 		NaiveGNS:     cfg.NaiveGNS,
 		BucketBytes:  cfg.BucketBytes,
+		CommMode:     cfg.CommMode,
 		KernelShards: cfg.KernelShards,
 		Dataset:      ds,
 		Src:          src,

@@ -5,37 +5,81 @@
 #
 #   scripts/bench.sh            # writes BENCH_runtime.json in the repo root
 #   BENCHTIME=5x scripts/bench.sh
+#   COUNT=3 scripts/bench.sh    # repetitions per benchmark (min is kept)
 #   CPUS=1,4 scripts/bench.sh   # override the GOMAXPROCS sweep
 #
-# Every benchmark runs once per GOMAXPROCS value in the sweep (go test -cpu),
-# so the file records like-for-like entries: "host_cores" is the machine's
-# true core count and each entry carries the "cpu" it ran at. On a genuinely
-# multicore host the live engine should beat the sequential loop at >= 4
-# workers and >= 4 cpus; on a single core the two are near parity and the
-# comparison is recorded but not enforced (scripts/benchcheck applies the
-# policy).
+# Every benchmark runs COUNT times per GOMAXPROCS value in the sweep and
+# the MINIMUM ns/op across repetitions is recorded: the minimum is the
+# least noisy estimator of the true cost on a shared host, because
+# scheduler interference only ever adds time. Crucially, the repetitions
+# come from COUNT *separate* `go test -count 1` invocations rather than one
+# `-count N` run: go groups -count repetitions of the same leaf
+# back-to-back, so a seconds-long host-load burst poisons every sample of
+# whichever leaf it lands on (and the sim/live ratio rows would compare
+# measurements taken minutes apart). Interleaving whole invocations spaces
+# each leaf's samples across the lane's full duration, so a burst costs at
+# most one sample per leaf and the min survives. The file records
+# like-for-like entries: "host_cores" is the machine's true core count and
+# each entry carries the "cpu" it ran at. scripts/benchcheck applies the
+# policy (live >= sequential on like-for-like rows, dim=1024 all-reduce
+# non-increasing in cpu, tcp-batch within 1.10x of tcp) and, when a
+# committed BENCH_runtime.json exists in HEAD, gates the trajectory against
+# it (>15% regression on any matching row fails).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
+# The dim=1024 all-reduce op costs ~1.5 us: at "3x" each sample is the mean
+# of 3 iterations, pure scheduler noise. A time-based benchtime gives the
+# tiny ops tens of thousands of iterations per sample. The big dims stay on
+# the iteration-based BENCHTIME so their methodology (min of short runs)
+# matches the committed baseline the trajectory gate compares against.
+SMALL_BENCHTIME="${SMALL_BENCHTIME:-0.1s}"
 KERNEL_BENCHTIME="${KERNEL_BENCHTIME:-20x}"
+COUNT="${COUNT:-5}"
+TRAIN_COUNT="${TRAIN_COUNT:-$COUNT}"
 CPUS="${CPUS:-1,2,4}"
 OUT="BENCH_runtime.json"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+RAW="$TMP/raw.txt"
 
 HOST_CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
-echo "== go test -bench (allreduce + live-vs-sequential, benchtime $BENCHTIME, cpu $CPUS) =="
-go test -run '^$' -bench 'BenchmarkAllReduce$|BenchmarkTrainMLPLiveVsSequential|BenchmarkRingTransport' \
-	-benchtime "$BENCHTIME" -cpu "$CPUS" . | tee "$RAW"
+# Snapshot the committed benchmark file (if any) before overwriting, so the
+# new results can be gated against the trajectory.
+BASE=""
+if git show HEAD:BENCH_runtime.json > "$TMP/base.json" 2>/dev/null; then
+	BASE="$TMP/base.json"
+fi
 
-echo "== go test -bench (tensor kernels, benchtime $KERNEL_BENCHTIME, cpu $CPUS) =="
-go test -run '^$' -bench 'BenchmarkMatMul' \
-	-benchtime "$KERNEL_BENCHTIME" -cpu "$CPUS" ./internal/tensor | tee -a "$RAW"
-go test -run '^$' -bench 'BenchmarkLinearForwardBackward|BenchmarkMLPStep$' \
-	-benchtime "$KERNEL_BENCHTIME" -cpu "$CPUS" ./internal/nn | tee -a "$RAW"
+# reps N BENCHTIME PKG PATTERN — run the benchmark N times as separate
+# single-count invocations (see the interleaving rationale above).
+reps() {
+	_n=$1; _bt=$2; _pkg=$3; _pat=$4; _i=0
+	while [ "$_i" -lt "$_n" ]; do
+		_i=$((_i + 1))
+		go test -run '^$' -bench "$_pat" \
+			-benchtime "$_bt" -count 1 -cpu "$CPUS" "$_pkg" | tee -a "$RAW"
+	done
+}
+
+: > "$RAW"
+
+echo "== small-message allreduce (benchtime $SMALL_BENCHTIME, $COUNT interleaved runs, cpu $CPUS) =="
+reps "$COUNT" "$SMALL_BENCHTIME" . 'BenchmarkAllReduce$/.*/dim1024$'
+
+echo "== large allreduce + ring transport (benchtime $BENCHTIME, $COUNT interleaved runs, cpu $CPUS) =="
+reps "$COUNT" "$BENCHTIME" . 'BenchmarkAllReduce$/.*/dim(65536|1048576)$'
+reps "$COUNT" "$BENCHTIME" . 'BenchmarkRingTransport'
+
+echo "== live-vs-sequential (benchtime $BENCHTIME, $TRAIN_COUNT interleaved runs, cpu $CPUS) =="
+reps "$TRAIN_COUNT" "$BENCHTIME" . 'BenchmarkTrainMLPLiveVsSequential'
+
+echo "== tensor kernels (benchtime $KERNEL_BENCHTIME, $COUNT interleaved runs, cpu $CPUS) =="
+reps "$COUNT" "$KERNEL_BENCHTIME" ./internal/tensor 'BenchmarkMatMul'
+reps "$COUNT" "$KERNEL_BENCHTIME" ./internal/nn 'BenchmarkLinearForwardBackward|BenchmarkMLPStep$'
 
 awk -v host_cores="$HOST_CORES" -v cpus="$CPUS" '
 # go test -cpu appends "-N" (the GOMAXPROCS value) to benchmark names —
@@ -45,17 +89,23 @@ function cpuof(name,   c) {
 	c = name; sub(/^.*-/, "", c); return c
 }
 function stripcpu(name) { sub(/-[0-9]+$/, "", name); return name }
+# -count > 1 repeats every benchmark line; keep the minimum ns/op per key
+# (scheduler noise only ever adds time, so min is the honest estimate).
+function keepmin(arr, key, val) {
+	if (!(key in arr) || val + 0 < arr[key] + 0) { arr[key] = val; return 1 }
+	return 0
+}
 /^BenchmarkAllReduce\// {
 	split($1, parts, "/")
 	sub(/^n/, "", parts[2]); sub(/^dim/, "", parts[3])
 	cpu = cpuof(parts[3]); parts[3] = stripcpu(parts[3])
-	ar = ar arsep sprintf("    {\"transport\": \"chan\", \"workers\": %s, \"dim\": %s, \"cpu\": %s, \"ns_per_op\": %s}", \
-		parts[2], parts[3], cpu, $3)
-	arsep = ",\n"
+	key = parts[2] SUBSEP parts[3] SUBSEP cpu
+	keepmin(arns, key, $3)
+	if (!(key in arseen)) { arorder[++arn] = key; arseen[key] = 1 }
 }
 # BenchmarkRingTransport/<transport> rows: the reduce over the pluggable
 # transports; tcp rows carry bytes/hop and msgs coalesced per network
-# write as trailing custom metrics.
+# write as trailing custom metrics (taken from the fastest repetition).
 /^BenchmarkRingTransport\// {
 	split($1, parts, "/")
 	tname = parts[2]
@@ -65,9 +115,9 @@ function stripcpu(name) { sub(/-[0-9]+$/, "", name); return name }
 		if ($i == "bytes/hop") bph = $(i-1)
 		if ($i == "msgs/batch") mpb = $(i-1)
 	}
-	rt = rt rtsep sprintf("    {\"transport\": \"%s\", \"workers\": 4, \"dim\": 65536, \"cpu\": %s, \"ns_per_op\": %s, \"bytes_per_hop\": %s, \"msgs_per_batch\": %s}", \
-		tname, cpu, $3, bph, mpb)
-	rtsep = ",\n"
+	key = tname SUBSEP cpu
+	if (keepmin(rtns, key, $3)) { rtbph[key] = bph; rtmpb[key] = mpb }
+	if (!(key in rtseen)) { rtorder[++rtn] = key; rtseen[key] = 1 }
 }
 /^BenchmarkTrainMLPLiveVsSequential\// {
 	split($1, parts, "/")
@@ -75,20 +125,27 @@ function stripcpu(name) { sub(/-[0-9]+$/, "", name); return name }
 	backend = parts[3]
 	cpu = cpuof(backend); backend = stripcpu(backend)
 	key = parts[2] "/" cpu
-	t[key "/" backend] = $3
+	keepmin(t, key "/" backend, $3)
 	if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
 }
 /^BenchmarkMatMul|^BenchmarkLinearForwardBackward|^BenchmarkMLPStep/ {
 	name = $1
 	cpu = cpuof(name); name = stripcpu(name)
 	sub(/^Benchmark/, "", name)
-	kr = kr krsep sprintf("    {\"name\": \"%s\", \"cpu\": %s, \"ns_per_op\": %s}", name, cpu, $3)
-	krsep = ",\n"
+	key = name SUBSEP cpu
+	keepmin(kns, key, $3)
+	if (!(key in kseen)) { korder[++kn] = key; kseen[key] = 1 }
 }
 END {
 	gp = cpus; gsub(/,/, ", ", gp)
 	printf "{\n  \"host_cores\": %s,\n  \"gomaxprocs\": [%s],\n", host_cores, gp
-	printf "  \"allreduce\": [\n%s\n  ],\n", ar
+	printf "  \"allreduce\": [\n"
+	for (i = 1; i <= arn; i++) {
+		key = arorder[i]; split(key, kp, SUBSEP)
+		printf "    {\"transport\": \"chan\", \"workers\": %s, \"dim\": %s, \"cpu\": %s, \"ns_per_op\": %s}%s\n", \
+			kp[1], kp[2], kp[3], arns[key], (i < arn) ? "," : ""
+	}
+	printf "  ],\n"
 	printf "  \"train_mlp\": [\n"
 	for (i = 1; i <= n; i++) {
 		key = order[i]
@@ -98,14 +155,33 @@ END {
 			kp[1], kp[2], t[key "/sim"], t[key "/live"], speedup, (i < n) ? "," : ""
 	}
 	printf "  ],\n"
-	printf "  \"ring_transport\": [\n%s\n  ],\n", rt
-	printf "  \"kernels\": [\n%s\n  ]\n}\n", kr
+	printf "  \"ring_transport\": [\n"
+	for (i = 1; i <= rtn; i++) {
+		key = rtorder[i]; split(key, kp, SUBSEP)
+		printf "    {\"transport\": \"%s\", \"workers\": 4, \"dim\": 65536, \"cpu\": %s, \"ns_per_op\": %s, \"bytes_per_hop\": %s, \"msgs_per_batch\": %s}%s\n", \
+			kp[1], kp[2], rtns[key], rtbph[key], rtmpb[key], (i < rtn) ? "," : ""
+	}
+	printf "  ],\n"
+	printf "  \"kernels\": [\n"
+	for (i = 1; i <= kn; i++) {
+		key = korder[i]; split(key, kp, SUBSEP)
+		printf "    {\"name\": \"%s\", \"cpu\": %s, \"ns_per_op\": %s}%s\n", \
+			kp[1], kp[2], kns[key], (i < kn) ? "," : ""
+	}
+	printf "  ]\n}\n"
 }' "$RAW" > "$OUT"
 
 echo "== wrote $OUT =="
 cat "$OUT"
 
-# Sanity: every configuration must be present at every GOMAXPROCS value,
-# and on a genuinely multicore host the live engine must beat the
-# sequential loop when both workers and cpus are >= 4.
-go run ./scripts/benchcheck "$OUT"
+# Policy: every configuration present at every GOMAXPROCS value; live >=
+# sequential on like-for-like rows (loud failure if no row qualifies);
+# dim=1024 all-reduce must not get slower with more cpus; tcp-batch within
+# 1.10x of plain tcp; and, against the committed baseline, no matching row
+# more than 15% slower.
+if [ -n "$BASE" ]; then
+	go run ./scripts/benchcheck "$OUT" "$BASE"
+else
+	echo "== no committed BENCH_runtime.json in HEAD; skipping trajectory gate =="
+	go run ./scripts/benchcheck "$OUT"
+fi

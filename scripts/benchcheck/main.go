@@ -1,79 +1,156 @@
 // Command benchcheck validates a BENCH_runtime.json produced by
-// scripts/bench.sh: every benchmark configuration must be present once per
-// GOMAXPROCS value in the sweep with positive timings, and the
-// live-vs-sequential comparison is only enforced like-for-like — live must
-// beat the sequential loop exactly when the host really has >= 4 cores AND
-// the run used >= 4 cpus AND >= 4 workers. On fewer cores (or at cpu 1)
-// the engines are near parity; those rows are recorded, not judged.
-// Every entry carries a "transport" field so comparisons stay
-// like-for-like across ring transports too: chan rows are never judged
-// against tcp rows, and tcp rows must report their wire cost (bytes/hop)
-// and coalescing factor (msgs/batch).
+// scripts/bench.sh.
+//
+//	benchcheck NEW.json [BASELINE.json]
+//
+// Structural checks: every benchmark configuration must be present once per
+// GOMAXPROCS value in the sweep with positive timings, and every entry
+// carries a "transport" field so comparisons stay like-for-like across ring
+// transports: chan rows are never judged against tcp rows, and tcp rows
+// must report their wire cost (bytes/hop) and coalescing factor
+// (msgs/batch).
+//
+// Performance gates (all on the NEW file):
+//
+//  1. Like-for-like live gate: on every train-mlp row that ran without
+//     GOMAXPROCS oversubscription (cpu <= host_cores) and with real
+//     parallelism to exploit (workers >= 2), the live engine must not lose
+//     to the sequential loop (live_speedup >= 1.0). The gate FAILS LOUDLY
+//     if no row qualifies — a sweep that never exercises the comparison is
+//     a broken sweep, not a passing one — and the number of rows actually
+//     evaluated is printed so a vacuous pass can't hide. On a genuinely
+//     multicore host (>= 4 cores, cpu >= 4, workers >= 4) the bar rises to
+//     a strict 1.10x advantage.
+//
+//  2. Small-message scaling gate: the dim=1024 chan all-reduce must not get
+//     slower as GOMAXPROCS grows (per worker count, ns/op monotone
+//     non-increasing cpu 1 -> max, with a small noise tolerance). This
+//     pins the fix for the goroutine fan-out regression on small payloads.
+//
+//  3. Coalescing gate: the adaptive-batching tcp transport (tcp-batch) must
+//     stay within 1.10x of plain tcp at every cpu — batching may trade a
+//     little latency for fewer writes but must never be a 2x loss.
+//
+// Trajectory gate (only when BASELINE.json is given): every NEW row whose
+// (transport, workers, dim, cpu) key — or (name, cpu) for kernels — matches
+// a BASELINE row must not be more than 15% slower than the baseline. Rows
+// present only in one file are reported informationally, never failed, so
+// sweeps can grow without breaking the gate.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
-// minMulticoreSpeedup is the enforced live-over-sequential advantage on a
-// genuinely parallel configuration.
-const minMulticoreSpeedup = 1.10
+const (
+	// minLikeForLikeSpeedup is the floor on every non-oversubscribed
+	// multi-worker row: the live engine must at least match the
+	// sequential loop.
+	minLikeForLikeSpeedup = 1.0
+	// minMulticoreSpeedup is the enforced live-over-sequential advantage
+	// on a genuinely parallel configuration.
+	minMulticoreSpeedup = 1.10
+	// smallDim is the payload whose all-reduce cost must not grow with
+	// GOMAXPROCS (the small-message fan-out regression).
+	smallDim = 1024
+	// smallDimTolerance absorbs scheduler noise in the monotonicity
+	// check: ns/op at cpu k+1 may exceed ns/op at cpu k by at most 5%.
+	smallDimTolerance = 1.05
+	// maxBatchOverhead caps tcp-batch relative to plain tcp per cpu.
+	maxBatchOverhead = 1.10
+	// maxRegression is the trajectory bound: a matched row may be at most
+	// 15% slower than the committed baseline.
+	maxRegression = 1.15
+)
+
+type allReduceRow struct {
+	Transport string  `json:"transport"`
+	Workers   int     `json:"workers"`
+	Dim       int     `json:"dim"`
+	CPU       int     `json:"cpu"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+type trainMLPRow struct {
+	Transport   string  `json:"transport"`
+	Workers     int     `json:"workers"`
+	CPU         int     `json:"cpu"`
+	SimNsPerOp  float64 `json:"sim_ns_per_op"`
+	LiveNsPerOp float64 `json:"live_ns_per_op"`
+	LiveSpeedup float64 `json:"live_speedup"`
+}
+
+type ringTransportRow struct {
+	Transport    string  `json:"transport"`
+	Workers      int     `json:"workers"`
+	Dim          int     `json:"dim"`
+	CPU          int     `json:"cpu"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerHop  float64 `json:"bytes_per_hop"`
+	MsgsPerBatch float64 `json:"msgs_per_batch"`
+}
+
+type kernelRow struct {
+	Name    string  `json:"name"`
+	CPU     int     `json:"cpu"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
 
 type benchFile struct {
-	HostCores  int   `json:"host_cores"`
-	GoMaxProcs []int `json:"gomaxprocs"`
-	AllReduce  []struct {
-		Transport string  `json:"transport"`
-		Workers   int     `json:"workers"`
-		Dim       int     `json:"dim"`
-		CPU       int     `json:"cpu"`
-		NsPerOp   float64 `json:"ns_per_op"`
-	} `json:"allreduce"`
-	TrainMLP []struct {
-		Transport   string  `json:"transport"`
-		Workers     int     `json:"workers"`
-		CPU         int     `json:"cpu"`
-		SimNsPerOp  float64 `json:"sim_ns_per_op"`
-		LiveNsPerOp float64 `json:"live_ns_per_op"`
-		LiveSpeedup float64 `json:"live_speedup"`
-	} `json:"train_mlp"`
-	RingTransport []struct {
-		Transport    string  `json:"transport"`
-		Workers      int     `json:"workers"`
-		Dim          int     `json:"dim"`
-		CPU          int     `json:"cpu"`
-		NsPerOp      float64 `json:"ns_per_op"`
-		BytesPerHop  float64 `json:"bytes_per_hop"`
-		MsgsPerBatch float64 `json:"msgs_per_batch"`
-	} `json:"ring_transport"`
-	Kernels []struct {
-		Name    string  `json:"name"`
-		CPU     int     `json:"cpu"`
-		NsPerOp float64 `json:"ns_per_op"`
-	} `json:"kernels"`
+	HostCores     int                `json:"host_cores"`
+	GoMaxProcs    []int              `json:"gomaxprocs"`
+	AllReduce     []allReduceRow     `json:"allreduce"`
+	TrainMLP      []trainMLPRow      `json:"train_mlp"`
+	RingTransport []ringTransportRow `json:"ring_transport"`
+	Kernels       []kernelRow        `json:"kernels"`
 }
 
 func main() {
-	if err := check(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func check() error {
-	if len(os.Args) != 2 {
-		return fmt.Errorf("usage: benchcheck BENCH_runtime.json")
+func run(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: benchcheck NEW.json [BASELINE.json]")
 	}
-	raw, err := os.ReadFile(os.Args[1])
+	f, err := load(args[0])
 	if err != nil {
 		return err
 	}
-	var f benchFile
-	if err := json.Unmarshal(raw, &f); err != nil {
+	if err := check(f); err != nil {
 		return err
 	}
+	if len(args) == 2 {
+		base, err := load(args[1])
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := checkTrajectory(f, base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func check(f *benchFile) error {
 	if f.HostCores < 1 {
 		return fmt.Errorf("host_cores %d", f.HostCores)
 	}
@@ -104,6 +181,9 @@ func check() error {
 			return fmt.Errorf("allreduce n=%d dim=%d cpu=%d: non-positive ns/op", r.Workers, r.Dim, r.CPU)
 		}
 	}
+	if err := checkSmallDimScaling(f); err != nil {
+		return err
+	}
 
 	// The ring-transport sweep: the same reduce over each pluggable
 	// transport, once per GOMAXPROCS value. The transport field keeps the
@@ -119,6 +199,8 @@ func check() error {
 	for _, tr := range ringTransports {
 		known[tr] = true
 	}
+	tcpNs := make(map[int]float64, nCPU)
+	batchNs := make(map[int]float64, nCPU)
 	for _, r := range f.RingTransport {
 		if !known[r.Transport] {
 			return fmt.Errorf("ring-transport: unknown transport %q", r.Transport)
@@ -142,13 +224,29 @@ func check() error {
 				return fmt.Errorf("ring-transport %s cpu=%d: msgs/batch %.2f < 1", r.Transport, r.CPU, r.MsgsPerBatch)
 			}
 		}
+		switch r.Transport {
+		case "tcp":
+			tcpNs[r.CPU] = r.NsPerOp
+		case "tcp-batch":
+			batchNs[r.CPU] = r.NsPerOp
+		}
+	}
+	for _, cpu := range sortedKeys(tcpNs) {
+		plain, batch := tcpNs[cpu], batchNs[cpu]
+		if batch == 0 {
+			continue // structural count check already failed above if so
+		}
+		if batch > plain*maxBatchOverhead {
+			return fmt.Errorf("ring-transport cpu=%d: tcp-batch %.0f ns/op is %.2fx plain tcp %.0f ns/op (cap %.2fx) — adaptive batching over-lingers",
+				cpu, batch, batch/plain, plain, maxBatchOverhead)
+		}
 	}
 
 	if want := 4 * nCPU; len(f.TrainMLP) != want {
 		return fmt.Errorf("want %d train-mlp entries (4 worker counts x %d cpus), got %d",
 			want, nCPU, len(f.TrainMLP))
 	}
-	enforced := 0
+	likeForLike, multicore := 0, 0
 	for _, r := range f.TrainMLP {
 		if r.Transport != "chan" {
 			return fmt.Errorf("train-mlp w=%d: transport %q (sim-vs-live rows compare in-process engines)", r.Workers, r.Transport)
@@ -159,13 +257,26 @@ func check() error {
 		if r.SimNsPerOp <= 0 || r.LiveNsPerOp <= 0 {
 			return fmt.Errorf("train-mlp w=%d cpu=%d: non-positive timing", r.Workers, r.CPU)
 		}
+		// Like-for-like: no GOMAXPROCS oversubscription and real
+		// parallelism to exploit. Single-worker rows and rows run at
+		// cpu > host_cores are recorded, not judged.
+		if r.CPU <= f.HostCores && r.Workers >= 2 {
+			likeForLike++
+			if r.LiveSpeedup < minLikeForLikeSpeedup {
+				return fmt.Errorf("train-mlp w=%d cpu=%d: live speedup %.4f < %.2f on a like-for-like row (sim %.0f ns/op, live %.0f ns/op)",
+					r.Workers, r.CPU, r.LiveSpeedup, minLikeForLikeSpeedup, r.SimNsPerOp, r.LiveNsPerOp)
+			}
+		}
 		if f.HostCores >= 4 && r.CPU >= 4 && r.Workers >= 4 {
-			enforced++
+			multicore++
 			if r.LiveSpeedup <= minMulticoreSpeedup {
 				return fmt.Errorf("train-mlp w=%d cpu=%d: live speedup %.3f <= %.2f on a %d-core host (sim %.0f ns/op, live %.0f ns/op)",
 					r.Workers, r.CPU, r.LiveSpeedup, minMulticoreSpeedup, f.HostCores, r.SimNsPerOp, r.LiveNsPerOp)
 			}
 		}
+	}
+	if likeForLike == 0 {
+		return fmt.Errorf("live-vs-sequential gate was vacuous: no train-mlp row has cpu <= host_cores (%d) and workers >= 2 — the sweep no longer exercises a like-for-like comparison", f.HostCores)
 	}
 
 	if len(f.Kernels) == 0 {
@@ -180,12 +291,118 @@ func check() error {
 		}
 	}
 
-	if enforced > 0 {
-		fmt.Printf("benchcheck: ok (%d cores; live beats sequential by >%.0f%% on all %d enforced rows)\n",
-			f.HostCores, 100*(minMulticoreSpeedup-1), enforced)
-	} else {
-		fmt.Printf("benchcheck: ok (%d-core host: live-vs-sequential advantage recorded, not enforced)\n",
-			f.HostCores)
+	fmt.Printf("benchcheck: ok (%d cores; live >= sequential on %d/%d like-for-like rows", f.HostCores, likeForLike, len(f.TrainMLP))
+	if multicore > 0 {
+		fmt.Printf("; live beats sequential by >%.0f%% on all %d multicore rows", 100*(minMulticoreSpeedup-1), multicore)
+	}
+	fmt.Printf("; dim=%d all-reduce non-increasing in cpu; tcp-batch <= %.2fx tcp)\n", smallDim, maxBatchOverhead)
+	return nil
+}
+
+// checkSmallDimScaling enforces that the small-payload all-reduce does not
+// get slower with more GOMAXPROCS: for each worker count, the dim=1024 chan
+// rows must be monotone non-increasing in cpu (modulo a 5% noise band).
+func checkSmallDimScaling(f *benchFile) error {
+	byWorkers := map[int]map[int]float64{}
+	for _, r := range f.AllReduce {
+		if r.Dim != smallDim {
+			continue
+		}
+		if byWorkers[r.Workers] == nil {
+			byWorkers[r.Workers] = map[int]float64{}
+		}
+		byWorkers[r.Workers][r.CPU] = r.NsPerOp
+	}
+	if len(byWorkers) == 0 {
+		return fmt.Errorf("small-message scaling gate was vacuous: no dim=%d allreduce rows in the sweep", smallDim)
+	}
+	for _, n := range sortedKeys(byWorkers) {
+		rows := byWorkers[n]
+		cpus := sortedKeys(rows)
+		for i := 1; i < len(cpus); i++ {
+			prev, cur := rows[cpus[i-1]], rows[cpus[i]]
+			if cur > prev*smallDimTolerance {
+				return fmt.Errorf("allreduce n=%d dim=%d: %.0f ns/op at cpu=%d vs %.0f ns/op at cpu=%d — small-message cost grows with GOMAXPROCS (tolerance %.2fx)",
+					n, smallDim, cur, cpus[i], prev, cpus[i-1], smallDimTolerance)
+			}
+		}
 	}
 	return nil
+}
+
+// checkTrajectory compares the new file against a committed baseline: any
+// row whose key matches a baseline row must not be more than maxRegression
+// slower. Keys present in only one file are informational.
+func checkTrajectory(f, base *benchFile) error {
+	type pair struct{ kind, key string }
+	oldNs := map[pair]float64{}
+	add := func(kind, key string, ns float64) {
+		oldNs[pair{kind, key}] = ns
+	}
+	for _, r := range base.AllReduce {
+		add("allreduce", fmt.Sprintf("%s/w%d/dim%d/cpu%d", r.Transport, r.Workers, r.Dim, r.CPU), r.NsPerOp)
+	}
+	for _, r := range base.RingTransport {
+		add("ring-transport", fmt.Sprintf("%s/w%d/dim%d/cpu%d", r.Transport, r.Workers, r.Dim, r.CPU), r.NsPerOp)
+	}
+	for _, r := range base.TrainMLP {
+		add("train-mlp/sim", fmt.Sprintf("%s/w%d/cpu%d", r.Transport, r.Workers, r.CPU), r.SimNsPerOp)
+		add("train-mlp/live", fmt.Sprintf("%s/w%d/cpu%d", r.Transport, r.Workers, r.CPU), r.LiveNsPerOp)
+	}
+	for _, r := range base.Kernels {
+		add("kernel", fmt.Sprintf("%s/cpu%d", r.Name, r.CPU), r.NsPerOp)
+	}
+
+	matched, fresh := 0, 0
+	judge := func(kind, key string, ns float64) error {
+		old, ok := oldNs[pair{kind, key}]
+		if !ok {
+			fresh++
+			return nil
+		}
+		matched++
+		delete(oldNs, pair{kind, key})
+		if ns > old*maxRegression {
+			return fmt.Errorf("trajectory: %s %s regressed %.0f -> %.0f ns/op (%.2fx, cap %.2fx vs baseline)",
+				kind, key, old, ns, ns/old, maxRegression)
+		}
+		return nil
+	}
+	for _, r := range f.AllReduce {
+		if err := judge("allreduce", fmt.Sprintf("%s/w%d/dim%d/cpu%d", r.Transport, r.Workers, r.Dim, r.CPU), r.NsPerOp); err != nil {
+			return err
+		}
+	}
+	for _, r := range f.RingTransport {
+		if err := judge("ring-transport", fmt.Sprintf("%s/w%d/dim%d/cpu%d", r.Transport, r.Workers, r.Dim, r.CPU), r.NsPerOp); err != nil {
+			return err
+		}
+	}
+	for _, r := range f.TrainMLP {
+		key := fmt.Sprintf("%s/w%d/cpu%d", r.Transport, r.Workers, r.CPU)
+		if err := judge("train-mlp/sim", key, r.SimNsPerOp); err != nil {
+			return err
+		}
+		if err := judge("train-mlp/live", key, r.LiveNsPerOp); err != nil {
+			return err
+		}
+	}
+	for _, r := range f.Kernels {
+		if err := judge("kernel", fmt.Sprintf("%s/cpu%d", r.Name, r.CPU), r.NsPerOp); err != nil {
+			return err
+		}
+	}
+	dropped := len(oldNs)
+	fmt.Printf("benchcheck: trajectory ok (%d rows within %.0f%% of baseline; %d new, %d dropped)\n",
+		matched, 100*(maxRegression-1), fresh, dropped)
+	return nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -64,6 +64,16 @@ go build -o "$BIN/cannikin-worker" ./cmd/cannikin-worker
 echo "== live-backend smoke: short epochs through the CLI =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 -kernel-shards 2 >/dev/null
 
+# Profiling must stay wired up: the live-vs-sequential bench is the tool
+# used to chase scheduling regressions, so a broken -cpuprofile path (or a
+# bench rename) should fail CI, not be discovered mid-investigation.
+echo "== pprof smoke: cpu profile of the live-vs-sequential bench parses =="
+go test -run '^$' -bench 'BenchmarkTrainMLPLiveVsSequential/w4/live' -benchtime 1x \
+	-cpuprofile "$BIN/cpu.pprof" -o "$BIN/bench.test" . >/dev/null
+go tool pprof -top "$BIN/bench.test" "$BIN/cpu.pprof" | head -n 12
+go tool pprof -top "$BIN/bench.test" "$BIN/cpu.pprof" | grep -q 'flat' \
+	|| { echo "pprof output missing profile table" >&2; exit 1; }
+
 echo "== fault-tolerance smoke: injected kill evicts and the run completes =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 8,8,8 -bucket-bytes 1024 -fault kill:1@6 >/dev/null
 
