@@ -1,0 +1,59 @@
+package allreduce
+
+import (
+	"testing"
+	"time"
+
+	"cannikin/internal/rng"
+)
+
+// TestDeprecatedWrappersMatchReduceWith keeps the legacy Reduce and
+// ReduceGuarded shims covered now that all internal callers use
+// ReduceWith: both wrappers must produce bitwise-identical results to the
+// equivalent ReduceWith call on the same inputs.
+func TestDeprecatedWrappersMatchReduceWith(t *testing.T) {
+	const n, dim = 4, 61
+	src := rng.New(41)
+	vectors := make([][]float64, n)
+	for i := range vectors {
+		vectors[i] = make([]float64, dim)
+		for j := range vectors[i] {
+			vectors[i][j] = src.Norm(0, 1)
+		}
+	}
+
+	want := cloneAll(vectors)
+	ring, err := NewRing(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRing(t, n, func(rank int) error {
+		return ring.ReduceWith(rank, want[rank], Options{})
+	})
+
+	t.Run("Reduce", func(t *testing.T) {
+		got := cloneAll(vectors)
+		ring, err := NewRing(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runRing(t, n, func(rank int) error {
+			ring.Reduce(rank, got[rank])
+			return nil
+		})
+		assertExact(t, "Reduce shim", got, want)
+	})
+
+	t.Run("ReduceGuarded", func(t *testing.T) {
+		got := cloneAll(vectors)
+		ring, err := NewRing(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		guard := Guard{Policy: RetryPolicy{HopTimeout: 50 * time.Millisecond}}
+		runRing(t, n, func(rank int) error {
+			return ring.ReduceGuarded(rank, got[rank], guard)
+		})
+		assertExact(t, "ReduceGuarded shim", got, want)
+	})
+}

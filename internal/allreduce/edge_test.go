@@ -70,26 +70,25 @@ func TestRingEdgeCases(t *testing.T) {
 					t.Fatal(err)
 				}
 				got := cloneAll(tc.vectors)
+				opts := Options{}
+				if guarded {
+					opts = Options{Guard: true, Policy: RetryPolicy{HopTimeout: 50 * time.Millisecond}}
+				}
 				runRing(t, tc.n, func(rank int) error {
 					for k := nb - 1; k >= 0; k-- {
 						end := (k + 1) * tc.bucketLen
 						if end > dim {
 							end = dim
 						}
-						seg := got[rank][k*tc.bucketLen : end]
-						if guarded {
-							if err := ring.ReduceGuarded(rank, seg, Guard{Policy: RetryPolicy{HopTimeout: 50 * time.Millisecond}}); err != nil {
-								return err
-							}
-						} else {
-							ring.Reduce(rank, seg)
+						if err := ring.ReduceWith(rank, got[rank][k*tc.bucketLen:end], opts); err != nil {
+							return err
 						}
 					}
 					return nil
 				})
-				label := "Ring.Reduce"
+				label := "Ring.ReduceWith"
 				if guarded {
-					label = "Ring.ReduceGuarded"
+					label = "Ring.ReduceWith guarded"
 				}
 				assertExact(t, label, got, tc.want)
 			}

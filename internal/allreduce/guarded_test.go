@@ -37,23 +37,23 @@ func TestReduceGuardedMatchesReduce(t *testing.T) {
 	for _, tc := range []struct {
 		name   string
 		n, dim int
-		guards func(n int) []Guard
+		opts   func(n int) []Options
 	}{
-		{"clean", 3, 103, func(n int) []Guard {
-			return make([]Guard, n)
+		{"clean", 3, 103, func(n int) []Options {
+			return make([]Options, n)
 		}},
-		{"delayed sender", 4, 64, func(n int) []Guard {
-			g := make([]Guard, n)
+		{"delayed sender", 4, 64, func(n int) []Options {
+			g := make([]Options, n)
 			g[1].SendDelay = 3 * time.Millisecond
 			return g
 		}},
-		{"dropped sends", 3, 50, func(n int) []Guard {
-			g := make([]Guard, n)
+		{"dropped sends", 3, 50, func(n int) []Options {
+			g := make([]Options, n)
 			g[2].SendDrops = 1
 			return g
 		}},
-		{"delay and drop together", 5, 31, func(n int) []Guard {
-			g := make([]Guard, n)
+		{"delay and drop together", 5, 31, func(n int) []Options {
+			g := make([]Options, n)
 			g[0].SendDelay = 2 * time.Millisecond
 			g[3].SendDrops = 1
 			return g
@@ -74,8 +74,7 @@ func TestReduceGuardedMatchesReduce(t *testing.T) {
 				t.Fatal(err)
 			}
 			runRing(t, tc.n, func(rank int) error {
-				ringA.Reduce(rank, want[rank])
-				return nil
+				return ringA.ReduceWith(rank, want[rank], Options{})
 			})
 
 			got := cloneAll(vectors)
@@ -83,14 +82,15 @@ func TestReduceGuardedMatchesReduce(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			guards := tc.guards(tc.n)
+			opts := tc.opts(tc.n)
 			// Drops cost the receiver extra waiting; give hops a budget that
 			// comfortably covers one retransmit timeout.
-			for i := range guards {
-				guards[i].Policy = RetryPolicy{HopTimeout: 20 * time.Millisecond, Retries: 4, Backoff: 2, MaxTimeout: 200 * time.Millisecond}
+			for i := range opts {
+				opts[i].Guard = true
+				opts[i].Policy = RetryPolicy{HopTimeout: 20 * time.Millisecond, Retries: 4, Backoff: 2, MaxTimeout: 200 * time.Millisecond}
 			}
 			runRing(t, tc.n, func(rank int) error {
-				return ringB.ReduceGuarded(rank, got[rank], guards[rank])
+				return ringB.ReduceWith(rank, got[rank], opts[rank])
 			})
 
 			for i := range got {
@@ -122,7 +122,7 @@ func TestReduceGuardedSilentRank(t *testing.T) {
 		go func(rank int) {
 			defer wg.Done()
 			seg := make([]float64, dim)
-			errs[rank] = ring.ReduceGuarded(rank, seg, Guard{Policy: fastPolicy})
+			errs[rank] = ring.ReduceWith(rank, seg, Options{Guard: true, Policy: fastPolicy})
 		}(rank)
 	}
 	go func() { wg.Wait(); close(done) }()
@@ -160,11 +160,12 @@ func TestReduceGuardedDropBeyondBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	guards := make([]Guard, n)
-	for i := range guards {
-		guards[i].Policy = fastPolicy
+	opts := make([]Options, n)
+	for i := range opts {
+		opts[i].Guard = true
+		opts[i].Policy = fastPolicy
 	}
-	guards[1].SendDrops = 100 // 100 retransmit timeouts ≫ any hop budget
+	opts[1].SendDrops = 100 // 100 retransmit timeouts ≫ any hop budget
 	errs := make([]error, n)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -173,7 +174,7 @@ func TestReduceGuardedDropBeyondBudget(t *testing.T) {
 		go func(rank int) {
 			defer wg.Done()
 			seg := make([]float64, dim)
-			errs[rank] = ring.ReduceGuarded(rank, seg, guards[rank])
+			errs[rank] = ring.ReduceWith(rank, seg, opts[rank])
 		}(rank)
 	}
 	go func() { wg.Wait(); close(done) }()

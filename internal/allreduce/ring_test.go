@@ -58,7 +58,10 @@ func TestRingStreamingMatchesAllReduceBuckets(t *testing.T) {
 					if end > tc.dim {
 						end = tc.dim
 					}
-					ring.Reduce(rank, v[k*tc.bucketLen:end])
+					if err := ring.ReduceWith(rank, v[k*tc.bucketLen:end], Options{}); err != nil {
+						t.Error(err)
+						return
+					}
 				}
 			}(rank)
 		}

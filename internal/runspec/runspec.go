@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -102,11 +103,22 @@ func Load(path string) (*Spec, error) {
 		return nil, fmt.Errorf("runspec: %w", err)
 	}
 	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("runspec: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Decode reads a Spec from JSON on r with exactly Load's semantics — the
+// defaults as the base, unknown fields rejected — so an HTTP request body
+// and a -spec file parse identically.
+func Decode(r io.Reader) (*Spec, error) {
 	s := Default()
-	dec := json.NewDecoder(f)
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(s); err != nil {
-		return nil, fmt.Errorf("runspec: %s: %w", path, err)
+		return nil, fmt.Errorf("decode spec: %w", err)
 	}
 	return s, nil
 }

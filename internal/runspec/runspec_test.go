@@ -1,10 +1,13 @@
 package runspec
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -188,4 +191,55 @@ func TestResolveMissingFile(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestDecodeAppliesDefaults: a sparse request body inherits every default,
+// exactly as a sparse -spec file would.
+func TestDecodeDefaultsAndStrictness(t *testing.T) {
+	got, err := Decode(strings.NewReader(`{"mlp": true, "seed": 9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Default()
+	want.MLP = true
+	want.Seed = 9
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Decode sparse body:\n got %+v\nwant %+v", got, want)
+	}
+
+	if _, err := Decode(strings.NewReader(`{"mlp": true, "sede": 9}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	} else if !strings.Contains(err.Error(), "decode spec") {
+		t.Fatalf("unknown-field error %q not wrapped as decode spec", err)
+	}
+	if _, err := Decode(strings.NewReader(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestDecodeFullSpecRoundTrip pins the server submission contract at the
+// package level: marshaling a maximal Spec (fault events included) and
+// decoding it back is field-identical, so an HTTP body and the spec the
+// scheduler echoes can be compared with DeepEqual.
+func TestDecodeFullSpecRoundTrip(t *testing.T) {
+	want := fullSpec()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Decode round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// The fault mini-DSL survives a trip through its own text form too.
+	back, err := ParseFaults(FormatFaults(want.Faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, want.Faults) {
+		t.Fatalf("fault DSL round trip: %+v != %+v", back, want.Faults)
+	}
 }

@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	gort "runtime"
+	"testing"
+	"time"
+)
+
+// TestCancelDuringLiveEpoch is the regression test for mid-epoch
+// cancellation: a context canceled from inside the OnEpoch hook — i.e.
+// while a live epoch is in flight, after steps have committed — must abort
+// the run with the context's error in the chain, even when the hook fired
+// on the final epoch (which a boundary-only check would silently complete),
+// and must leave no worker goroutine behind.
+func TestCancelDuringLiveEpoch(t *testing.T) {
+	for _, backend := range []string{BackendSim, BackendLive} {
+		for _, cancelEpoch := range []int{0, 2} { // mid-run and final epoch
+			t.Run(fmt.Sprintf("%s/epoch%d", backend, cancelEpoch), func(t *testing.T) {
+				before := gort.NumGoroutine()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				cfg := testConfig(t, 11, []int{8, 4, 2}, 280)
+				cfg.Backend = backend
+				cfg.Ctx = ctx
+				epochsSeen := 0
+				cfg.OnEpoch = func(e EpochObs) error {
+					epochsSeen++
+					if e.Epoch == cancelEpoch {
+						cancel()
+					}
+					return nil
+				}
+				res, err := Train(cfg)
+				if err == nil {
+					t.Fatalf("canceled run reported success: %+v", res)
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("error chain lacks context.Canceled: %v", err)
+				}
+				if epochsSeen != cancelEpoch+1 {
+					t.Fatalf("hook saw %d epochs, want %d", epochsSeen, cancelEpoch+1)
+				}
+				waitGoroutines(t, before)
+			})
+		}
+	}
+}
+
+// TestCancelBetweenSteps cancels from outside while steps are running: the
+// live engine must notice at the next step boundary and join its workers.
+func TestCancelBetweenSteps(t *testing.T) {
+	before := gort.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := testConfig(t, 12, []int{4, 4}, 400)
+	cfg.Backend = BackendLive
+	cfg.Epochs = 50 // long enough that cancellation lands mid-run
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	cfg.Ctx = ctx
+	_, err := Train(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled in chain", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestOnEpochErrorAborts: a hook error aborts the run wrapped, without a
+// context in play.
+func TestOnEpochErrorAborts(t *testing.T) {
+	sentinel := errors.New("stop here")
+	cfg := testConfig(t, 13, []int{8}, 128)
+	cfg.OnEpoch = func(e EpochObs) error {
+		if e.Epoch == 1 {
+			return sentinel
+		}
+		return nil
+	}
+	_, err := Train(cfg)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel in chain", err)
+	}
+}
+
+// TestOnEpochStreamsObservations: the hook sees every epoch in order with
+// the same values the result records.
+func TestOnEpochStreamsObservations(t *testing.T) {
+	cfg := testConfig(t, 14, []int{8, 4}, 240)
+	var seen []EpochObs
+	cfg.OnEpoch = func(e EpochObs) error {
+		seen = append(seen, e)
+		return nil
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != cfg.Epochs {
+		t.Fatalf("hook saw %d epochs, want %d", len(seen), cfg.Epochs)
+	}
+	for i, e := range seen {
+		if e.Epoch != i || e.Workers != 2 {
+			t.Fatalf("epoch %d obs out of order: %+v", i, e)
+		}
+		if e.Loss != res.EpochLoss[i] || e.Accuracy != res.EpochAccuracy[i] || e.Noise != res.NoiseEstimate[i] {
+			t.Fatalf("epoch %d obs diverge from result: %+v", i, e)
+		}
+		if e.GlobalBatch != res.BatchSchedule[i] || e.LearningRate != res.LRSchedule[i] {
+			t.Fatalf("epoch %d schedule diverges: %+v", i, e)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing the test if worker goroutines leaked.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		// Allow slack for test-runner goroutines unrelated to the run.
+		if n := gort.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := gort.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", gort.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

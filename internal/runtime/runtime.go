@@ -34,6 +34,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -122,6 +123,35 @@ type Config struct {
 	// Fault, when set, enables deterministic fault injection and the
 	// fault-tolerance machinery (live backend only).
 	Fault *FaultConfig
+	// Ctx, when set, is checked at every step and epoch boundary: a
+	// canceled context aborts the run with the context's error wrapped
+	// (test with errors.Is). Cancellation never corrupts state — the run
+	// stops between committed steps and all worker goroutines are joined
+	// before Train returns.
+	Ctx context.Context
+	// OnEpoch, when set, is called after each completed epoch's full-dataset
+	// evaluation with that epoch's observations. Returning an error aborts
+	// the run with the error wrapped. The hook runs on the driver goroutine
+	// between steps, so it observes a fully synchronized model; it must not
+	// mutate the run.
+	OnEpoch func(EpochObs) error
+}
+
+// EpochObs is one completed epoch's observations, streamed through
+// Config.OnEpoch.
+type EpochObs struct {
+	// Epoch is the absolute epoch index; Workers the live worker count
+	// (shrinks after evictions).
+	Epoch   int
+	Workers int
+	// GlobalBatch and LearningRate are the values the epoch trained with.
+	GlobalBatch  int
+	LearningRate float64
+	// Loss and Accuracy are measured on the full dataset after the epoch;
+	// Noise is the smoothed heterogeneous GNS estimate.
+	Loss, Accuracy, Noise float64
+	// Steps is the cumulative committed step count at epoch end.
+	Steps int
 }
 
 func (c *Config) validate() error {
@@ -407,6 +437,12 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 			stepsPerEpoch = 1
 		}
 		for s := 0; s < stepsPerEpoch; s++ {
+			// The cancellation point sits between committed steps, so an
+			// abort mid-epoch never leaves a partially applied update; the
+			// deferred exec.close() joins every worker goroutine.
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return nil, fmt.Errorf("runtime: canceled at epoch %d step %d: %w", epoch, res.Steps, err)
+			}
 			xs, labels, err := loader.NextGlobalBatch(localBatches)
 			if err != nil {
 				return nil, err
@@ -476,11 +512,32 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 		}
 		logits := exec.network().Forward(fullX)
 		loss, _ := nn.SoftmaxCrossEntropy(logits, fullLabels)
+		acc := nn.Accuracy(logits, fullLabels)
 		res.EpochLoss = append(res.EpochLoss, loss)
-		res.EpochAccuracy = append(res.EpochAccuracy, nn.Accuracy(logits, fullLabels))
+		res.EpochAccuracy = append(res.EpochAccuracy, acc)
 		res.NoiseEstimate = append(res.NoiseEstimate, tracker.Noise())
 		res.BatchSchedule = append(res.BatchSchedule, globalBatch)
 		res.LRSchedule = append(res.LRSchedule, lr)
+		if cfg.OnEpoch != nil {
+			if err := cfg.OnEpoch(EpochObs{
+				Epoch:        epoch,
+				Workers:      nWorkers,
+				GlobalBatch:  globalBatch,
+				LearningRate: lr,
+				Loss:         loss,
+				Accuracy:     acc,
+				Noise:        tracker.Noise(),
+				Steps:        res.Steps,
+			}); err != nil {
+				return nil, fmt.Errorf("runtime: epoch %d hook: %w", epoch, err)
+			}
+		}
+		// A context canceled inside the hook (or during evaluation) must
+		// surface now, not on the next epoch's first step — and must surface
+		// even when this was the final epoch.
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return nil, fmt.Errorf("runtime: canceled at epoch %d step %d: %w", epoch, res.Steps, err)
+		}
 	}
 	res.FinalAccuracy = res.EpochAccuracy[len(res.EpochAccuracy)-1]
 
@@ -567,6 +624,14 @@ func evict(cfg *Config, inc *incarnation, res *Result, le *liveExec, fail *stepF
 		epochBase:    epoch,
 		origIdx:      origIdx,
 	}, nil
+}
+
+// ctxErr reports the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func identity(n int) []int {

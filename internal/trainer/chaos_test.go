@@ -22,6 +22,67 @@ func TestRunContextCanceled(t *testing.T) {
 	}
 }
 
+// TestRunContextCanceledMidEpoch is the regression test for mid-epoch
+// cancellation: a context canceled from inside the OnEpoch hook — i.e.
+// while the run is live, between epoch boundaries — must abort with the
+// context's error in the chain even when it is the FINAL epoch, where the
+// old boundary-only check would let the run report success.
+func TestRunContextCanceledMidEpoch(t *testing.T) {
+	const maxEpochs = 4
+	for _, cancelAt := range []int{1, maxEpochs - 1} {
+		ctx, cancel := context.WithCancel(context.Background())
+		res, err := RunContext(ctx, Config{
+			Cluster:   mustCluster(t, "a", 7),
+			Workload:  mustWorkload(t, "cifar10"),
+			System:    NewDDP(),
+			Seed:      7,
+			MaxEpochs: maxEpochs,
+			OnEpoch: func(s EpochStats) error {
+				if s.Epoch == cancelAt {
+					cancel()
+				}
+				return nil
+			},
+		})
+		cancel()
+		if err == nil {
+			t.Fatalf("cancel at epoch %d: run reported success: %+v", cancelAt, res)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel at epoch %d: error chain lacks context.Canceled: %v", cancelAt, err)
+		}
+	}
+}
+
+// TestHetPipeCanceledMidEpoch mirrors the mid-epoch rule for the pipeline
+// trainer, including on its final epoch.
+func TestHetPipeCanceledMidEpoch(t *testing.T) {
+	env, err := NewEnv(mustCluster(t, "a", 15), mustWorkload(t, "cifar10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxEpochs = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := NewHetPipe()
+	res, err := h.RunContext(ctx, env, PipeOpts{
+		Seed:      15,
+		MaxEpochs: maxEpochs,
+		OnEpoch: func(s EpochStats) error {
+			if s.Epoch == maxEpochs-1 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatalf("canceled hetpipe run reported success: %+v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error chain lacks context.Canceled: %v", err)
+	}
+}
+
 func TestOnEpochStreamsInOrder(t *testing.T) {
 	var seen []int
 	res, err := Run(Config{

@@ -212,6 +212,12 @@ func (h *HetPipe) RunContext(ctx context.Context, env *Env, opt PipeOpts) (*Resu
 				return nil, fmt.Errorf("hetpipe: epoch %d: %w", epoch, err)
 			}
 		}
+		// Mirror the trainer's mid-epoch rule: a cancellation that lands
+		// inside the hook or during the epoch aborts before the run can
+		// complete successfully.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hetpipe: canceled at epoch %d: %w", epoch, err)
+		}
 	}
 	res.Converged = state.Done()
 	res.TotalTime = simTime

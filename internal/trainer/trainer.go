@@ -386,6 +386,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		var timeSum float64
 		done := false
 		for logical := 0; logical < logicalSteps && !done; logical += stride {
+			// Cancellation must also surface mid-epoch — a long epoch (many
+			// simulated steps) or a final epoch would otherwise swallow it.
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("trainer: %s canceled at epoch %d: %w", cfg.System.Name(), epoch, err)
+			}
 			step, err := cfg.Cluster.Step(cfg.Workload.Profile, plan.Local)
 			if err != nil {
 				return nil, fmt.Errorf("trainer: %s epoch %d: %w", cfg.System.Name(), epoch, err)
@@ -435,6 +440,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if err := cfg.OnEpoch(stats); err != nil {
 				return nil, fmt.Errorf("trainer: %s epoch %d: %w", cfg.System.Name(), epoch, err)
 			}
+		}
+		// A context canceled inside the hook (or while the epoch simulated)
+		// must abort now, even when this was the final epoch: a canceled run
+		// never reports success.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("trainer: %s canceled at epoch %d: %w", cfg.System.Name(), epoch, err)
 		}
 	}
 	res.Converged = state.Done()

@@ -1,6 +1,7 @@
 package cannikin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -74,6 +75,28 @@ type MLPConfig struct {
 	// Fault enables deterministic fault injection and fault tolerance
 	// (live backend only).
 	Fault *FaultConfig
+	// OnEpoch, when set, streams each completed epoch's observations in
+	// order, from the driver goroutine. Returning an error aborts the run
+	// with that error wrapped. The hook never changes the trained weights:
+	// it observes the fully synchronized model between steps.
+	OnEpoch func(MLPEpoch) error
+}
+
+// MLPEpoch is one completed epoch of a real training run, streamed through
+// MLPConfig.OnEpoch.
+type MLPEpoch struct {
+	// Epoch is the epoch index; Workers the live replica count (shrinks
+	// after an eviction).
+	Epoch   int
+	Workers int
+	// GlobalBatch and LearningRate are the values the epoch trained with.
+	GlobalBatch  int
+	LearningRate float64
+	// Loss and Accuracy are measured on the full dataset after the epoch;
+	// Noise is the smoothed heterogeneous GNS estimate.
+	Loss, Accuracy, Noise float64
+	// Steps is the cumulative committed step count at epoch end.
+	Steps int
 }
 
 func (c *MLPConfig) defaults() error {
@@ -194,13 +217,27 @@ type MLPProfile struct {
 // The default "sim" backend executes workers sequentially; Backend "live"
 // executes them concurrently with overlapped communication and returns a
 // measured Profile. The trained weights are bitwise identical either way.
+//
+// TrainMLP is TrainMLPContext with a background context.
 func TrainMLP(cfg MLPConfig) (*MLPResult, error) {
+	return TrainMLPContext(context.Background(), cfg)
+}
+
+// TrainMLPContext is TrainMLP with cancellation: ctx is checked at every
+// step and epoch boundary, and a canceled context aborts the run with the
+// context's error wrapped (test with errors.Is). Cancellation is clean —
+// the run stops between committed steps and every worker goroutine is
+// joined before the call returns.
+func TrainMLPContext(ctx context.Context, cfg MLPConfig) (*MLPResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
 	rc, err := cfg.lowerRuntime()
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil && ctx != context.Background() {
+		rc.Ctx = ctx
 	}
 	if cfg.Fault != nil {
 		if rc.Fault, err = cfg.Fault.lower(len(cfg.LocalBatches), cfg.Seed); err != nil {
@@ -239,7 +276,7 @@ func (cfg *MLPConfig) lowerRuntime() (*runtime.Config, error) {
 	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
 	sizes = append(sizes, cfg.Classes)
 
-	return &runtime.Config{
+	rc := &runtime.Config{
 		Backend:      cfg.Backend,
 		LocalBatches: cfg.LocalBatches,
 		Sizes:        sizes,
@@ -255,7 +292,23 @@ func (cfg *MLPConfig) lowerRuntime() (*runtime.Config, error) {
 		Dataset:      ds,
 		Src:          src,
 		InitWeights:  cfg.InitWeights,
-	}, nil
+	}
+	if cfg.OnEpoch != nil {
+		hook := cfg.OnEpoch
+		rc.OnEpoch = func(e runtime.EpochObs) error {
+			return hook(MLPEpoch{
+				Epoch:        e.Epoch,
+				Workers:      e.Workers,
+				GlobalBatch:  e.GlobalBatch,
+				LearningRate: e.LearningRate,
+				Loss:         e.Loss,
+				Accuracy:     e.Accuracy,
+				Noise:        e.Noise,
+				Steps:        e.Steps,
+			})
+		}
+	}
+	return rc, nil
 }
 
 // mlpResultOf converts the internal result to the public one.

@@ -77,6 +77,32 @@ go tool pprof -top "$BIN/bench.test" "$BIN/cpu.pprof" | grep -q 'flat' \
 echo "== fault-tolerance smoke: injected kill evicts and the run completes =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 8,8,8 -bucket-bytes 1024 -fault kill:1@6 >/dev/null
 
+echo "== server lane: multi-tenant scheduler + HTTP service under -race =="
+go test -race -count=1 ./internal/jobs ./internal/server
+
+echo "== server smoke: submit/stream/cancel over localhost, then drain =="
+go build -o "$BIN/cannikin-serve" ./cmd/cannikin-serve
+go build -o "$BIN/cannikin-loadtest" ./cmd/cannikin-loadtest
+"$BIN/cannikin-serve" -addr 127.0.0.1:0 -devices 6 > "$BIN/serve.log" 2>&1 &
+SRV_PID=$!
+i=0
+SRV_ADDR=""
+while [ "$i" -lt 100 ]; do
+	SRV_ADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$BIN/serve.log")
+	[ -n "$SRV_ADDR" ] && break
+	i=$((i+1)); sleep 0.1
+done
+[ -n "$SRV_ADDR" ] || { echo "cannikin-serve never listened" >&2; cat "$BIN/serve.log" >&2; exit 1; }
+# Submit 3 concurrent jobs, stream one's epochs to completion, cancel one.
+"$BIN/cannikin-loadtest" -url "http://$SRV_ADDR" -jobs 3
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "cannikin-serve exited non-zero" >&2; cat "$BIN/serve.log" >&2; exit 1; }
+grep -q "drained cleanly" "$BIN/serve.log" \
+	|| { echo "cannikin-serve did not drain cleanly" >&2; cat "$BIN/serve.log" >&2; exit 1; }
+
+echo "== load-test smoke: 120 concurrent jobs, goodput vs equal-split =="
+"$BIN/cannikin-loadtest" -jobs 120 -devices 12 -timeout 2m
+
 echo "== audited fuzz smoke: optperf FuzzSolve =="
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/optperf
 

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Load-test the multi-tenant training service: submit hundreds of
+# concurrent short jobs against a seeded heterogeneous device pool under
+# both allocator policies, record admission latency / queue depth /
+# aggregate goodput, and fail unless every job settles, no goroutines
+# leak, and the goodput allocator's granted goodput is at least the
+# equal-split baseline priced at the same decision points.
+#
+# Usage: scripts/loadtest.sh [extra cannikin-loadtest flags...]
+# Examples:
+#   scripts/loadtest.sh                       # 200 synthetic jobs, 12 devices
+#   scripts/loadtest.sh -jobs 500 -devices 24
+#   scripts/loadtest.sh -real -jobs 40        # real MLP training jobs
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/cannikin-loadtest "$@"
