@@ -325,31 +325,42 @@ func BenchmarkTrainCannikinClusterB(b *testing.B) {
 
 // --- Live execution runtime benchmarks -------------------------------------
 
-// BenchmarkAllReduce measures the ring all-reduce across worker counts and
-// gradient sizes.
+// BenchmarkAllReduce measures the collective across worker counts, gradient
+// sizes, and algorithms. Sub-benchmark names are n<N>/dim<D>/<algorithm>;
+// every algorithm runs at the latency-bound dim=1024 (where hd's log-round
+// schedule should win), while the bandwidth-bound dims compare ring against
+// the chunk-pipelined ring and the selector's auto choice — hd's concurrent
+// large-payload path is not a contender there and is skipped to keep the
+// sweep's wall-clock bounded.
 func BenchmarkAllReduce(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {
 		for _, dim := range []int{1 << 10, 1 << 16, 1 << 20} {
-			b.Run(fmt.Sprintf("n%d/dim%d", n, dim), func(b *testing.B) {
-				vectors := make([][]float64, n)
-				for i := range vectors {
-					vectors[i] = make([]float64, dim)
-					for j := range vectors[i] {
-						vectors[i][j] = float64(i + j)
+			algos := []allreduce.Algorithm{allreduce.AlgoRing, allreduce.AlgoHD, allreduce.AlgoPipeline, allreduce.AlgoAuto}
+			if dim > 1<<10 {
+				algos = []allreduce.Algorithm{allreduce.AlgoRing, allreduce.AlgoPipeline, allreduce.AlgoAuto}
+			}
+			for _, alg := range algos {
+				b.Run(fmt.Sprintf("n%d/dim%d/%s", n, dim, alg), func(b *testing.B) {
+					vectors := make([][]float64, n)
+					for i := range vectors {
+						vectors[i] = make([]float64, dim)
+						for j := range vectors[i] {
+							vectors[i][j] = float64(i + j)
+						}
 					}
-				}
-				weights := make([]float64, n)
-				for i := range weights {
-					weights[i] = 1 / float64(n)
-				}
-				b.SetBytes(int64(8 * dim))
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := allreduce.AllReduce(vectors, weights); err != nil {
-						b.Fatal(err)
+					weights := make([]float64, n)
+					for i := range weights {
+						weights[i] = 1 / float64(n)
 					}
-				}
-			})
+					b.SetBytes(int64(8 * dim))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := allreduce.AllReduceAlg(vectors, weights, alg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }
@@ -408,14 +419,15 @@ func benchTCPRings(b *testing.B, n int, delay time.Duration) ([]*allreduce.Ring,
 	return rings, stats, teardown
 }
 
-// BenchmarkRingTransport measures one bucketless ring reduce across the
-// pluggable transports: the in-process channel ring, TCP over loopback
-// with batching off, and TCP with adaptive send-side batching. TCP rows
-// additionally report the wire cost (bytes per ring hop) and the achieved
-// coalescing factor (ring hops per network write).
+// BenchmarkRingTransport measures one bucketless reduce across the
+// pluggable transports: the in-process channel ring (under each collective
+// algorithm), TCP over loopback with batching off, and TCP with adaptive
+// send-side batching. TCP rows additionally report the wire cost (bytes per
+// ring hop) and the achieved coalescing factor (ring hops per network
+// write).
 func BenchmarkRingTransport(b *testing.B) {
 	const n, dim = 4, 1 << 16
-	run := func(b *testing.B, rings []*allreduce.Ring, stats func() allreduce.TCPStats) {
+	run := func(b *testing.B, rings []*allreduce.Ring, opts allreduce.Options, stats func() allreduce.TCPStats) {
 		segs := make([][]float64, n)
 		for i := range segs {
 			segs[i] = make([]float64, dim)
@@ -435,7 +447,7 @@ func BenchmarkRingTransport(b *testing.B) {
 				wg.Add(1)
 				go func(r int) {
 					defer wg.Done()
-					if err := rings[r].ReduceWith(r, segs[r], allreduce.Options{}); err != nil {
+					if err := rings[r].ReduceWith(r, segs[r], opts); err != nil {
 						b.Error(err)
 					}
 				}(r)
@@ -451,7 +463,7 @@ func BenchmarkRingTransport(b *testing.B) {
 			}
 		}
 	}
-	b.Run("chan", func(b *testing.B) {
+	chanRings := func(b *testing.B) []*allreduce.Ring {
 		ring, err := allreduce.NewRing(n, 4)
 		if err != nil {
 			b.Fatal(err)
@@ -460,17 +472,26 @@ func BenchmarkRingTransport(b *testing.B) {
 		for r := range rings {
 			rings[r] = ring
 		}
-		run(b, rings, nil)
+		return rings
+	}
+	b.Run("chan", func(b *testing.B) {
+		run(b, chanRings(b), allreduce.Options{}, nil)
+	})
+	b.Run("chan-hd", func(b *testing.B) {
+		run(b, chanRings(b), allreduce.Options{Algorithm: allreduce.AlgoHD}, nil)
+	})
+	b.Run("chan-pipeline", func(b *testing.B) {
+		run(b, chanRings(b), allreduce.Options{Algorithm: allreduce.AlgoPipeline}, nil)
 	})
 	b.Run("tcp", func(b *testing.B) {
 		rings, stats, teardown := benchTCPRings(b, n, 0)
 		defer teardown()
-		run(b, rings, stats)
+		run(b, rings, allreduce.Options{}, stats)
 	})
 	b.Run("tcp-batch", func(b *testing.B) {
 		rings, stats, teardown := benchTCPRings(b, n, allreduce.BatchAuto)
 		defer teardown()
-		run(b, rings, stats)
+		run(b, rings, allreduce.Options{}, stats)
 	})
 }
 

@@ -68,6 +68,9 @@ func run(args []string, w io.Writer) error {
 		Seed:         spec.Seed,
 		BucketBytes:  spec.BucketBytes,
 		KernelShards: spec.KernelShards,
+		Allreduce:    spec.Allreduce,
+		LinkAlpha:    spec.LinkAlpha,
+		LinkBeta:     spec.LinkBeta,
 	}
 	if spec.Epochs > 0 {
 		cfg.Epochs = spec.Epochs

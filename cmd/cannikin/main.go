@@ -152,6 +152,9 @@ func mlpConfigOf(spec *runspec.Spec) cannikin.MLPConfig {
 		Seed:         spec.Seed,
 		BucketBytes:  spec.BucketBytes,
 		KernelShards: spec.KernelShards,
+		Allreduce:    spec.Allreduce,
+		LinkAlpha:    spec.LinkAlpha,
+		LinkBeta:     spec.LinkBeta,
 		Fault:        faultsToConfig(spec.Faults, spec.FaultReplan),
 	}
 	if spec.Epochs > 0 {

@@ -1,0 +1,572 @@
+package allreduce
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// inlineReference applies algo's sequential reference arithmetic: the
+// bitwise oracle every distributed schedule must reproduce. The pipelined
+// ring's association is the plain ring's, so it shares the ring oracle —
+// the strongest form of its determinism claim.
+func inlineReference(algo Algorithm, vectors [][]float64) {
+	switch algo {
+	case AlgoHD:
+		hdReduceInline(vectors)
+	default:
+		ringReduceInline(vectors)
+	}
+}
+
+// reduceAllAlg drives one reduce through every rank under the given
+// algorithm and returns each rank's error.
+func reduceAllAlg(set ringSet, segs [][]float64, algo Algorithm, guard bool) []error {
+	n := len(segs)
+	opts := make([]Options, n)
+	for i := range opts {
+		opts[i] = Options{Algorithm: algo, Guard: guard}
+	}
+	return reduceAll(set, segs, opts)
+}
+
+func assertBitwise(t *testing.T, label string, got, want [][]float64) {
+	t.Helper()
+	for i := range got {
+		for j := range got[i] {
+			gb, wb := math.Float64bits(got[i][j]), math.Float64bits(want[i][j])
+			if gb != wb {
+				t.Fatalf("%s: vector %d element %d: got %#x want %#x", label, i, j, gb, wb)
+			}
+		}
+	}
+}
+
+// TestAlgorithmChanBitwise pins every distributed algorithm to its inline
+// sequential reference, bit for bit, across ring sizes (power-of-two and
+// folded), dims (empty chunks, odd splits, multi-chunk), and guard modes,
+// on the channel transport.
+func TestAlgorithmChanBitwise(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	for _, algo := range []Algorithm{AlgoHD, AlgoPipeline} {
+		for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 9} {
+			for _, dim := range []int{1, 3, 8, 17, 64, 257} {
+				for _, guard := range []bool{false, true} {
+					vs := randomVectors(rng, n, dim)
+					want := cloneVectors(vs)
+					inlineReference(algo, want)
+					got := cloneVectors(vs)
+					set := buildChanSet(t, n)
+					for rank, err := range reduceAllAlg(set, got, algo, guard) {
+						if err != nil {
+							t.Fatalf("%s n=%d dim=%d guard=%v rank %d: %v", algo, n, dim, guard, rank, err)
+						}
+					}
+					set.close()
+					assertBitwise(t, string(algo), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAlgorithmTCPBitwise proves transport independence for the new
+// schedules: TCP rings — immediate, delayed, and adaptive batching — must
+// match the same inline references bit for bit, peer links included.
+func TestAlgorithmTCPBitwise(t *testing.T) {
+	t.Parallel()
+	for _, tc := range transportCases()[1:] {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(29))
+			for _, algo := range []Algorithm{AlgoHD, AlgoPipeline} {
+				for _, n := range []int{2, 3, 5} {
+					for _, dim := range []int{17, 257} {
+						for _, guard := range []bool{false, true} {
+							vs := randomVectors(rng, n, dim)
+							want := cloneVectors(vs)
+							inlineReference(algo, want)
+							got := cloneVectors(vs)
+							set := tc.build(t, n)
+							for rank, err := range reduceAllAlg(set, got, algo, guard) {
+								if err != nil {
+									t.Fatalf("%s n=%d dim=%d guard=%v rank %d: %v", algo, n, dim, guard, rank, err)
+								}
+							}
+							set.close()
+							assertBitwise(t, string(algo), got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlgorithmPropertyBuckets is the property sweep: random ring sizes,
+// dims, bucket partitions, algorithms (auto included), and guard modes on
+// the channel transport, each checked bitwise against the per-bucket
+// inline reference under the same per-bucket auto resolution ReduceWith
+// performs.
+func TestAlgorithmPropertyBuckets(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(31))
+	algos := []Algorithm{AlgoRing, AlgoHD, AlgoPipeline, AlgoAuto}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		dim := rng.Intn(401)
+		bucketLen := 1 + rng.Intn(dim+1)
+		algo := algos[rng.Intn(len(algos))]
+		guard := rng.Intn(2) == 0
+
+		vs := randomVectors(rng, n, dim)
+		want := cloneVectors(vs)
+		for start := 0; start < dim; start += bucketLen {
+			end := start + bucketLen
+			if end > dim {
+				end = dim
+			}
+			views := make([][]float64, n)
+			for i := range views {
+				views[i] = want[i][start:end]
+			}
+			inlineReference((Selector{}).Resolve(algo, n, end-start), views)
+		}
+
+		got := cloneVectors(vs)
+		set := buildChanSet(t, n)
+		for start := 0; start < dim; start += bucketLen {
+			end := start + bucketLen
+			if end > dim {
+				end = dim
+			}
+			views := make([][]float64, n)
+			for i := range views {
+				views[i] = got[i][start:end]
+			}
+			for rank, err := range reduceAllAlg(set, views, algo, guard) {
+				if err != nil {
+					t.Fatalf("trial %d (%s n=%d dim=%d bucket=%d): rank %d: %v",
+						trial, algo, n, dim, bucketLen, rank, err)
+				}
+			}
+		}
+		set.close()
+		assertBitwise(t, string(algo), got, want)
+	}
+}
+
+// TestAllReduceAlgStrategies pins the in-process helper across its
+// execution-strategy boundary: inline small payloads and concurrent large
+// ones must both reproduce the algorithm's inline reference bitwise —
+// execution strategy is framing, never arithmetic.
+func TestAllReduceAlgStrategies(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(37))
+	cases := []struct {
+		algo Algorithm
+		dim  int
+	}{
+		{AlgoHD, 100},       // inline (≤ hdSmallBytes)
+		{AlgoHD, 20000},     // concurrent fan-out (160 KB)
+		{AlgoPipeline, 100}, // always inline
+		{AlgoPipeline, 20000},
+		{AlgoAuto, 100},   // resolves hd
+		{AlgoAuto, 20000}, // resolves pipeline
+	}
+	for _, c := range cases {
+		n := 4
+		vs := randomVectors(rng, n, c.dim)
+		resolved := (Selector{}).Resolve(c.algo, n, c.dim)
+		want := cloneVectors(vs)
+		for i := range want {
+			for j := range want[i] {
+				want[i][j] *= 1 / float64(n)
+			}
+		}
+		inlineReference(resolved, want)
+
+		got := cloneVectors(vs)
+		if err := AllReduceAlg(got, nil, c.algo); err != nil {
+			t.Fatalf("%s dim=%d: %v", c.algo, c.dim, err)
+		}
+		assertBitwise(t, string(c.algo), got, want)
+
+		// The bucketed helper with one full-length bucket must agree too.
+		got2 := cloneVectors(vs)
+		if err := AllReduceBucketsAlg(got2, nil, c.dim, c.algo); err != nil {
+			t.Fatalf("%s dim=%d buckets: %v", c.algo, c.dim, err)
+		}
+		assertBitwise(t, string(c.algo)+"/buckets", got2, got)
+	}
+}
+
+// TestSelector covers the pricing and resolution rules: threshold fallback,
+// fitted argmin, degenerate sizes, and name parsing.
+func TestSelector(t *testing.T) {
+	t.Parallel()
+	var zero Selector
+	if zero.Fitted() {
+		t.Fatal("zero selector claims a fit")
+	}
+	if got := zero.Pick(8, 1024); got != AlgoHD { // 8 KB ≤ hdSmallBytes
+		t.Fatalf("small payload: picked %s, want hd", got)
+	}
+	if got := zero.Pick(8, 1<<20); got != AlgoPipeline { // 8 MB
+		t.Fatalf("large payload: picked %s, want pipeline", got)
+	}
+	if got := zero.Pick(1, 1024); got != AlgoRing {
+		t.Fatalf("n=1: picked %s, want ring", got)
+	}
+	if got := zero.Resolve("", 4, 100); got != AlgoRing {
+		t.Fatalf("zero algorithm resolved to %s", got)
+	}
+	if got := zero.Resolve(AlgoHD, 4, 1<<20); got != AlgoHD {
+		t.Fatalf("explicit hd resolved to %s", got)
+	}
+
+	// A fitted selector must return the cost argmin, whatever it is.
+	fit := Selector{Alpha: 2e-6, Beta: 1e-10}
+	if !fit.Fitted() {
+		t.Fatal("fitted selector not recognized")
+	}
+	for _, dim := range []int{64, 4096, 1 << 18, 1 << 21} {
+		n := 8
+		want, wantCost := AlgoRing, fit.Cost(AlgoRing, n, dim)
+		for _, a := range []Algorithm{AlgoHD, AlgoPipeline} {
+			if c := fit.Cost(a, n, dim); c < wantCost {
+				want, wantCost = a, c
+			}
+		}
+		if got := fit.Pick(n, dim); got != want {
+			t.Fatalf("dim=%d: picked %s, argmin is %s", dim, got, want)
+		}
+	}
+	// With latency dominating, log-round hd must beat the ring for small
+	// payloads; with bandwidth dominating, the pipelined ring must win big
+	// payloads (its per-byte term matches the ring's, minus serialization).
+	lat := Selector{Alpha: 1e-5, Beta: 1e-12}
+	if got := lat.Pick(8, 1024); got != AlgoHD {
+		t.Fatalf("latency-bound: picked %s, want hd", got)
+	}
+	bw := Selector{Alpha: 1e-7, Beta: 1e-9}
+	if got := bw.Pick(8, 1<<20); got != AlgoPipeline {
+		t.Fatalf("bandwidth-bound: picked %s, want pipeline", got)
+	}
+
+	for _, c := range []struct {
+		in   string
+		want Algorithm
+		ok   bool
+	}{
+		{"", AlgoRing, true},
+		{"ring", AlgoRing, true},
+		{"hd", AlgoHD, true},
+		{"pipeline", AlgoPipeline, true},
+		{"auto", AlgoAuto, true},
+		{"tree", "", false},
+	} {
+		got, err := ParseAlgorithm(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// TestHDGuardBlame: a silent halving-doubling partner must surface as a
+// *RingFault suspecting that partner (not a ring neighbor), unwrapping to
+// ErrHopTimeout — on both transports.
+func TestHDGuardBlame(t *testing.T) {
+	t.Parallel()
+	fast := RetryPolicy{HopTimeout: 10 * time.Millisecond, Retries: 2, Backoff: 2, MaxTimeout: 50 * time.Millisecond}
+	for _, tc := range transportCases()[:2] { // chan + plain tcp
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			const n, dim, silent = 2, 8, 1
+			set := tc.build(t, n)
+			defer set.close()
+			segs, _ := makeSegs(n, dim)
+			err := set.rings[0].ReduceWith(0, segs[0], Options{Algorithm: AlgoHD, Guard: true, Policy: fast})
+			if err == nil {
+				t.Fatal("reduce succeeded with a silent partner")
+			}
+			var fault *RingFault
+			if !errors.As(err, &fault) {
+				t.Fatalf("error %v is not a *RingFault", err)
+			}
+			if fault.Rank != 0 || fault.Suspect != silent || fault.Op != "recv" {
+				t.Fatalf("fault = %+v, want recv fault suspecting rank %d", fault, silent)
+			}
+			if !errors.Is(err, ErrHopTimeout) {
+				t.Fatalf("fault does not unwrap to ErrHopTimeout: %v", err)
+			}
+		})
+	}
+}
+
+// TestTCPHDBrokenPeerLink: once a peer link is established, tearing the
+// partner's transport down mid-run must fail the next hd reduce with a
+// transport-cause fault (not a bare timeout) — breakage and starvation
+// stay distinguishable on peer links exactly as on ring links.
+func TestTCPHDBrokenPeerLink(t *testing.T) {
+	t.Parallel()
+	const n, dim, victim = 2, 16, 1
+	fast := RetryPolicy{HopTimeout: 10 * time.Millisecond, Retries: 2, Backoff: 2, MaxTimeout: 50 * time.Millisecond}
+	set := buildTCPSet(t, n, 0)
+	defer set.close()
+	segs, _ := makeSegs(n, dim)
+	for rank, err := range reduceAllAlg(set, segs, AlgoHD, false) {
+		if err != nil {
+			t.Fatalf("warm-up reduce rank %d: %v", rank, err)
+		}
+	}
+	set.rings[victim].Transport().(*TCPTransport).Close()
+
+	err := set.rings[0].ReduceWith(0, segs[0], Options{Algorithm: AlgoHD, Guard: true, Policy: fast})
+	if err == nil {
+		t.Fatal("reduce succeeded across a dead peer")
+	}
+	var fault *RingFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("error %v is not a *RingFault", err)
+	}
+	if fault.Suspect != victim {
+		t.Fatalf("fault = %+v, want suspect %d", fault, victim)
+	}
+	if errors.Is(err, ErrHopTimeout) {
+		t.Fatalf("broken peer link reported as plain timeout: %v", err)
+	}
+}
+
+// TestChanPeerLinkErrors: peer-link misuse fails fast and clearly.
+func TestChanPeerLinkErrors(t *testing.T) {
+	t.Parallel()
+	tr, err := NewChanTransport(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Peer(0, 0); err == nil {
+		t.Fatal("self peer link allowed")
+	}
+	if _, err := tr.Peer(0, 4); err == nil {
+		t.Fatal("out-of-range peer link allowed")
+	}
+	a, err := tr.Peer(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Peer(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv()
+	if err != nil || len(msg) != 2 || msg[0] != 1 {
+		t.Fatalf("peer roundtrip: %v %v", msg, err)
+	}
+	// hd over a transport without peer links must error, not hang.
+	ring, err := NewRingOver(stubTransport{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := []float64{1, 2, 3, 4}
+	if err := ring.ReduceWith(0, seg, Options{Algorithm: AlgoHD}); err == nil {
+		t.Fatal("hd over a peer-less transport succeeded")
+	}
+}
+
+// stubTransport hides the PeerTransport extension, modeling a transport
+// that never grew peer links.
+type stubTransport struct{ tr Transport }
+
+func (s stubTransport) Workers() int               { return s.tr.Workers() }
+func (s stubTransport) Endpoint(rank int) Endpoint { return s.tr.Endpoint(rank) }
+func (s stubTransport) Close() error               { return s.tr.Close() }
+
+// TestTCPSteadyStateReduceAllocsZero is the satellite gate for the pooled
+// TCP framing: once the frame scratch, message buffers, and ring scratch
+// are warm, a full ring reduce over real sockets must allocate nothing on
+// either rank's path — reader and writer loops included, since
+// AllocsPerRun counts process-wide mallocs.
+func TestTCPSteadyStateReduceAllocsZero(t *testing.T) {
+	const n, dim = 2, 256
+	set := buildTCPSet(t, n, 0)
+	defer set.close()
+	segs := make([][]float64, n)
+	for i := range segs {
+		segs[i] = make([]float64, dim)
+		for j := range segs[i] {
+			segs[i][j] = float64(i*dim + j)
+		}
+	}
+	start := make(chan struct{})
+	done := make(chan error)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range start {
+			done <- set.rings[1].ReduceWith(1, segs[1], Options{})
+		}
+	}()
+	defer wg.Wait()
+	defer close(start)
+	step := func() {
+		start <- struct{}{}
+		if err := set.rings[0].ReduceWith(0, segs[0], Options{}); err != nil {
+			t.Error(err)
+		}
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		step() // warm frame scratch, circulating buffers, bufio
+	}
+	if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+		t.Fatalf("steady-state TCP reduce allocates %v times, want 0", allocs)
+	}
+}
+
+// broadcastAll drives one broadcast through every rank.
+func broadcastAll(set ringSet, bufs [][]float64, root int, opts Options) []error {
+	n := len(bufs)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = set.rings[rank].BroadcastWith(rank, bufs[rank], root, opts)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestBroadcastConformance runs the ring broadcast through the transport
+// conformance matrix: every transport, ring size, dim (empty chunks
+// included), root, and guard mode must deliver root's buffer byte-exactly.
+func TestBroadcastConformance(t *testing.T) {
+	t.Parallel()
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(41))
+			for _, n := range []int{1, 2, 3, 4} {
+				for _, dim := range []int{0, 1, 7, 65} {
+					for _, root := range []int{0, n - 1} {
+						for _, guard := range []bool{false, true} {
+							bufs := randomVectors(rng, n, dim)
+							want := append([]float64(nil), bufs[root]...)
+							set := tc.build(t, n)
+							for rank, err := range broadcastAll(set, bufs, root, Options{Guard: guard}) {
+								if err != nil {
+									t.Fatalf("n=%d dim=%d root=%d guard=%v rank %d: %v", n, dim, root, guard, rank, err)
+								}
+							}
+							set.close()
+							for rank := 0; rank < n; rank++ {
+								for j := 0; j < dim; j++ {
+									if math.Float64bits(bufs[rank][j]) != math.Float64bits(want[j]) {
+										t.Fatalf("n=%d dim=%d root=%d rank %d elem %d: not root's bytes", n, dim, root, rank, j)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBroadcastHopTimeout: a silent rank mid-pipeline starves its
+// successor, which must blame it with a recv RingFault unwrapping to
+// ErrHopTimeout — on every transport.
+func TestBroadcastHopTimeout(t *testing.T) {
+	t.Parallel()
+	fast := RetryPolicy{HopTimeout: 10 * time.Millisecond, Retries: 2, Backoff: 2, MaxTimeout: 50 * time.Millisecond}
+	const n, dim, root, silent = 3, 9, 0, 1
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			set := tc.build(t, n)
+			defer set.close()
+			bufs, _ := makeSegs(n, dim)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				if i == silent {
+					continue
+				}
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					errs[rank] = set.rings[rank].BroadcastWith(rank, bufs[rank], root, Options{Guard: true, Policy: fast})
+				}(i)
+			}
+			wg.Wait()
+			succ := (silent + 1) % n
+			var fault *RingFault
+			if !errors.As(errs[succ], &fault) {
+				t.Fatalf("rank %d: error %v is not a *RingFault", succ, errs[succ])
+			}
+			if fault.Suspect != silent || fault.Op != "recv" {
+				t.Fatalf("rank %d fault = %+v, want recv fault suspecting %d", succ, fault, silent)
+			}
+			if !errors.Is(errs[succ], ErrHopTimeout) {
+				t.Fatalf("fault does not unwrap to ErrHopTimeout: %v", errs[succ])
+			}
+		})
+	}
+}
+
+// TestBroadcastTCPBrokenLink: a dead rank's socket failure surfaces as a
+// transport-cause RingFault on a neighbor, distinguishable from timeouts.
+func TestBroadcastTCPBrokenLink(t *testing.T) {
+	t.Parallel()
+	const n, dim, root, victim = 3, 9, 0, 1
+	fast := RetryPolicy{HopTimeout: 10 * time.Millisecond, Retries: 2, Backoff: 2, MaxTimeout: 50 * time.Millisecond}
+	set := buildTCPSet(t, n, 0)
+	defer set.close()
+	set.rings[victim].Transport().(*TCPTransport).Close()
+	bufs, _ := makeSegs(n, dim)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = set.rings[rank].BroadcastWith(rank, bufs[rank], root, Options{Guard: true, Policy: fast})
+		}(i)
+	}
+	wg.Wait()
+	// The root only sends, and queued sends may land in the kernel buffer
+	// before the peer's death is visible — it can legitimately complete.
+	// The dead rank's successor, though, starves or sees the socket break,
+	// and must blame the victim.
+	succ := (victim + 1) % n
+	var fault *RingFault
+	if errs[succ] == nil {
+		t.Fatalf("rank %d: broadcast succeeded across a dead rank", succ)
+	}
+	if !errors.As(errs[succ], &fault) {
+		t.Fatalf("rank %d: non-RingFault error %v", succ, errs[succ])
+	}
+	if fault.Suspect != victim {
+		t.Fatalf("rank %d fault = %+v, want suspect %d", succ, fault, victim)
+	}
+	if errors.Is(errs[succ], ErrHopTimeout) {
+		t.Fatalf("broken link reported as plain timeout: %v", errs[succ])
+	}
+}

@@ -50,6 +50,11 @@ type Options struct {
 	// lost attempt costs the sender one retransmit timeout, exactly like a
 	// lost packet under a retransmission timer (guarded calls only).
 	SendDrops int
+	// Algorithm selects the collective schedule: AlgoRing (the zero value),
+	// AlgoHD, AlgoPipeline, or AlgoAuto (priced per payload by the ring's
+	// selector). All ranks of one reduce must pass the same algorithm; hd
+	// additionally requires the transport to implement PeerTransport.
+	Algorithm Algorithm
 }
 
 // Ring is a persistent set of point-to-point links connecting n workers,
@@ -64,6 +69,9 @@ type Options struct {
 type Ring struct {
 	n  int
 	tr Transport
+	// sel prices AlgoAuto reduces; the zero value falls back to calibrated
+	// size thresholds. Set once via SetSelector before reducing.
+	sel Selector
 	// scratch[rank] holds rank-private reusable state (chunk bounds, a
 	// spare message buffer, and the resolved endpoint), making steady-state
 	// reduce calls allocation free. Each entry is touched only by its
@@ -77,6 +85,10 @@ type ringScratch struct {
 	bounds []int
 	spare  []float64
 	ep     Endpoint
+	// peers caches resolved non-neighbor links (halving-doubling), indexed
+	// by peer rank; spans is the hd per-level window scratch.
+	peers []Endpoint
+	spans []int
 }
 
 // NewRing returns a ring of n workers over an in-process channel transport
@@ -113,6 +125,13 @@ func (r *Ring) Workers() int { return r.n }
 // Transport returns the transport the ring runs over.
 func (r *Ring) Transport() Transport { return r.tr }
 
+// SetSelector installs the cost model that prices AlgoAuto reduces (the
+// zero Selector means calibrated size thresholds). Call it before the
+// ring is in use; it is not synchronized against concurrent reduces. All
+// ranks of a multi-process ring must install identical constants, or auto
+// ranks would disagree on the schedule.
+func (r *Ring) SetSelector(s Selector) { r.sel = s }
+
 // ReduceWith performs rank's share of one segment's reduce-scatter followed
 // by all-gather: on return, seg holds the element-wise sum of every rank's
 // segment. Weighted aggregation (Eq. 9) is the caller's concern — each rank
@@ -146,6 +165,12 @@ func (r *Ring) ReduceWith(rank int, seg []float64, opts Options) error {
 	ep := sc.ep
 	if ep == nil {
 		return fmt.Errorf("allreduce: rank %d is not local to this transport", rank)
+	}
+	switch r.sel.Resolve(opts.Algorithm, n, dim) {
+	case AlgoHD:
+		return r.reduceHD(rank, seg, opts)
+	case AlgoPipeline:
+		return r.reducePipeline(rank, seg, opts)
 	}
 	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]). The
 	// bounds slice is rank-private scratch reused across calls.
@@ -322,6 +347,27 @@ func ringReduceInline(vectors [][]float64) {
 //
 // Pass nil weights for a plain average (weights 1/n).
 func AllReduce(vectors [][]float64, weights []float64) error {
+	return AllReduceAlg(vectors, weights, AlgoRing)
+}
+
+// AllReduceAlg is AllReduce under an explicit collective algorithm
+// (AlgoAuto prices the payload with the default selector). Every
+// algorithm fixes its own association order, so a given (algorithm, n,
+// dim) is bitwise-deterministic; different algorithms legitimately differ
+// in the last bits for n ≥ 3 — exactly like different bucket partitions.
+//
+// Execution strategy is the helper's own concern and never changes bits:
+// payloads whose schedule can run cheaper on the calling goroutine use
+// the algorithm's inline form (ringReduceInline / hdReduceInline /
+// pipelineReduceInline, each bitwise-identical to its distributed
+// schedule); larger ring and hd payloads fan out one goroutine per rank
+// over a fresh channel transport. The pipelined ring always runs its
+// blocked sequential schedule here: in one address space "hop overlap" is
+// interleaving, and the cache-blocked interleaving is the fastest — and
+// GOMAXPROCS-independent — way to run it. Persistent-ring callers (the
+// live runtime, multi-process workers) run the same algorithms
+// distributed via Ring.ReduceWith.
+func AllReduceAlg(vectors [][]float64, weights []float64, algo Algorithm) error {
 	n := len(vectors)
 	if n == 0 {
 		return errors.New("allreduce: no participants")
@@ -341,6 +387,20 @@ func AllReduce(vectors [][]float64, weights []float64) error {
 	if len(weights) != n {
 		return fmt.Errorf("allreduce: %d weights for %d participants", len(weights), n)
 	}
+	resolved := (Selector{}).Resolve(algo, n, dim)
+	switch resolved {
+	case AlgoRing, AlgoHD, AlgoPipeline:
+	default:
+		return fmt.Errorf("allreduce: unknown algorithm %q", algo)
+	}
+
+	// Power-of-two hd payloads small enough for the fused tree scale their
+	// leaves inside it — one pass over memory instead of scale + tree +
+	// gather, with identical bits (see hdReduceInlineWeighted).
+	if resolved == AlgoHD && n > 1 && dim > 0 && dim*8 <= hdSmallBytes &&
+		hdReduceInlineWeighted(vectors, weights) {
+		return nil
+	}
 
 	// Pre-scale local contributions (the r_i of Eq. 9).
 	for i, v := range vectors {
@@ -352,24 +412,41 @@ func AllReduce(vectors [][]float64, weights []float64) error {
 	if n == 1 || dim == 0 {
 		return nil
 	}
-	if dim*8 <= smallReduceBytes {
-		ringReduceInline(vectors)
+	switch resolved {
+	case AlgoPipeline:
+		pipelineReduceInline(vectors)
 		return nil
+	case AlgoHD:
+		if dim*8 <= hdSmallBytes {
+			hdReduceInline(vectors)
+			return nil
+		}
+	default:
+		if dim*8 <= smallReduceBytes {
+			ringReduceInline(vectors)
+			return nil
+		}
 	}
 
 	ring, err := NewRing(n, 1)
 	if err != nil {
 		return err
 	}
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			_ = ring.ReduceWith(rank, vectors[rank], Options{})
+			errs[rank] = ring.ReduceWith(rank, vectors[rank], Options{Algorithm: resolved})
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -377,6 +454,16 @@ func AllReduce(vectors [][]float64, weights []float64) error {
 // DDP does with gradient buckets. bucketLen is the per-bucket element
 // count; the final bucket may be shorter.
 func AllReduceBuckets(vectors [][]float64, weights []float64, bucketLen int) error {
+	return AllReduceBucketsAlg(vectors, weights, bucketLen, AlgoRing)
+}
+
+// AllReduceBucketsAlg is AllReduceBuckets under an explicit collective
+// algorithm. AlgoAuto is resolved per bucket — the argmin over the cost
+// model at each bucket's own payload size — so a run's final short bucket
+// may legitimately take a different schedule than its full ones. The
+// choice is a pure function of (algorithm, n, bucket length), never of
+// scheduling state, keeping bucketed auto reduces reproducible.
+func AllReduceBucketsAlg(vectors [][]float64, weights []float64, bucketLen int, algo Algorithm) error {
 	if bucketLen <= 0 {
 		return fmt.Errorf("allreduce: bucket length %d", bucketLen)
 	}
@@ -402,12 +489,12 @@ func AllReduceBuckets(vectors [][]float64, weights []float64, bucketLen int) err
 		for i, v := range vectors {
 			views[i] = v[start:end]
 		}
-		if err := AllReduce(views, weights); err != nil {
+		if err := AllReduceAlg(views, weights, algo); err != nil {
 			return err
 		}
 	}
 	if dim == 0 {
-		return AllReduce(vectors, weights)
+		return AllReduceAlg(vectors, weights, algo)
 	}
 	return nil
 }

@@ -27,45 +27,130 @@ func Broadcast(vectors [][]float64, root int) error {
 	if n == 1 || dim == 0 {
 		return nil
 	}
-
-	// Pipeline the payload in n chunks around the ring starting at root.
-	bounds := make([]int, n+1)
-	for c := 0; c <= n; c++ {
-		bounds[c] = c * dim / n
+	ring, err := NewRing(n, 1)
+	if err != nil {
+		return err
 	}
-	links := make([]chan []float64, n)
-	for i := range links {
-		links[i] = make(chan []float64, 1)
-	}
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			v := vectors[rank]
-			out := links[rank]
-			in := links[(rank-1+n)%n]
-			// Distance from root along the ring.
-			dist := ((rank - root) + n) % n
-			last := rank == (root-1+n)%n
-			for c := 0; c < n; c++ {
-				chunk := v[bounds[c]:bounds[c+1]]
-				if dist == 0 { // root: send each chunk once
-					if !last {
-						msg := make([]float64, len(chunk))
-						copy(msg, chunk)
-						out <- msg
-					}
-					continue
-				}
-				recv := <-in
-				copy(chunk, recv)
-				if !last {
-					out <- recv
-				}
-			}
+			errs[rank] = ring.BroadcastWith(rank, vectors[rank], root, Options{})
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BroadcastWith performs rank's share of one ring-pipelined broadcast over
+// the ring's transport: on return, buf holds root's payload. The root
+// streams its buffer in n chunks to its successor; every other rank
+// receives each chunk, copies it into place, and forwards it on — pure
+// copies, so the result is byte-identical to root's buffer on every
+// transport. All n ranks must call concurrently with equal-length buffers,
+// the same root, and equal Guard settings.
+//
+// With opts.Guard set, every hop runs under the policy's deadline with
+// bounded retry; exhaustion or a broken link returns a *RingFault blaming
+// the suspected neighbor, exactly like ReduceWith, and buf holds partial
+// data the caller must discard.
+func (r *Ring) BroadcastWith(rank int, buf []float64, root int, opts Options) error {
+	n := r.n
+	dim := len(buf)
+	if root < 0 || root >= n {
+		return fmt.Errorf("allreduce: root %d of %d", root, n)
+	}
+	if n == 1 || dim == 0 {
+		return nil
+	}
+	sc := &r.scratch[rank]
+	ep := sc.ep
+	if ep == nil {
+		return fmt.Errorf("allreduce: rank %d is not local to this transport", rank)
+	}
+	bounds := sc.bounds
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * dim / n
+	}
+
+	spare := sc.spare
+	sc.spare = nil
+	var p RetryPolicy
+	if opts.Guard {
+		p = opts.Policy.WithDefaults()
+	}
+	hop := 0
+	send := func(msg []float64) error {
+		var err error
+		if opts.Guard {
+			err = ep.SendTimed(msg, p)
+		} else {
+			err = ep.Send(msg)
+		}
+		if err != nil {
+			return &RingFault{Rank: rank, Suspect: (rank + 1) % n, Op: "send", Hop: hop, Cause: err}
+		}
+		hop++
+		return nil
+	}
+	recv := func(want int) ([]float64, error) {
+		var msg []float64
+		var err error
+		if opts.Guard {
+			msg, err = ep.RecvTimed(p)
+		} else {
+			msg, err = ep.Recv()
+		}
+		if err != nil {
+			return nil, &RingFault{Rank: rank, Suspect: (rank - 1 + n) % n, Op: "recv", Hop: hop, Cause: err}
+		}
+		if len(msg) != want {
+			return nil, fmt.Errorf("allreduce: broadcast rank %d hop %d: %d elements, want %d", rank, hop, len(msg), want)
+		}
+		return msg, nil
+	}
+
+	// Distance from root along the ring; the rank just before root is the
+	// pipeline's tail and forwards nothing.
+	dist := ((rank - root) + n) % n
+	last := dist == n-1
+	for c := 0; c < n; c++ {
+		chunk := buf[bounds[c]:bounds[c+1]]
+		if dist == 0 { // root: send each chunk once
+			var msg []float64
+			if cap(spare) >= len(chunk) {
+				msg = spare[:len(chunk)]
+				spare = nil
+			} else {
+				msg = make([]float64, len(chunk))
+			}
+			copy(msg, chunk)
+			if err := send(msg); err != nil {
+				sc.spare = spare
+				return err
+			}
+			continue
+		}
+		msg, err := recv(len(chunk))
+		if err != nil {
+			sc.spare = spare
+			return err
+		}
+		copy(chunk, msg)
+		if last {
+			spare = msg // tail retires the buffer for the next call
+		} else if err := send(msg); err != nil {
+			sc.spare = spare
+			return err
+		}
+	}
+	sc.spare = spare
 	return nil
 }

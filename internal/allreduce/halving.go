@@ -1,0 +1,479 @@
+package allreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// Recursive halving-doubling all-reduce (Rabenseifner / MPICH "short
+// message" schedule). The n ranks form a core group of g = 2^⌊log₂n⌋
+// members; the reduce-scatter runs ⌈log₂g⌉ exchange rounds with recursive
+// vector halving and distance halving (g/2, g/4, …, 1), the all-gather
+// mirrors them back. When n is not a power of two, the first 2(n-g) ranks
+// fold pairwise in a pre-step — each odd rank sends its whole segment to
+// its even neighbor, idles through the core rounds, and receives the
+// finished result in a post-step.
+//
+// Determinism: every round accumulates kept[j] += received[j], so the
+// final value of each element is a fixed binary tree over the (pre-folded)
+// rank contributions, determined by (n, dim) alone. hdReduceInline
+// replays exactly that tree sequentially; the conformance suite pins the
+// distributed schedule to it bitwise on every transport.
+//
+// Span bounds use recursive halving with mid = lo + (hi-lo)/2 — in
+// general different bounds from the ring's ⌊c·dim/n⌋ chunks, which is
+// fine: the association order is the algorithm's own, not the ring's.
+
+// hdGroup returns the core group size g (largest power of two ≤ n), the
+// round count q = log₂ g, and the number of folded pairs n - g.
+func hdGroup(n int) (g, q, ext int) {
+	g, q = 1, 0
+	for g*2 <= n {
+		g *= 2
+		q++
+	}
+	return g, q, n - g
+}
+
+// hdGroupRank maps a core-group id to its ring rank: the first ext group
+// members are the even halves of the folded pairs, the rest follow after
+// the folded region.
+func hdGroupRank(gid, ext int) int {
+	if gid < ext {
+		return 2 * gid
+	}
+	return gid + ext
+}
+
+// peer returns rank's cached direct link to another rank, resolving it
+// through the transport's PeerTransport extension on first use. The cache
+// lives in rank-private scratch, so steady-state lookups are lock-free
+// and allocation-free.
+func (r *Ring) peer(rank, to int) (Endpoint, error) {
+	sc := &r.scratch[rank]
+	if sc.peers == nil {
+		sc.peers = make([]Endpoint, r.n)
+	}
+	if ep := sc.peers[to]; ep != nil {
+		return ep, nil
+	}
+	pt, ok := r.tr.(PeerTransport)
+	if !ok {
+		return nil, fmt.Errorf("allreduce: transport %T has no peer links (required by halving-doubling)", r.tr)
+	}
+	ep, err := pt.Peer(rank, to)
+	if err != nil {
+		return nil, err
+	}
+	sc.peers[to] = ep
+	return ep, nil
+}
+
+// hdCall is the per-call hop state of one rank's halving-doubling reduce:
+// the guarded-hop policy, fault-injection bookkeeping, and the circulating
+// spare buffer (same contract as the ring path: a consumed receive buffer
+// becomes the next send buffer).
+type hdCall struct {
+	r         *Ring
+	rank      int
+	opts      Options
+	p         RetryPolicy
+	hop       int
+	firstSend bool
+	spare     []float64
+}
+
+func (c *hdCall) stage(src []float64) []float64 {
+	var msg []float64
+	if cap(c.spare) >= len(src) {
+		msg = c.spare[:len(src)]
+		c.spare = nil
+	} else {
+		msg = make([]float64, len(src))
+	}
+	copy(msg, src)
+	return msg
+}
+
+func (c *hdCall) send(ep Endpoint, peer int, msg []float64) error {
+	if !c.opts.Guard {
+		if err := ep.Send(msg); err != nil {
+			return &RingFault{Rank: c.rank, Suspect: peer, Op: "send", Hop: c.hop, Cause: err}
+		}
+		return nil
+	}
+	if c.firstSend {
+		c.firstSend = false
+		if c.opts.SendDelay > 0 {
+			time.Sleep(c.opts.SendDelay)
+		}
+		for d := 0; d < c.opts.SendDrops; d++ {
+			time.Sleep(c.p.HopTimeout)
+		}
+	}
+	if err := ep.SendTimed(msg, c.p); err != nil {
+		return &RingFault{Rank: c.rank, Suspect: peer, Op: "send", Hop: c.hop, Cause: err}
+	}
+	return nil
+}
+
+func (c *hdCall) recv(ep Endpoint, peer, want int) ([]float64, error) {
+	var msg []float64
+	var err error
+	if c.opts.Guard {
+		msg, err = ep.RecvTimed(c.p)
+	} else {
+		msg, err = ep.Recv()
+	}
+	if err != nil {
+		return nil, &RingFault{Rank: c.rank, Suspect: peer, Op: "recv", Hop: c.hop, Cause: err}
+	}
+	if len(msg) != want {
+		return nil, fmt.Errorf("allreduce: hd rank %d hop %d: %d elements from rank %d, want %d",
+			c.rank, c.hop, len(msg), peer, want)
+	}
+	return msg, nil
+}
+
+// reduceHD performs rank's share of one halving-doubling all-reduce. The
+// transport must implement PeerTransport; every rank of the ring must
+// call it concurrently with equal options.
+func (r *Ring) reduceHD(rank int, seg []float64, opts Options) error {
+	n := r.n
+	dim := len(seg)
+	sc := &r.scratch[rank]
+	g, q, ext := hdGroup(n)
+
+	c := hdCall{r: r, rank: rank, opts: opts, firstSend: true, spare: sc.spare}
+	sc.spare = nil
+	if opts.Guard {
+		c.p = opts.Policy.WithDefaults()
+	}
+	finish := func(err error) error {
+		sc.spare = c.spare
+		return err
+	}
+
+	// Folded odd ranks: hand the whole segment to the even neighbor, then
+	// wait out the core rounds and copy the finished result back in.
+	if rank < 2*ext && rank%2 == 1 {
+		ep, err := r.peer(rank, rank-1)
+		if err != nil {
+			return finish(err)
+		}
+		if err := c.send(ep, rank-1, c.stage(seg)); err != nil {
+			return finish(err)
+		}
+		c.hop++
+		msg, err := c.recv(ep, rank-1, dim)
+		if err != nil {
+			return finish(err)
+		}
+		copy(seg, msg)
+		c.spare = msg
+		return finish(nil)
+	}
+
+	var gid int
+	if rank < 2*ext {
+		gid = rank / 2
+	} else {
+		gid = rank - ext
+	}
+
+	// Pre-step: absorb the folded neighbor's contribution.
+	if rank < 2*ext {
+		ep, err := r.peer(rank, rank+1)
+		if err != nil {
+			return finish(err)
+		}
+		msg, err := c.recv(ep, rank+1, dim)
+		if err != nil {
+			return finish(err)
+		}
+		for j := range seg {
+			seg[j] += msg[j]
+		}
+		c.spare = msg
+		c.hop++
+	}
+
+	// Reduce-scatter: q rounds of recursive vector halving. spans records
+	// the [lo,hi) window per level so the all-gather can mirror it; the
+	// slice is rank-private scratch reused across calls.
+	if cap(sc.spans) < 2*(q+1) {
+		sc.spans = make([]int, 2*(q+1))
+	}
+	spans := sc.spans[:2*(q+1)]
+	lo, hi := 0, dim
+	spans[0], spans[1] = lo, hi
+	for i := 0; i < q; i++ {
+		dist := g >> (i + 1)
+		partner := hdGroupRank(gid^dist, ext)
+		ep, err := r.peer(rank, partner)
+		if err != nil {
+			return finish(err)
+		}
+		mid := lo + (hi-lo)/2
+		var klo, khi, slo, shi int
+		if gid&dist == 0 {
+			klo, khi, slo, shi = lo, mid, mid, hi
+		} else {
+			klo, khi, slo, shi = mid, hi, lo, mid
+		}
+		if err := c.send(ep, partner, c.stage(seg[slo:shi])); err != nil {
+			return finish(err)
+		}
+		msg, err := c.recv(ep, partner, khi-klo)
+		if err != nil {
+			return finish(err)
+		}
+		dst := seg[klo:khi]
+		for j := range dst {
+			dst[j] += msg[j]
+		}
+		c.spare = msg
+		c.hop++
+		lo, hi = klo, khi
+		spans[2*(i+1)], spans[2*(i+1)+1] = lo, hi
+	}
+
+	// All-gather: mirror the rounds back with recursive doubling. At step
+	// i the rank holds the finished data of its level-(i+1) window and
+	// swaps it for the partner's sibling half, restoring the level-i
+	// window.
+	for i := q - 1; i >= 0; i-- {
+		dist := g >> (i + 1)
+		partner := hdGroupRank(gid^dist, ext)
+		ep, err := r.peer(rank, partner)
+		if err != nil {
+			return finish(err)
+		}
+		plo, phi := spans[2*i], spans[2*i+1]
+		mid := plo + (phi-plo)/2
+		var siblo, sibhi int
+		// Which half this rank holds is decided by its gid bit — the same
+		// rule the reduce-scatter used. (Comparing span bounds instead
+		// misfires when a half is empty: at dim < g a kept low half can be
+		// [plo, plo), indistinguishable by bounds from the high half's
+		// start.)
+		if gid&dist == 0 { // held the low half: sibling is the high half
+			siblo, sibhi = mid, phi
+		} else {
+			siblo, sibhi = plo, mid
+		}
+		if err := c.send(ep, partner, c.stage(seg[lo:hi])); err != nil {
+			return finish(err)
+		}
+		msg, err := c.recv(ep, partner, sibhi-siblo)
+		if err != nil {
+			return finish(err)
+		}
+		copy(seg[siblo:sibhi], msg)
+		c.spare = msg
+		c.hop++
+		lo, hi = plo, phi
+	}
+
+	// Post-step: return the finished segment to the folded neighbor.
+	if rank < 2*ext {
+		ep, err := r.peer(rank, rank+1)
+		if err != nil {
+			return finish(err)
+		}
+		if err := c.send(ep, rank+1, c.stage(seg)); err != nil {
+			return finish(err)
+		}
+		c.hop++
+	}
+	return finish(nil)
+}
+
+// hdReduceInline performs the exact arithmetic of the distributed
+// halving-doubling schedule sequentially: the same fold-in pre-step, the
+// same kept[j] += received[j] accumulation per round (safe in place —
+// within a round every write lands in the writer's kept half, disjoint
+// from the partner's kept half it reads), and exact copies for the
+// all-gather and post-step. For power-of-two group sizes 2, 4, and 8 the
+// per-chunk binary tree is evaluated in one fused pass: the tree for the
+// chunk owned by group member c has leaves c ^ bitrev(p) in order, so
+//
+//	g=8:  ((w_c+w_{c^4}) + (w_{c^2}+w_{c^6})) + ((w_{c^1}+w_{c^5}) + (w_{c^3}+w_{c^7}))
+//
+// which is the identical association with three-deep instruction-level
+// parallelism instead of g-1 separate load-add-store passes — the reason
+// hd wins the small-payload benchmarks even on one core.
+func hdReduceInline(vectors [][]float64) {
+	n := len(vectors)
+	dim := len(vectors[0])
+	g, q, ext := hdGroup(n)
+
+	// Fold-in pre-step: even absorbs odd, in the distributed operand
+	// order (kept += received).
+	for i := 0; i < ext; i++ {
+		dst, src := vectors[2*i], vectors[2*i+1]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	var wsArr [16][]float64
+	var ws [][]float64
+	if g <= len(wsArr) {
+		ws = wsArr[:g]
+	} else {
+		ws = make([][]float64, g)
+	}
+	for m := 0; m < g; m++ {
+		ws[m] = vectors[hdGroupRank(m, ext)]
+	}
+
+	var loArr, hiArr [16]int
+	var los, his []int
+	if g <= len(loArr) {
+		los, his = loArr[:g], hiArr[:g]
+	} else {
+		los, his = make([]int, g), make([]int, g)
+	}
+
+	switch {
+	case ext == 0 && g == 2:
+		hdOwnedSpans(dim, g, q, los, his)
+		for c := 0; c < g; c++ {
+			a, b := ws[c], ws[c^1]
+			for j := los[c]; j < his[c]; j++ {
+				a[j] = a[j] + b[j]
+			}
+		}
+	case ext == 0 && g == 4:
+		hdOwnedSpans(dim, g, q, los, his)
+		for c := 0; c < g; c++ {
+			a, b, e, f := ws[c], ws[c^2], ws[c^1], ws[c^3]
+			for j := los[c]; j < his[c]; j++ {
+				a[j] = (a[j] + b[j]) + (e[j] + f[j])
+			}
+		}
+	case ext == 0 && g == 8:
+		hdOwnedSpans(dim, g, q, los, his)
+		for c := 0; c < g; c++ {
+			a, b, e, f := ws[c], ws[c^4], ws[c^2], ws[c^6]
+			u, v, x, y := ws[c^1], ws[c^5], ws[c^3], ws[c^7]
+			for j := los[c]; j < his[c]; j++ {
+				a[j] = ((a[j] + b[j]) + (e[j] + f[j])) + ((u[j] + v[j]) + (x[j] + y[j]))
+			}
+		}
+	default:
+		// Generic group size (or folded ranks present with the fused
+		// sizes — the pre-fold already happened, so this path still sees
+		// plain group vectors): replay the rounds.
+		for m := 0; m < g; m++ {
+			los[m], his[m] = 0, dim
+		}
+		for i := 0; i < q; i++ {
+			dist := g >> (i + 1)
+			for m := 0; m < g; m++ {
+				lo, hi := los[m], his[m]
+				mid := lo + (hi-lo)/2
+				if m&dist == 0 {
+					hi = mid
+				} else {
+					lo = mid
+				}
+				dst, src := ws[m][lo:hi], ws[m^dist][lo:hi]
+				for j := range dst {
+					dst[j] += src[j]
+				}
+				los[m], his[m] = lo, hi
+			}
+		}
+	}
+
+	// All-gather: every group vector receives each finished span
+	// unchanged, then the post-step hands full copies to folded ranks.
+	for m := 0; m < g; m++ {
+		done := ws[m][los[m]:his[m]]
+		for i := 0; i < g; i++ {
+			if i != m {
+				copy(ws[i][los[m]:his[m]], done)
+			}
+		}
+	}
+	for i := 0; i < ext; i++ {
+		copy(vectors[2*i+1], vectors[2*i])
+	}
+}
+
+// hdReduceInlineWeighted is the single-pass form of pre-scale +
+// hdReduceInline for power-of-two rings (no fold-in) of 2, 4, or 8 ranks:
+// the leaf scaling weights[i]·vectors[i][j], the fused reduction tree, and
+// the all-gather scatter all happen in one traversal of each owned span,
+// so every element is loaded and stored exactly once instead of the three
+// round trips the staged form pays (scale pass, tree pass, copy pass).
+// The arithmetic is bitwise-identical: each product is rounded before the
+// tree adds it (the float64 conversions forbid fused multiply-add
+// contraction), matching the distributed schedule's scale-then-exchange
+// order, and the scatter writes the same finished values the all-gather
+// copies. Returns false when the shape has no fused form (fold-in ranks or
+// larger groups) and the caller must take the staged path.
+func hdReduceInlineWeighted(vectors [][]float64, weights []float64) bool {
+	n := len(vectors)
+	g, q, ext := hdGroup(n)
+	if ext != 0 || (g != 2 && g != 4 && g != 8) {
+		return false
+	}
+	dim := len(vectors[0])
+	var loArr, hiArr [8]int
+	los, his := loArr[:g], hiArr[:g]
+	hdOwnedSpans(dim, g, q, los, his)
+	switch g {
+	case 2:
+		for c := 0; c < g; c++ {
+			a, b := vectors[c], vectors[c^1]
+			wa, wb := weights[c], weights[c^1]
+			for j := los[c]; j < his[c]; j++ {
+				s := float64(wa*a[j]) + float64(wb*b[j])
+				a[j], b[j] = s, s
+			}
+		}
+	case 4:
+		for c := 0; c < g; c++ {
+			a, b, e, f := vectors[c], vectors[c^2], vectors[c^1], vectors[c^3]
+			wa, wb, we, wf := weights[c], weights[c^2], weights[c^1], weights[c^3]
+			for j := los[c]; j < his[c]; j++ {
+				s := (float64(wa*a[j]) + float64(wb*b[j])) + (float64(we*e[j]) + float64(wf*f[j]))
+				a[j], b[j], e[j], f[j] = s, s, s, s
+			}
+		}
+	case 8:
+		for c := 0; c < g; c++ {
+			a, b, e, f := vectors[c], vectors[c^4], vectors[c^2], vectors[c^6]
+			u, v, x, y := vectors[c^1], vectors[c^5], vectors[c^3], vectors[c^7]
+			wa, wb, we, wf := weights[c], weights[c^4], weights[c^2], weights[c^6]
+			wu, wv, wx, wy := weights[c^1], weights[c^5], weights[c^3], weights[c^7]
+			for j := los[c]; j < his[c]; j++ {
+				s := ((float64(wa*a[j]) + float64(wb*b[j])) + (float64(we*e[j]) + float64(wf*f[j]))) +
+					((float64(wu*u[j]) + float64(wv*v[j])) + (float64(wx*x[j]) + float64(wy*y[j])))
+				a[j], b[j], e[j], f[j] = s, s, s, s
+				u[j], v[j], x[j], y[j] = s, s, s, s
+			}
+		}
+	}
+	return true
+}
+
+// hdOwnedSpans fills los/his with each group member's finally-owned span:
+// the recursive-halving descent steered by the member's bits, high bit
+// first (bit set ⇒ keep the upper half).
+func hdOwnedSpans(dim, g, q int, los, his []int) {
+	for c := 0; c < g; c++ {
+		lo, hi := 0, dim
+		for i := 0; i < q; i++ {
+			mid := lo + (hi-lo)/2
+			if c&(g>>(i+1)) == 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		los[c], his[c] = lo, hi
+	}
+}

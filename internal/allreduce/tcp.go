@@ -26,7 +26,16 @@ import (
 // it is purely a framing concern: the receiver decodes messages one at a
 // time off the buffered stream, so grouping on the wire changes syscall
 // counts, never content or order.
+//
+// Peer links (the PeerTransport extension carrying halving-doubling's
+// non-neighbor exchanges) reuse the identical frame layout on dedicated
+// sockets; their hello leads with tcpPeerMagic instead, so one listener
+// serves both ring bring-up and lazy peer dials.
 const tcpMagic = "CKR1"
+
+// tcpPeerMagic opens a peer-link connection: same 12-byte hello frame,
+// rank field naming the dialing rank the link connects to.
+const tcpPeerMagic = "CKP1"
 
 // tcpMaxMsgLen caps a single message's element count (64 MiB of payload),
 // guarding the reader against corrupt or hostile length prefixes.
@@ -139,6 +148,12 @@ type TCPTransport struct {
 	sendTimer *time.Timer
 	recvTimer *time.Timer
 
+	// Peer links, built lazily on first Peer() call (lower rank dials,
+	// higher rank accepts on the ring listener). A broken peer link fails
+	// only its own hops, never the ring.
+	peersMu sync.Mutex
+	peers   map[int]*tcpPeer
+
 	bytesSent, bytesRecv int64
 	msgsSent, msgsRecv   int64
 	batches              int64
@@ -177,9 +192,10 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		return nil, err
 	}
 	t.started = true
-	t.wg.Add(2)
+	t.wg.Add(3)
 	go t.writeLoop()
 	go t.readLoop()
+	go t.acceptLoop()
 	return t, nil
 }
 
@@ -235,14 +251,21 @@ func (t *TCPTransport) connect() error {
 			acceptErr = fmt.Errorf("allreduce: rank %d accept predecessor %d: %w", t.rank, pred, err)
 			break
 		}
-		from, workers, err := readHello(conn)
-		if err != nil || workers != t.n || from != pred {
+		magic, from, workers, err := readHello(conn)
+		switch {
+		case err == nil && magic == tcpMagic && workers == t.n && from == pred:
+			t.recvConn = conn
+		case err == nil && magic == tcpPeerMagic && workers == t.n && from >= 0 && from < t.n && from != t.rank:
+			// An eager peer dialed before our ring bring-up finished.
+			t.peerSlot(from).attach(conn)
+		default:
 			// A stray or malformed connection (port scan, stale dial from a
 			// previous run): drop it and keep accepting.
 			conn.Close()
-			continue
 		}
-		t.recvConn = conn
+	}
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = d.SetDeadline(time.Time{}) // acceptLoop serves peer dials with no deadline
 	}
 
 	res := <-dialCh
@@ -255,26 +278,50 @@ func (t *TCPTransport) connect() error {
 	return res.err
 }
 
+// acceptLoop keeps serving the ring listener after bring-up: the only
+// legitimate late arrivals are peer-link dials from lower ranks. It exits
+// when Close tears the listener down.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		magic, from, workers, err := readHello(conn)
+		if err != nil || magic != tcpPeerMagic || workers != t.n || from < 0 || from >= t.n || from == t.rank {
+			conn.Close()
+			continue
+		}
+		t.peerSlot(from).attach(conn)
+	}
+}
+
 func writeHello(conn net.Conn, rank, n int) error {
+	return writeHelloMagic(conn, tcpMagic, rank, n)
+}
+
+func writeHelloMagic(conn net.Conn, magic string, rank, n int) error {
 	var buf [12]byte
-	copy(buf[:4], tcpMagic)
+	copy(buf[:4], magic)
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(rank))
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(n))
 	_, err := conn.Write(buf[:])
 	return err
 }
 
-func readHello(conn net.Conn) (rank, n int, err error) {
+func readHello(conn net.Conn) (magic string, rank, n int, err error) {
 	var buf [12]byte
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetReadDeadline(time.Time{})
 	if _, err = io.ReadFull(conn, buf[:]); err != nil {
-		return 0, 0, err
+		return "", 0, 0, err
 	}
-	if string(buf[:4]) != tcpMagic {
-		return 0, 0, fmt.Errorf("allreduce: bad hello magic %q", buf[:4])
+	magic = string(buf[:4])
+	if magic != tcpMagic && magic != tcpPeerMagic {
+		return "", 0, 0, fmt.Errorf("allreduce: bad hello magic %q", buf[:4])
 	}
-	return int(binary.LittleEndian.Uint32(buf[4:8])), int(binary.LittleEndian.Uint32(buf[8:12])), nil
+	return magic, int(binary.LittleEndian.Uint32(buf[4:8])), int(binary.LittleEndian.Uint32(buf[8:12])), nil
 }
 
 // Workers returns the ring size.
@@ -317,6 +364,15 @@ func (t *TCPTransport) Close() error {
 			case <-time.After(2 * time.Second):
 			}
 		}
+		t.peersMu.Lock()
+		peers := make([]*tcpPeer, 0, len(t.peers))
+		for _, p := range t.peers {
+			peers = append(peers, p)
+		}
+		t.peersMu.Unlock()
+		for _, p := range peers {
+			p.drainClose()
+		}
 		t.fail(ErrTransportClosed)
 		if t.ln != nil {
 			t.ln.Close()
@@ -326,6 +382,14 @@ func (t *TCPTransport) Close() error {
 		}
 		if t.recvConn != nil {
 			t.recvConn.Close()
+		}
+		for _, p := range peers {
+			p.fail(ErrTransportClosed)
+			p.mu.Lock()
+			if p.conn != nil {
+				p.conn.Close()
+			}
+			p.mu.Unlock()
 		}
 		t.wg.Wait()
 	})
@@ -422,7 +486,7 @@ func (t *TCPTransport) writeLoop() {
 	defer t.wg.Done()
 	defer close(t.wDone)
 	w := bufio.NewWriterSize(t.sendConn, 256<<10)
-	var scratch [4]byte
+	var frame []byte // per-writer scratch: grows to the largest frame once
 	delay := t.cfg.BatchDelay
 	adaptive := delay < 0
 	var lc lingerControl
@@ -435,7 +499,7 @@ func (t *TCPTransport) writeLoop() {
 		select {
 		case msg = <-t.sendQ:
 		case <-t.quit:
-			t.drainSends(w, scratch[:])
+			t.drainSends(w, &frame)
 			return
 		}
 		if adaptive {
@@ -447,7 +511,7 @@ func (t *TCPTransport) writeLoop() {
 		batch := int64(0)
 		bytes := int64(0)
 		for {
-			n, err := t.writeMsg(w, msg, scratch[:])
+			n, err := writeFrame(w, msg, &frame)
 			t.recycle(msg)
 			if err != nil {
 				t.fail(fmt.Errorf("allreduce: rank %d send to %d: %w", t.rank, (t.rank+1)%t.n, err))
@@ -474,13 +538,13 @@ func (t *TCPTransport) writeLoop() {
 
 // drainSends writes and flushes every message still queued at graceful
 // close, so the successor's pending hops complete before the socket drops.
-func (t *TCPTransport) drainSends(w *bufio.Writer, scratch []byte) {
+func (t *TCPTransport) drainSends(w *bufio.Writer, frame *[]byte) {
 	batch := int64(0)
 	bytes := int64(0)
 	for {
 		select {
 		case msg := <-t.sendQ:
-			n, err := t.writeMsg(w, msg, scratch)
+			n, err := writeFrame(w, msg, frame)
 			t.recycle(msg)
 			if err != nil {
 				return
@@ -503,19 +567,63 @@ func (t *TCPTransport) drainSends(w *bufio.Writer, scratch []byte) {
 	}
 }
 
-func (t *TCPTransport) writeMsg(w *bufio.Writer, msg []float64, scratch []byte) (int64, error) {
-	binary.LittleEndian.PutUint32(scratch, uint32(len(msg)))
-	if _, err := w.Write(scratch); err != nil {
+// writeFrame encodes msg into *frame — per-writer scratch grown once to the
+// largest frame seen, then reused forever — and hands it to the buffered
+// writer in a single Write. One allocation amortized over a connection's
+// lifetime, zero steady-state: the framing analogue of the circulating
+// message buffers.
+func writeFrame(w *bufio.Writer, msg []float64, frame *[]byte) (int64, error) {
+	need := 4 + 8*len(msg)
+	buf := *frame
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		*frame = buf
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(msg)))
+	for i, v := range msg {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
 		return 0, err
 	}
-	var word [8]byte
-	for _, v := range msg {
-		binary.LittleEndian.PutUint64(word[:], math.Float64bits(v))
-		if _, err := w.Write(word[:]); err != nil {
-			return 0, err
-		}
+	return int64(need), nil
+}
+
+// readFrame decodes one length-prefixed message off the stream. The payload
+// lands in *rbuf (per-reader scratch, grown once) before being unpacked
+// into a recycled []float64 from take — steady-state reads allocate
+// nothing.
+func (t *TCPTransport) readFrame(r *bufio.Reader, rbuf *[]byte) ([]float64, error) {
+	// The length prefix lands in the scratch buffer too: a stack [4]byte
+	// would escape through the io.Reader interface and cost one heap
+	// allocation per frame.
+	buf := *rbuf
+	if cap(buf) < 4 {
+		buf = make([]byte, 64)
+		*rbuf = buf
 	}
-	return int64(4 + 8*len(msg)), nil
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(buf[:4]))
+	if count > tcpMaxMsgLen {
+		return nil, fmt.Errorf("frame of %d elements", count)
+	}
+	need := 8 * count
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		*rbuf = buf
+	}
+	buf = buf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	msg := t.take(count)
+	for i := range msg {
+		msg[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return msg, nil
 }
 
 // readLoop decodes messages off the predecessor's stream into the receive
@@ -523,32 +631,15 @@ func (t *TCPTransport) writeMsg(w *bufio.Writer, msg []float64, scratch []byte) 
 func (t *TCPTransport) readLoop() {
 	defer t.wg.Done()
 	r := bufio.NewReaderSize(t.recvConn, 256<<10)
-	var scratch [8]byte
+	var rbuf []byte
 	for {
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		msg, err := t.readFrame(r, &rbuf)
+		if err != nil {
 			t.fail(fmt.Errorf("allreduce: rank %d recv from %d: %w", t.rank, (t.rank-1+t.n)%t.n, err))
 			return
 		}
-		count := int(binary.LittleEndian.Uint32(scratch[:4]))
-		if count > tcpMaxMsgLen {
-			t.fail(fmt.Errorf("allreduce: rank %d recv frame of %d elements", t.rank, count))
-			return
-		}
-		msg := t.take(count)
-		ok := true
-		for i := range msg {
-			if _, err := io.ReadFull(r, scratch[:]); err != nil {
-				t.fail(fmt.Errorf("allreduce: rank %d recv from %d: %w", t.rank, (t.rank-1+t.n)%t.n, err))
-				ok = false
-				break
-			}
-			msg[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
-		}
-		if !ok {
-			return
-		}
 		atomic.AddInt64(&t.msgsRecv, 1)
-		atomic.AddInt64(&t.bytesRecv, int64(4+8*count))
+		atomic.AddInt64(&t.bytesRecv, int64(4+8*len(msg)))
 		select {
 		case t.recvQ <- msg:
 		case <-t.done:
@@ -675,6 +766,324 @@ func (e *tcpEndpoint) RecvTimed(p RetryPolicy) ([]float64, error) {
 				return nil, ErrHopTimeout
 			}
 			d = nextDeadline(d, p)
+			timer.Reset(d)
+		}
+	}
+}
+
+// Peer returns the local rank's endpoint on a dedicated socket to peer,
+// establishing it on first use: the lower rank dials the higher rank's
+// ring listener with a tcpPeerMagic hello, the higher rank's accept loop
+// attaches the connection. Blocks until the link is up or the dial timeout
+// lapses. Peer links carry halving-doubling's non-neighbor exchanges; a
+// broken one fails its own hops only, never the ring connections.
+func (t *TCPTransport) Peer(rank, peer int) (Endpoint, error) {
+	if rank != t.rank {
+		return nil, fmt.Errorf("allreduce: rank %d is not local to this transport (local rank %d)", rank, t.rank)
+	}
+	if peer < 0 || peer >= t.n || peer == rank {
+		return nil, fmt.Errorf("allreduce: no peer link %d→%d in a %d-rank transport", rank, peer, t.n)
+	}
+	p := t.peerSlot(peer)
+	if rank < peer {
+		p.dialOnce.Do(func() { go p.dial() })
+	}
+	select {
+	case <-p.ready:
+		return p, nil
+	case <-p.done:
+		return nil, p.fatal()
+	case <-t.done:
+		return nil, t.fatal()
+	case <-time.After(t.cfg.DialTimeout):
+		return nil, fmt.Errorf("allreduce: rank %d: peer link to %d not up within %v", rank, peer, t.cfg.DialTimeout)
+	}
+}
+
+// peerSlot returns (creating if needed) the slot tracking the link to peer.
+func (t *TCPTransport) peerSlot(peer int) *tcpPeer {
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	p := t.peers[peer]
+	if p == nil {
+		p = &tcpPeer{
+			t:     t,
+			peer:  peer,
+			sendQ: make(chan []float64, t.cfg.Depth),
+			recvQ: make(chan []float64, t.cfg.Depth),
+			ready: make(chan struct{}),
+			done:  make(chan struct{}),
+			wDone: make(chan struct{}),
+		}
+		if t.peers == nil {
+			t.peers = make(map[int]*tcpPeer)
+		}
+		t.peers[peer] = p
+	}
+	return p
+}
+
+// tcpPeer is one direct link to a non-neighbor rank: a dedicated socket
+// with its own reader/writer loops and queues, implementing Endpoint with
+// the same deadline-on-queue semantics as the ring endpoint. Failure is
+// per-link: done here fires for this peer's socket only.
+type tcpPeer struct {
+	t    *TCPTransport
+	peer int
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	sendQ chan []float64
+	recvQ chan []float64
+
+	ready    chan struct{} // closed once the link is attached and serving
+	done     chan struct{} // closed on this link's first fatal error
+	wDone    chan struct{} // writer exited (drain complete or failed)
+	dialOnce sync.Once
+	attachOn sync.Once
+	failOn   sync.Once
+	err      atomic.Value
+
+	sendTimer *time.Timer
+	recvTimer *time.Timer
+}
+
+// dial connects to the peer's listener (retrying while it boots) and
+// attaches the socket. Runs once, on the lower-ranked side.
+func (p *tcpPeer) dial() {
+	t := p.t
+	deadline := time.Now().Add(t.cfg.DialTimeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		select {
+		case <-t.done:
+			p.fail(t.fatal())
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", t.cfg.Peers[p.peer], time.Until(deadline))
+		if err == nil {
+			if err = writeHelloMagic(conn, tcpPeerMagic, t.rank, t.n); err == nil {
+				p.attach(conn)
+				return
+			}
+			conn.Close()
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	p.fail(fmt.Errorf("allreduce: rank %d dial peer %d (%s): %w", t.rank, p.peer, t.cfg.Peers[p.peer], lastErr))
+}
+
+// attach wires a connected socket into the slot and starts its loops; a
+// duplicate connection (possible only from protocol misuse) is dropped.
+func (p *tcpPeer) attach(conn net.Conn) {
+	used := false
+	p.attachOn.Do(func() {
+		select {
+		case <-p.t.done:
+			// Transport already closing: refuse, the conn is closed below.
+			return
+		default:
+		}
+		p.mu.Lock()
+		p.conn = conn
+		p.mu.Unlock()
+		used = true
+		p.t.wg.Add(2)
+		go p.writeLoop()
+		go p.readLoop()
+		close(p.ready)
+	})
+	if !used {
+		conn.Close()
+	}
+}
+
+// fail records the link's first fatal error and releases its blocked hops.
+func (p *tcpPeer) fail(err error) {
+	p.failOn.Do(func() {
+		p.err.Store(err)
+		close(p.done)
+	})
+}
+
+func (p *tcpPeer) fatal() error {
+	if err, ok := p.err.Load().(error); ok {
+		return err
+	}
+	return ErrTransportClosed
+}
+
+// drainClose gives the writer a bounded chance to flush queued messages
+// (the post-step result a folded rank is owed, say) before Close drops the
+// socket. Only meaningful once attached.
+func (p *tcpPeer) drainClose() {
+	select {
+	case <-p.ready:
+	default:
+		return
+	}
+	p.fail(ErrTransportClosed) // writer sees done, drains, exits
+	select {
+	case <-p.wDone:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// writeLoop serves the peer link's send queue. Peer traffic is
+// latency-bound halving-doubling rounds, so every message flushes
+// immediately — no linger — though anything already queued coalesces into
+// the same flush. Counts into the transport's wire totals.
+func (p *tcpPeer) writeLoop() {
+	t := p.t
+	defer t.wg.Done()
+	defer close(p.wDone)
+	w := bufio.NewWriterSize(p.conn, 64<<10)
+	var frame []byte
+	for {
+		var msg []float64
+		select {
+		case msg = <-p.sendQ:
+		case <-p.done:
+			// Graceful close: drain what's queued, flush, exit.
+			for {
+				select {
+				case msg := <-p.sendQ:
+					if _, err := writeFrame(w, msg, &frame); err != nil {
+						return
+					}
+					t.recycle(msg)
+				default:
+					w.Flush()
+					return
+				}
+			}
+		}
+		batch := int64(0)
+		bytes := int64(0)
+		for {
+			n, err := writeFrame(w, msg, &frame)
+			t.recycle(msg)
+			if err != nil {
+				p.fail(fmt.Errorf("allreduce: rank %d send to peer %d: %w", t.rank, p.peer, err))
+				return
+			}
+			batch++
+			bytes += n
+			select {
+			case msg = <-p.sendQ:
+				continue
+			default:
+			}
+			break
+		}
+		if err := w.Flush(); err != nil {
+			p.fail(fmt.Errorf("allreduce: rank %d flush to peer %d: %w", t.rank, p.peer, err))
+			return
+		}
+		atomic.AddInt64(&t.batches, 1)
+		atomic.AddInt64(&t.msgsSent, batch)
+		atomic.AddInt64(&t.bytesSent, bytes)
+	}
+}
+
+// readLoop decodes the peer's stream into the link's receive queue.
+func (p *tcpPeer) readLoop() {
+	t := p.t
+	defer t.wg.Done()
+	r := bufio.NewReaderSize(p.conn, 64<<10)
+	var rbuf []byte
+	for {
+		msg, err := t.readFrame(r, &rbuf)
+		if err != nil {
+			p.fail(fmt.Errorf("allreduce: rank %d recv from peer %d: %w", t.rank, p.peer, err))
+			return
+		}
+		atomic.AddInt64(&t.msgsRecv, 1)
+		atomic.AddInt64(&t.bytesRecv, int64(4+8*len(msg)))
+		select {
+		case p.recvQ <- msg:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *tcpPeer) Send(msg []float64) error {
+	select {
+	case p.sendQ <- msg:
+		return nil
+	case <-p.done:
+		select { // the writer drains the queue on close; prefer handing over
+		case p.sendQ <- msg:
+			return nil
+		default:
+			return p.fatal()
+		}
+	}
+}
+
+func (p *tcpPeer) Recv() ([]float64, error) {
+	select {
+	case msg := <-p.recvQ:
+		return msg, nil
+	case <-p.done:
+		select { // drain data delivered before the failure (see tcpEndpoint)
+		case msg := <-p.recvQ:
+			return msg, nil
+		default:
+			return nil, p.fatal()
+		}
+	}
+}
+
+func (p *tcpPeer) SendTimed(msg []float64, pol RetryPolicy) error {
+	d := pol.HopTimeout
+	timer := armTimer(&p.sendTimer, d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case p.sendQ <- msg:
+			return nil
+		case <-p.done:
+			select {
+			case p.sendQ <- msg:
+				return nil
+			default:
+				return p.fatal()
+			}
+		case <-timer.C:
+			if attempt >= pol.Retries {
+				return ErrHopTimeout
+			}
+			d = nextDeadline(d, pol)
+			timer.Reset(d)
+		}
+	}
+}
+
+func (p *tcpPeer) RecvTimed(pol RetryPolicy) ([]float64, error) {
+	d := pol.HopTimeout
+	timer := armTimer(&p.recvTimer, d)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case msg := <-p.recvQ:
+			return msg, nil
+		case <-p.done:
+			select {
+			case msg := <-p.recvQ:
+				return msg, nil
+			default:
+				return nil, p.fatal()
+			}
+		case <-timer.C:
+			if attempt >= pol.Retries {
+				return nil, ErrHopTimeout
+			}
+			d = nextDeadline(d, pol)
 			timer.Reset(d)
 		}
 	}

@@ -1,6 +1,10 @@
 package allreduce
 
-import "time"
+import (
+	"fmt"
+	"sync"
+	"time"
+)
 
 // Transport wires the n ranks of a ring together: it hands every rank an
 // Endpoint holding that rank's pair of neighbor links (send side toward the
@@ -31,6 +35,23 @@ type Transport interface {
 	Close() error
 }
 
+// PeerTransport extends Transport with direct links between arbitrary rank
+// pairs — what non-neighbor exchange schedules (halving-doubling's
+// distance-2^i rounds, the fold-in pre/post step) run over. Peer links are
+// separate from the ring links: creating or using one never perturbs ring
+// traffic, which is what keeps the ring goldens byte-identical whether or
+// not a transport grows the extension.
+type PeerTransport interface {
+	Transport
+	// Peer returns rank's endpoint on a dedicated bidirectional link to
+	// peer, creating the link on first use. The returned endpoint sends
+	// toward peer and receives from peer; each (rank, peer) ordered pair
+	// yields one stable endpoint, safe for a single goroutine like the ring
+	// endpoints. Errors when either rank is out of range, rank == peer, or
+	// rank is not local to this transport instance.
+	Peer(rank, peer int) (Endpoint, error)
+}
+
 // Endpoint is one rank's pair of neighbor links. Buffer ownership follows
 // message flow: Send transfers ownership of msg to the transport, and Recv
 // transfers ownership of the returned buffer to the caller — exactly the
@@ -58,9 +79,21 @@ type Endpoint interface {
 // transport must match bitwise.
 type ChanTransport struct {
 	n     int
+	depth int
 	links []chan []float64
 	eps   []chanEndpoint
+
+	// Peer links are built lazily under peersMu: most reduces are plain
+	// rings and should not pay for an n² mesh. Each ordered (from, to) pair
+	// has one directed channel; an endpoint pairs the two directions.
+	peersMu   sync.Mutex
+	peerLinks map[chanPeerKey]chan []float64
+	peerEps   map[chanPeerKey]*chanEndpoint
 }
+
+// chanPeerKey identifies one directed peer channel (and, keyed by the
+// owning side, one cached peer endpoint).
+type chanPeerKey struct{ from, to int }
 
 // NewChanTransport returns an in-process transport for n ranks whose links
 // buffer depth in-flight messages (depth < 1 is raised to 1; deeper buffers
@@ -72,7 +105,7 @@ func NewChanTransport(n, depth int) (*ChanTransport, error) {
 	if depth < 1 {
 		depth = 1
 	}
-	t := &ChanTransport{n: n, links: make([]chan []float64, n), eps: make([]chanEndpoint, n)}
+	t := &ChanTransport{n: n, depth: depth, links: make([]chan []float64, n), eps: make([]chanEndpoint, n)}
 	for i := range t.links {
 		t.links[i] = make(chan []float64, depth)
 	}
@@ -91,6 +124,37 @@ func (t *ChanTransport) Endpoint(rank int) Endpoint {
 		return nil
 	}
 	return &t.eps[rank]
+}
+
+// Peer returns rank's endpoint on the direct link to peer, creating the
+// two directed channels on first use. Endpoints are cached per ordered
+// pair so the guarded ops' per-direction timers stay single-owner.
+func (t *ChanTransport) Peer(rank, peer int) (Endpoint, error) {
+	if rank < 0 || rank >= t.n || peer < 0 || peer >= t.n || rank == peer {
+		return nil, fmt.Errorf("allreduce: no peer link %d→%d in a %d-rank transport", rank, peer, t.n)
+	}
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	key := chanPeerKey{rank, peer}
+	if ep := t.peerEps[key]; ep != nil {
+		return ep, nil
+	}
+	if t.peerLinks == nil {
+		t.peerLinks = make(map[chanPeerKey]chan []float64)
+		t.peerEps = make(map[chanPeerKey]*chanEndpoint)
+	}
+	link := func(from, to int) chan []float64 {
+		k := chanPeerKey{from, to}
+		ch := t.peerLinks[k]
+		if ch == nil {
+			ch = make(chan []float64, t.depth)
+			t.peerLinks[k] = ch
+		}
+		return ch
+	}
+	ep := &chanEndpoint{out: link(rank, peer), in: link(peer, rank)}
+	t.peerEps[key] = ep
+	return ep, nil
 }
 
 // Close is a no-op: channel links hold no external resources, and leaving

@@ -1,0 +1,52 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"cannikin/internal/stats"
+)
+
+// LinkModel is the fitted point-to-point cost of one ring hop,
+//
+//	t(b) = Alpha + Beta·b
+//
+// with Alpha the per-message latency in seconds and Beta the per-byte cost
+// (the inverse link bandwidth). It prices the collective-algorithm
+// selection in internal/allreduce: ring, halving-doubling, and pipelined
+// schedules trade the two constants differently, so fitting them from a
+// measured profile lets the runtime pick the argmin schedule per gradient
+// bucket instead of a hardcoded size threshold.
+type LinkModel struct {
+	Alpha float64 // per-hop latency, seconds
+	Beta  float64 // per-byte cost, seconds
+}
+
+// Cost predicts one hop carrying b bytes.
+func (m LinkModel) Cost(b float64) float64 { return m.Alpha + m.Beta*b }
+
+// Valid reports whether the constants are physically meaningful (both
+// strictly positive — the shape allreduce.Selector.Fitted requires).
+func (m LinkModel) Valid() bool { return m.Alpha > 0 && m.Beta > 0 }
+
+// FitLink fits the per-hop model from measured collectives: bytes[i] is
+// the per-message payload of one observed collective, secs[i] its measured
+// wall-clock time, and hops the number of serialized link traversals that
+// collective performs (2(n-1) for a ring reduce of n ranks). A least-
+// squares line through (bytes, secs) has slope hops·Beta and intercept
+// hops·Alpha. The observations must span at least two distinct payload
+// sizes, and the fitted constants must come out positive; otherwise
+// ErrNoModel — callers then keep the calibrated threshold fallback.
+func FitLink(bytes, secs []float64, hops float64) (LinkModel, error) {
+	if hops <= 0 {
+		return LinkModel{}, fmt.Errorf("perfmodel: link fit over %g hops", hops)
+	}
+	fit, err := stats.FitLine(bytes, secs)
+	if err != nil {
+		return LinkModel{}, fmt.Errorf("perfmodel: fit link: %w", err)
+	}
+	m := LinkModel{Alpha: fit.Intercept / hops, Beta: fit.Slope / hops}
+	if !m.Valid() {
+		return LinkModel{}, fmt.Errorf("%w: degenerate link fit (alpha=%g, beta=%g)", ErrNoModel, m.Alpha, m.Beta)
+	}
+	return m, nil
+}

@@ -1,0 +1,68 @@
+package perfmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// A noiseless profile generated from known constants must be recovered
+// exactly (up to float rounding): the fit divides the line's slope and
+// intercept by the hop count, so t(b) = hops·(α + β·b) round-trips.
+func TestFitLinkRecoversConstants(t *testing.T) {
+	const (
+		alpha = 35e-6  // 35 us per hop
+		beta  = 2.5e-9 // 0.4 GB/s
+		hops  = 6      // 2(n-1), n = 4
+	)
+	bytesObs := []float64{1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20}
+	secs := make([]float64, len(bytesObs))
+	for i, b := range bytesObs {
+		secs[i] = hops * (alpha + beta*b)
+	}
+	m, err := FitLink(bytesObs, secs, hops)
+	if err != nil {
+		t.Fatalf("FitLink: %v", err)
+	}
+	if !m.Valid() {
+		t.Fatalf("fitted model invalid: %+v", m)
+	}
+	if got := m.Alpha; math.Abs(got-alpha) > 1e-9*alpha+1e-18 {
+		t.Errorf("Alpha = %g, want %g", got, alpha)
+	}
+	if got := m.Beta; math.Abs(got-beta) > 1e-9*beta+1e-21 {
+		t.Errorf("Beta = %g, want %g", got, beta)
+	}
+	// Cost must predict the single-hop line, not the whole collective.
+	if got, want := m.Cost(64<<10), alpha+beta*(64<<10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost(64KiB) = %g, want %g", got, want)
+	}
+}
+
+func TestFitLinkDegenerateInputs(t *testing.T) {
+	good := []float64{1024, 2048, 4096}
+	secsFor := func(a, b float64) []float64 {
+		out := make([]float64, len(good))
+		for i, x := range good {
+			out[i] = a + b*x
+		}
+		return out
+	}
+
+	if _, err := FitLink(good, secsFor(1e-5, 1e-9), 0); err == nil {
+		t.Error("hops = 0: want error")
+	}
+	// A single payload size cannot pin down both constants.
+	if _, err := FitLink([]float64{4096, 4096, 4096}, []float64{1e-4, 1e-4, 1e-4}, 2); err == nil {
+		t.Error("single distinct payload: want error")
+	}
+	// Negative slope (timings shrink with size) is not a physical link:
+	// callers must get ErrNoModel and keep the threshold fallback.
+	if _, err := FitLink(good, secsFor(1e-3, -1e-7), 2); !errors.Is(err, ErrNoModel) {
+		t.Errorf("negative beta: want ErrNoModel, got %v", err)
+	}
+	// Negative intercept likewise (e.g. two noisy points on a steep line).
+	if _, err := FitLink(good, secsFor(-1e-3, 1e-6), 2); !errors.Is(err, ErrNoModel) {
+		t.Errorf("negative alpha: want ErrNoModel, got %v", err)
+	}
+}

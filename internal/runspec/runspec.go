@@ -55,6 +55,9 @@ type Spec struct {
 	MLPBatches   []int   `json:"mlp_batches,omitempty"`
 	BucketBytes  int     `json:"bucket_bytes,omitempty"`
 	KernelShards int     `json:"kernel_shards,omitempty"`
+	Allreduce    string  `json:"allreduce,omitempty"`
+	LinkAlpha    float64 `json:"link_alpha,omitempty"`
+	LinkBeta     float64 `json:"link_beta,omitempty"`
 	Faults       []Fault `json:"faults,omitempty"`
 	FaultReplan  string  `json:"fault_replan,omitempty"`
 
@@ -291,6 +294,12 @@ func Register(fs *flag.FlagSet) *Binding {
 		func(dst, src *Spec) { dst.BucketBytes = src.BucketBytes })
 	intf("kernel-shards", &s.KernelShards, "matmul kernel parallelism for -mlp: shard each matmul across this many goroutines (0 = leave serial; results are bitwise identical at any value)",
 		func(dst, src *Spec) { dst.KernelShards = src.KernelShards })
+	str("allreduce", &s.Allreduce, `collective algorithm for -mlp gradient buckets: "ring" (default), "hd" (recursive halving-doubling), "pipeline" (chunk-pipelined ring), or "auto" (cost-model argmin per bucket)`,
+		func(dst, src *Spec) { dst.Allreduce = src.Allreduce })
+	fs.Float64Var(&s.LinkAlpha, "link-alpha", s.LinkAlpha, `fitted per-hop link latency in seconds pricing "-allreduce auto" (0 = calibrated size thresholds)`)
+	b.override["link-alpha"] = func(dst, src *Spec) { dst.LinkAlpha = src.LinkAlpha }
+	fs.Float64Var(&s.LinkBeta, "link-beta", s.LinkBeta, `fitted per-byte link cost in seconds pricing "-allreduce auto" (0 = calibrated size thresholds)`)
+	b.override["link-beta"] = func(dst, src *Spec) { dst.LinkBeta = src.LinkBeta }
 	fs.Var(&faultsValue{&s.Faults}, "fault", `inject deterministic faults into the live MLP run: comma-separated events "kind:worker@step[:arg]" with kinds kill, stall (arg = duration), delay (arg = duration), drop (arg = count), e.g. "stall:0@3:40ms,kill:1@8"`)
 	b.override["fault"] = func(dst, src *Spec) { dst.Faults = src.Faults }
 	str("fault-replan", &s.FaultReplan, `survivor batch policy after an eviction: "keep" (default) or "optperf"`,

@@ -63,7 +63,11 @@ func TestLiveSteadyStateStepAllocsZero(t *testing.T) {
 				const nWorkers, batch = 2, 64
 				sizes := []int{32, 128, 64, 8}
 				replicas, opts, xs, labels := allocTestWorkers(t, nWorkers, batch, sizes)
-				exec := newLiveExec(replicas, opts, 1024, nil, merged) // 13k params: multi-bucket streaming
+				algs, err := bucketAlgorithms("", 0, 0, replicas[0].NumParams(), 1024, nWorkers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec := newLiveExec(replicas, opts, 1024, algs, nil, merged) // 13k params: multi-bucket streaming
 				defer exec.close()
 				stepWeights := []float64{0.5, 0.5}
 
@@ -108,7 +112,11 @@ func TestGuardedSteadyStateStepAllocsZero(t *testing.T) {
 		policy:      allreduce.RetryPolicy{}.WithDefaults(),
 		stepTimeout: 2 * time.Second,
 	}
-	exec := newLiveExec(replicas, opts, 1024, ft, false)
+	algs, err := bucketAlgorithms("", 0, 0, replicas[0].NumParams(), 1024, nWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := newLiveExec(replicas, opts, 1024, algs, ft, false)
 	defer exec.close()
 	stepWeights := []float64{0.5, 0.5}
 

@@ -122,9 +122,13 @@ type liveWorker struct {
 	dim       int
 	bucketLen int
 	buckets   int
-	ring      *allreduce.Ring
-	ft        *faultTolerance
-	closing   chan struct{}
+	// algs is the driver-resolved per-bucket collective schedule; every
+	// rank (and the sim backend) holds the identical slice, so all ranks of
+	// one bucket's reduce agree on the algorithm by construction.
+	algs    []allreduce.Algorithm
+	ring    *allreduce.Ring
+	ft      *faultTolerance
+	closing chan struct{}
 	// merged runs the worker as a single event-driven goroutine: each
 	// bucket is reduced inline at the backprop frontier instead of being
 	// handed to a comm goroutine (commQ/commDone stay nil). Chosen when
@@ -162,7 +166,7 @@ type liveWorker struct {
 	ackQ    chan time.Duration
 }
 
-func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faultTolerance, merged bool) *liveExec {
+func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, algs []allreduce.Algorithm, ft *faultTolerance, merged bool) *liveExec {
 	n := len(replicas)
 	ring, err := allreduce.NewRing(n, ringDepth)
 	if err != nil {
@@ -175,7 +179,7 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faul
 	}
 	e := &liveExec{
 		workers:       make([]*liveWorker, n),
-		prof:          &Profile{Workers: n, BucketLen: bucketLen},
+		prof:          &Profile{Workers: n, BucketLen: bucketLen, Dim: dim},
 		ft:            ft,
 		closing:       make(chan struct{}),
 		sampleBatches: make([]int, n),
@@ -200,6 +204,7 @@ func newLiveExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, ft *faul
 			dim:       dim,
 			bucketLen: bucketLen,
 			buckets:   buckets,
+			algs:      algs,
 			ring:      ring,
 			ft:        ft,
 			closing:   e.closing,
@@ -647,7 +652,7 @@ func (w *liveWorker) reduceBucket(k int, cs *commStats) {
 		hi = w.dim
 	}
 	t0 := time.Now()
-	_ = w.ring.ReduceWith(w.rank, w.commBuf[lo:hi], allreduce.Options{})
+	_ = w.ring.ReduceWith(w.rank, w.commBuf[lo:hi], allreduce.Options{Algorithm: w.algs[k]})
 	now := time.Now()
 	cs.busy += now.Sub(t0)
 	cs.lastDone = now
@@ -688,7 +693,7 @@ func (w *liveWorker) commLoop() {
 			newStep = false
 			continue
 		}
-		o := allreduce.Options{Guard: true, Policy: w.ft.policy}
+		o := allreduce.Options{Guard: true, Policy: w.ft.policy, Algorithm: w.algs[k]}
 		if newStep {
 			// The step's injected message faults hit its first send.
 			o.SendDelay = w.curFaults.SendDelay

@@ -108,6 +108,23 @@ type Config struct {
 	// CommMode selects the live backend's worker-goroutine layout:
 	// CommAuto (default), CommOverlap, or CommMerged. Sim ignores it.
 	CommMode string
+	// Allreduce selects the collective algorithm reducing gradient buckets:
+	// "" or "ring" (the default), "hd" (recursive halving-doubling),
+	// "pipeline" (chunk-pipelined ring), or "auto" (cost-model argmin per
+	// bucket). Unlike CommMode this is part of the arithmetic for three or
+	// more workers — each algorithm fixes its own IEEE association order —
+	// so the per-bucket choice is derived from the config alone
+	// (bucketAlgorithms) and every backend and process of one run derives
+	// the identical schedules: sim, live, and worker stay bitwise-equal at
+	// any setting.
+	Allreduce string
+	// LinkAlpha and LinkBeta price "auto": the fitted per-hop link cost
+	// t(b) = LinkAlpha + LinkBeta·b in seconds (from a measured
+	// Profile.LinkFit). Both zero means unfitted — auto then falls back to
+	// the calibrated size thresholds. All processes of a multi-rank run
+	// must share the same constants, or auto ranks would disagree on the
+	// schedule.
+	LinkAlpha, LinkBeta float64
 	// Dataset is the training set; evaluation runs on all of it.
 	Dataset *data.Dataset
 	// Src drives all run randomness (shard shuffling, replica init). The
@@ -187,6 +204,12 @@ func (c *Config) validate() error {
 	case "", CommAuto, CommOverlap, CommMerged:
 	default:
 		return fmt.Errorf("runtime: unknown comm mode %q", c.CommMode)
+	}
+	if _, err := allreduce.ParseAlgorithm(c.Allreduce); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	if c.LinkAlpha < 0 || c.LinkBeta < 0 {
+		return fmt.Errorf("runtime: negative link constants (alpha=%g, beta=%g)", c.LinkAlpha, c.LinkBeta)
 	}
 	if c.CommMode == CommMerged && c.Fault != nil {
 		return errors.New("runtime: merged comm mode is incompatible with fault injection (the guarded step needs the dedicated comm goroutine)")
@@ -386,14 +409,18 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 	}
 
 	bucketLen := bucketLenFor(cfg.BucketBytes, replicas[0].NumParams(), nWorkers)
+	algs, err := bucketAlgorithms(cfg.Allreduce, cfg.LinkAlpha, cfg.LinkBeta, replicas[0].NumParams(), bucketLen, nWorkers)
+	if err != nil {
+		return nil, err
+	}
 	merged := resolveCommMode(cfg.CommMode, nWorkers, ft)
 
 	var exec executor
 	switch backend {
 	case BackendSim:
-		exec = newSeqExec(replicas, opts, bucketLen)
+		exec = newSeqExec(replicas, opts, bucketLen, algs)
 	case BackendLive:
-		exec = newLiveExec(replicas, opts, bucketLen, ft, merged)
+		exec = newLiveExec(replicas, opts, bucketLen, algs, ft, merged)
 	}
 	defer func() {
 		if exec != nil {
@@ -492,7 +519,7 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 					// never applied), so a successful retry is
 					// bitwise-identical to an undisturbed run.
 					exec.close()
-					le2 := newLiveExec(replicas, opts, bucketLen, ft, merged)
+					le2 := newLiveExec(replicas, opts, bucketLen, algs, ft, merged)
 					le2.prof = le.prof
 					le, exec = le2, le2
 				}

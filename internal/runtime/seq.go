@@ -18,24 +18,30 @@ type seqExec struct {
 	replicas  []*nn.Network
 	opts      []*nn.SGD
 	bucketLen int
+	// algs is the per-bucket collective schedule, resolved once by the
+	// driver (bucketAlgorithms) so sim and live reduce identically.
+	algs []allreduce.Algorithm
 	// Persistent step state: flat gradient staging buffers, per-replica
-	// loss-gradient workspaces, cached parameter slices, and the GNS sample
-	// backing arrays. All are reused across steps, so the steady-state step
-	// re-allocates none of them.
+	// loss-gradient workspaces, cached parameter slices, the per-bucket
+	// view slice, and the GNS sample backing arrays. All are reused across
+	// steps, so the steady-state step re-allocates none of them.
 	grads   [][]float64
+	views   [][]float64
 	dlogits []*tensor.T
 	params  [][]*nn.Param
 	batches []int
 	localSq []float64
 }
 
-func newSeqExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int) *seqExec {
+func newSeqExec(replicas []*nn.Network, opts []*nn.SGD, bucketLen int, algs []allreduce.Algorithm) *seqExec {
 	n := len(replicas)
 	e := &seqExec{
 		replicas:  replicas,
 		opts:      opts,
 		bucketLen: bucketLen,
+		algs:      algs,
 		grads:     make([][]float64, n),
+		views:     make([][]float64, n),
 		dlogits:   make([]*tensor.T, n),
 		params:    make([][]*nn.Param, n),
 		batches:   make([]int, n),
@@ -66,8 +72,20 @@ func (e *seqExec) step(epoch, step int, xs []*tensor.T, labels [][]int, stepWeig
 		sample.Batches[i] = xs[i].Rows()
 		sample.LocalSqNorms[i] = sqNorm(e.grads[i])
 	}
-	if err := allreduce.AllReduceBuckets(e.grads, stepWeights, e.bucketLen); err != nil {
-		return sample, err
+	// Bucket-by-bucket reduce under the driver's per-bucket schedule —
+	// the same (bucket, algorithm) sequence the live workers run.
+	dim := len(e.grads[0])
+	for k, lo := 0, 0; lo < dim; k, lo = k+1, lo+e.bucketLen {
+		hi := lo + e.bucketLen
+		if hi > dim {
+			hi = dim
+		}
+		for i, g := range e.grads {
+			e.views[i] = g[lo:hi]
+		}
+		if err := allreduce.AllReduceAlg(e.views, stepWeights, e.algs[k]); err != nil {
+			return sample, err
+		}
 	}
 	sample.GlobalSqNorm = sqNorm(e.grads[0])
 	for i, net := range e.replicas {

@@ -98,8 +98,13 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	params := net.Params()
 	dim := net.NumParams()
 	// Every process must derive the identical partition from the shared
-	// Config alone — bucketLenFor depends only on (BucketBytes, dim, n).
+	// Config alone — bucketLenFor depends only on (BucketBytes, dim, n) and
+	// bucketAlgorithms only on the shared algorithm fields.
 	bucketLen := bucketLenFor(cfg.BucketBytes, dim, n)
+	algs, err := bucketAlgorithms(cfg.Allreduce, cfg.LinkAlpha, cfg.LinkBeta, dim, bucketLen, n)
+	if err != nil {
+		return nil, err
+	}
 
 	rank := cfg.Rank
 	opts := allreduce.Options{Guard: cfg.Guard, Policy: cfg.Policy}
@@ -172,12 +177,14 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 			for j, g := range grad {
 				commBuf[j] = g * w
 			}
-			for lo := 0; lo < dim; lo += bucketLen {
+			for k, lo := 0, 0; lo < dim; k, lo = k+1, lo+bucketLen {
 				hi := lo + bucketLen
 				if hi > dim {
 					hi = dim
 				}
-				if err := cfg.Ring.ReduceWith(rank, commBuf[lo:hi], opts); err != nil {
+				o := opts
+				o.Algorithm = algs[k]
+				if err := cfg.Ring.ReduceWith(rank, commBuf[lo:hi], o); err != nil {
 					return nil, err
 				}
 			}
@@ -236,6 +243,37 @@ const (
 	minAutoBucketBytes  = 256 << 10
 	autoBucketHopBudget = 16
 )
+
+// bucketAlgorithms resolves the configured collective algorithm to one
+// concrete schedule per gradient bucket. "auto" is priced per bucket with
+// the fitted link constants (allreduce.Selector); the result never
+// contains AlgoAuto, so the executors pass fully-resolved schedules to the
+// ring. Like the bucket partition itself, the choice is a pure function of
+// the shared config — (algo, alpha, beta, dim, bucketLen, workers) — never
+// of scheduling state, so sim, live, and every process of a multi-rank run
+// derive the identical schedules and the trained weights stay
+// bitwise-reproducible.
+func bucketAlgorithms(algo string, alpha, beta float64, dim, bucketLen, workers int) ([]allreduce.Algorithm, error) {
+	a, err := allreduce.ParseAlgorithm(algo)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	sel := allreduce.Selector{Alpha: alpha, Beta: beta}
+	buckets := (dim + bucketLen - 1) / bucketLen
+	if buckets < 1 {
+		buckets = 1
+	}
+	out := make([]allreduce.Algorithm, buckets)
+	for k := range out {
+		lo := k * bucketLen
+		hi := lo + bucketLen
+		if hi > dim {
+			hi = dim
+		}
+		out[k] = sel.Resolve(a, workers, hi-lo)
+	}
+	return out, nil
+}
 
 // bucketLenFor converts the configured bucket cap to a per-bucket element
 // count: explicit positive caps are honored as-is (DDP semantics), zero

@@ -42,6 +42,9 @@ func runMLPJob(ctx context.Context, spec *runspec.Spec, onEpoch func(jobs.Epoch)
 		Seed:         spec.Seed,
 		BucketBytes:  spec.BucketBytes,
 		KernelShards: spec.KernelShards,
+		Allreduce:    spec.Allreduce,
+		LinkAlpha:    spec.LinkAlpha,
+		LinkBeta:     spec.LinkBeta,
 		Fault:        faultsToConfig(spec.Faults, spec.FaultReplan),
 	}
 	if spec.Epochs > 0 {

@@ -64,6 +64,12 @@ go build -o "$BIN/cannikin-worker" ./cmd/cannikin-worker
 echo "== live-backend smoke: short epochs through the CLI =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 -kernel-shards 2 >/dev/null
 
+# The collective-engine benchmarks feed scripts/bench.sh's JSON parser and
+# the benchcheck gates; a renamed sub-benchmark or a panicking algorithm
+# path should fail here, not silently produce a malformed BENCH file.
+echo "== allreduce bench smoke: every algorithm x worker x dim runs once =="
+go test -run '^$' -bench 'BenchmarkAllReduce$' -benchtime 1x . >/dev/null
+
 # Profiling must stay wired up: the live-vs-sequential bench is the tool
 # used to chase scheduling regressions, so a broken -cpuprofile path (or a
 # bench rename) should fail CI, not be discovered mid-investigation.
