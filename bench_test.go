@@ -495,6 +495,71 @@ func BenchmarkRingTransport(b *testing.B) {
 	})
 }
 
+// BenchmarkElasticJoin prices a hot-join. The `join` leg trains w workers
+// for one epoch, admits worker w+1 at the epoch boundary (probe passes,
+// bitwise checkpoint verification, ring rebuild, Eq. 9 rescale), and
+// trains one grown epoch. The `split` leg performs the identical training
+// arithmetic as two static runs handed over in-process by checkpoint —
+// prefix at w workers, continuation at w+1 from the prefix's final
+// weights+velocity under the join's resume label — with no membership
+// machinery at all. join/split is therefore the elasticity tax;
+// scripts/bench.sh records both legs into BENCH_runtime.json's
+// join_latency table and scripts/benchcheck caps the ratio.
+func BenchmarkElasticJoin(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		batches []int
+		join    int
+	}{
+		{"w2to3", []int{16, 16}, 16},
+		{"w4to5", []int{8, 8, 8, 8}, 8},
+	} {
+		base := MLPConfig{
+			Hidden:  []int{128, 64},
+			Dim:     32,
+			Classes: 8,
+			Samples: 2000,
+			Epochs:  2,
+			Seed:    1,
+			Backend: "live",
+		}
+		b.Run(tc.name+"/join", func(b *testing.B) {
+			cfg := base
+			cfg.LocalBatches = tc.batches
+			cfg.Joins = []JoinSpec{{Epoch: 1, Batch: tc.join}}
+			for i := 0; i < b.N; i++ {
+				res, err := TrainMLP(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Joins) != 1 {
+					b.Fatalf("got %d join records, want 1", len(res.Joins))
+				}
+			}
+		})
+		b.Run(tc.name+"/split", func(b *testing.B) {
+			pre := base
+			pre.LocalBatches = tc.batches
+			pre.Epochs = 1
+			cont := base
+			cont.LocalBatches = append(append([]int{}, tc.batches...), tc.join)
+			cont.Epochs = 1
+			cont.Resume = "join-1"
+			for i := 0; i < b.N; i++ {
+				preRes, err := TrainMLP(pre)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cont.InitWeights = preRes.FinalWeights
+				cont.InitVelocity = preRes.FinalVelocity
+				if _, err := TrainMLP(cont); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTrainMLPLiveVsSequential runs the identical training job on the
 // sequential reference and the live concurrent engine at increasing worker
 // counts. Both produce bitwise-identical weights; the ratio of their times

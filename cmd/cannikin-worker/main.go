@@ -71,9 +71,15 @@ func run(args []string, w io.Writer) error {
 		Allreduce:    spec.Allreduce,
 		LinkAlpha:    spec.LinkAlpha,
 		LinkBeta:     spec.LinkBeta,
+		Resume:       spec.Resume,
 	}
 	if spec.Epochs > 0 {
 		cfg.Epochs = spec.Epochs
+	}
+	if spec.CheckpointIn != "" {
+		if cfg.InitWeights, cfg.InitVelocity, err = cannikin.LoadCheckpoint(spec.CheckpointIn); err != nil {
+			return err
+		}
 	}
 	res, st, err := cannikin.TrainMLPWorker(cfg, cannikin.WorkerRingConfig{
 		Rank:       spec.Rank,
@@ -84,6 +90,13 @@ func run(args []string, w io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	// Every rank holds identical weights, so one writer suffices — and
+	// avoids racing writes to a shared path.
+	if spec.CheckpointOut != "" && spec.Rank == 0 {
+		if err := cannikin.SaveCheckpoint(spec.CheckpointOut, res.FinalWeights, res.FinalVelocity); err != nil {
+			return err
+		}
 	}
 
 	if err := printEpochs(w, res, spec.CSV); err != nil {

@@ -144,7 +144,7 @@ func run(args []string, w io.Writer) error {
 }
 
 // mlpConfigOf translates the spec's MLP fields to the public config.
-func mlpConfigOf(spec *runspec.Spec) cannikin.MLPConfig {
+func mlpConfigOf(spec *runspec.Spec) (cannikin.MLPConfig, error) {
 	cfg := cannikin.MLPConfig{
 		LocalBatches: spec.MLPBatches,
 		Backend:      spec.Backend,
@@ -156,20 +156,48 @@ func mlpConfigOf(spec *runspec.Spec) cannikin.MLPConfig {
 		LinkAlpha:    spec.LinkAlpha,
 		LinkBeta:     spec.LinkBeta,
 		Fault:        faultsToConfig(spec.Faults, spec.FaultReplan),
+		Resume:       spec.Resume,
 	}
 	if spec.Epochs > 0 {
 		cfg.Epochs = spec.Epochs
 	}
-	return cfg
+	for _, j := range spec.Joins {
+		cfg.Joins = append(cfg.Joins, cannikin.JoinSpec{Epoch: j.Epoch, Batch: j.Batch, Replan: j.Replan})
+	}
+	if spec.AutoscaleMax > 0 || spec.AutoscaleShrink > 0 {
+		cfg.Autoscale = &cannikin.AutoscaleConfig{
+			MinWorkers:      spec.AutoscaleMin,
+			MaxWorkers:      spec.AutoscaleMax,
+			GrowThreshold:   spec.AutoscaleGrow,
+			ShrinkThreshold: spec.AutoscaleShrink,
+			JoinBatch:       spec.AutoscaleBatch,
+		}
+	}
+	if spec.CheckpointIn != "" {
+		var err error
+		if cfg.InitWeights, cfg.InitVelocity, err = cannikin.LoadCheckpoint(spec.CheckpointIn); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
 }
 
 // runMLP trains the real data-parallel MLP on the selected in-process
 // backend and prints the per-epoch trace plus, for the live backend, the
 // measured timing profile and the performance model fitted from it.
 func runMLP(w io.Writer, spec *runspec.Spec) error {
-	res, err := cannikin.TrainMLP(mlpConfigOf(spec))
+	cfg, err := mlpConfigOf(spec)
 	if err != nil {
 		return err
+	}
+	res, err := cannikin.TrainMLP(cfg)
+	if err != nil {
+		return err
+	}
+	if spec.CheckpointOut != "" {
+		if err := cannikin.SaveCheckpoint(spec.CheckpointOut, res.FinalWeights, res.FinalVelocity); err != nil {
+			return err
+		}
 	}
 	if err := printMLPEpochs(w, res, spec.CSV); err != nil {
 		return err
@@ -178,6 +206,14 @@ func runMLP(w io.Writer, spec *runspec.Spec) error {
 		res.Backend, res.Workers, intsToString(spec.MLPBatches), res.Steps, res.FinalAccuracy)
 	for _, f := range res.FaultEvents {
 		fmt.Fprintf(w, "fault: step %d worker %d %s %.3g\n", f.Step, f.Node, f.Kind, f.Value)
+	}
+	for i, jr := range res.Joins {
+		plan := "incumbents kept their batches"
+		if jr.Replanned {
+			plan = "re-planned batches with OptPerf"
+		}
+		fmt.Fprintf(w, "join: epoch %d step %d worker %d joined with batch %d (%s); grown batches %s, %s; resume label join-%d\n",
+			jr.Epoch, jr.Step, jr.Worker, jr.Batch, jr.Reason, intsToString(jr.Batches), plan, i+1)
 	}
 	for _, ev := range res.Evictions {
 		plan := "kept survivor batches"
@@ -230,15 +266,149 @@ func runMLPCoordinator(w io.Writer, spec *runspec.Spec) error {
 	if spec.Backend == "live" {
 		return fmt.Errorf("-transport tcp runs one process per worker; -backend live is the in-process engine")
 	}
+	if spec.AutoscaleMax > 0 || spec.AutoscaleShrink > 0 {
+		return fmt.Errorf("the autoscaler is not supported with -transport tcp: its decisions depend on wall-clock probes the coordinator cannot replay across process generations (use -join for a scheduled grow)")
+	}
 	if _, err := runspec.ParseBatchDelay(spec.BatchDelay); err != nil {
 		return err
 	}
+	workerBin, err := findWorkerBin(spec.WorkerBin)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "cannikin-run")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if len(spec.Joins) > 0 {
+		return runMLPElasticCoordinator(w, spec, workerBin, dir)
+	}
+
+	hash, out0, err := launchGeneration(w, spec, workerBin, filepath.Join(dir, "run.json"))
+	if err != nil {
+		return err
+	}
+
+	// The channel-transport reference: same seed, in this process.
+	refSpec := *spec
+	refSpec.Backend = "sim"
+	refCfg, err := mlpConfigOf(&refSpec)
+	if err != nil {
+		return err
+	}
+	ref, err := cannikin.TrainMLP(refCfg)
+	if err != nil {
+		return fmt.Errorf("channel reference run: %w", err)
+	}
+	refHash := weightsHash(ref.FinalWeights)
+	if refHash != hash {
+		return fmt.Errorf("tcp weights %s diverged from channel-transport reference %s", hash, refHash)
+	}
+
+	io.WriteString(w, out0)
+	fmt.Fprintf(w, "tcp transport: %d worker processes, weights sha256 %s — identical on every rank and to the channel-transport reference\n",
+		len(spec.MLPBatches), hash[:16])
+	return nil
+}
+
+// runMLPElasticCoordinator runs a hot-join schedule across OS processes by
+// decomposing the elastic run into fixed-membership process generations:
+// each generation trains its epoch segment, rank 0 writes the
+// weights+velocity checkpoint, and the next generation — one worker wider —
+// resumes from it under the same "join-<n>" randomness label the in-process
+// engine derives at a join. The final weights are verified identical on
+// every rank of the last generation AND against an in-process hot-join
+// reference of the full schedule, so the multi-process join is held to the
+// same bitwise standard as the single-process one.
+func runMLPElasticCoordinator(w io.Writer, spec *runspec.Spec, workerBin, dir string) error {
+	if spec.Resume != "" {
+		return fmt.Errorf("-resume cannot be combined with -join under -transport tcp: the generational resume labels are derived from the join sequence itself")
+	}
+	epochs := spec.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	prev := 0
+	for _, j := range spec.Joins {
+		if j.Replan == "optperf" {
+			return fmt.Errorf("-join replan optperf is not supported with -transport tcp: the re-planned batches depend on a runtime probe the next generation cannot know ahead of time")
+		}
+		if j.Epoch <= prev || j.Epoch >= epochs {
+			return fmt.Errorf("tcp joins need strictly increasing epochs in (0, %d): got %q", epochs, runspec.FormatJoins(spec.Joins))
+		}
+		prev = j.Epoch
+	}
+
+	batches := append([]int(nil), spec.MLPBatches...)
+	resume, checkIn := "", spec.CheckpointIn
+	segStart := 0
+	var hash, out0 string
+	for gi := 0; gi <= len(spec.Joins); gi++ {
+		segEnd := epochs
+		if gi < len(spec.Joins) {
+			segEnd = spec.Joins[gi].Epoch
+		}
+		gen := *spec
+		gen.MLPBatches = batches
+		gen.Epochs = segEnd - segStart
+		gen.Peers = nil // fresh loopback ports per generation
+		gen.Joins = nil
+		gen.Resume = resume
+		gen.CheckpointIn = checkIn
+		gen.CheckpointOut = ""
+		ckpt := filepath.Join(dir, fmt.Sprintf("gen%d.ckpt", gi+1))
+		if gi < len(spec.Joins) {
+			gen.CheckpointOut = ckpt
+		}
+		fmt.Fprintf(w, "generation %d: %d workers (batches %s), epochs [%d, %d), resume %q\n",
+			gi+1, len(batches), intsToString(batches), segStart, segEnd, resume)
+		h, o, err := launchGeneration(w, &gen, workerBin, filepath.Join(dir, fmt.Sprintf("gen%d.json", gi+1)))
+		if err != nil {
+			return fmt.Errorf("generation %d: %w", gi+1, err)
+		}
+		hash, out0 = h, o
+		if gi < len(spec.Joins) {
+			checkIn = ckpt
+			resume = fmt.Sprintf("join-%d", gi+1)
+			batches = append(batches, spec.Joins[gi].Batch)
+			segStart = segEnd
+		}
+	}
+
+	// The in-process hot-join reference: the full elastic schedule in one
+	// process, chan transport.
+	refSpec := *spec
+	refSpec.Backend = "sim"
+	refCfg, err := mlpConfigOf(&refSpec)
+	if err != nil {
+		return err
+	}
+	ref, err := cannikin.TrainMLP(refCfg)
+	if err != nil {
+		return fmt.Errorf("elastic reference run: %w", err)
+	}
+	refHash := weightsHash(ref.FinalWeights)
+	if refHash != hash {
+		return fmt.Errorf("tcp elastic weights %s diverged from in-process hot-join reference %s", hash, refHash)
+	}
+
+	io.WriteString(w, out0)
+	fmt.Fprintf(w, "tcp elastic: %d process generations grew %d -> %d workers; final weights sha256 %s — identical on every rank and to the in-process hot-join reference\n",
+		len(spec.Joins)+1, len(spec.MLPBatches), len(batches), hash[:16])
+	return nil
+}
+
+// launchGeneration spawns one fixed-membership set of cannikin-worker
+// processes from the spec, waits for them all, and returns the
+// cross-checked weights hash plus rank 0's output.
+func launchGeneration(w io.Writer, spec *runspec.Spec, workerBin, specPath string) (hash, rank0 string, err error) {
 	n := len(spec.MLPBatches)
 	peers := spec.Peers
 	if len(peers) == 0 {
 		addrs, listeners, err := allreduce.ReserveRingAddrs(n)
 		if err != nil {
-			return err
+			return "", "", err
 		}
 		// The workers re-bind these just-vacated ports themselves.
 		for _, ln := range listeners {
@@ -247,11 +417,7 @@ func runMLPCoordinator(w io.Writer, spec *runspec.Spec) error {
 		peers = addrs
 	}
 	if len(peers) != n {
-		return fmt.Errorf("%d peers for %d workers", len(peers), n)
-	}
-	workerBin, err := findWorkerBin(spec.WorkerBin)
-	if err != nil {
-		return err
+		return "", "", fmt.Errorf("%d peers for %d workers", len(peers), n)
 	}
 
 	// One shared spec file; each rank overrides -rank on its command line.
@@ -259,14 +425,8 @@ func runMLPCoordinator(w io.Writer, spec *runspec.Spec) error {
 	shared.Peers = peers
 	shared.Backend = ""
 	shared.Transport = runspec.TransportTCP
-	dir, err := os.MkdirTemp("", "cannikin-run")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(dir)
-	specPath := filepath.Join(dir, "run.json")
 	if err := shared.Save(specPath); err != nil {
-		return err
+		return "", "", err
 	}
 
 	fmt.Fprintf(w, "spawning %d cannikin-worker processes over tcp (%s)\n", n, strings.Join(peers, ", "))
@@ -277,7 +437,7 @@ func runMLPCoordinator(w io.Writer, spec *runspec.Spec) error {
 		cmds[i].Stdout = &outs[i]
 		cmds[i].Stderr = &outs[i]
 		if err := cmds[i].Start(); err != nil {
-			return fmt.Errorf("start rank %d: %w", i, err)
+			return "", "", fmt.Errorf("start rank %d: %w", i, err)
 		}
 	}
 	var runErr error
@@ -292,37 +452,21 @@ func runMLPCoordinator(w io.Writer, spec *runspec.Spec) error {
 				fmt.Fprintf(w, "[rank %d] %s\n", i, line)
 			}
 		}
-		return runErr
+		return "", "", runErr
 	}
 
 	hashes := make([]string, n)
 	for i := range outs {
 		if hashes[i] = extractWeightsHash(outs[i].String()); hashes[i] == "" {
-			return fmt.Errorf("rank %d printed no weights hash:\n%s", i, outs[i].String())
+			return "", "", fmt.Errorf("rank %d printed no weights hash:\n%s", i, outs[i].String())
 		}
 	}
 	for i := 1; i < n; i++ {
 		if hashes[i] != hashes[0] {
-			return fmt.Errorf("rank %d weights %s diverged from rank 0 weights %s", i, hashes[i], hashes[0])
+			return "", "", fmt.Errorf("rank %d weights %s diverged from rank 0 weights %s", i, hashes[i], hashes[0])
 		}
 	}
-
-	// The channel-transport reference: same seed, in this process.
-	refSpec := *spec
-	refSpec.Backend = "sim"
-	ref, err := cannikin.TrainMLP(mlpConfigOf(&refSpec))
-	if err != nil {
-		return fmt.Errorf("channel reference run: %w", err)
-	}
-	refHash := weightsHash(ref.FinalWeights)
-	if refHash != hashes[0] {
-		return fmt.Errorf("tcp weights %s diverged from channel-transport reference %s", hashes[0], refHash)
-	}
-
-	io.WriteString(w, outs[0].String())
-	fmt.Fprintf(w, "tcp transport: %d worker processes, weights sha256 %s — identical on every rank and to the channel-transport reference\n",
-		n, hashes[0][:16])
-	return nil
+	return hashes[0], outs[0].String(), nil
 }
 
 // findWorkerBin locates cannikin-worker: the explicit flag, then next to

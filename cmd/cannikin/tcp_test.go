@@ -63,6 +63,36 @@ func TestRunTCPCoordinatorGuarded(t *testing.T) {
 	}
 }
 
+// TestRunTCPElasticJoin is the multi-process hot-join check: the
+// coordinator decomposes the join schedule into two process generations (3
+// workers, then a 4th joins mid-run), hands the weights+velocity checkpoint
+// between them, and the final weights must be identical on every rank of
+// the grown ring AND bitwise-equal to an in-process hot-join reference of
+// the full schedule.
+func TestRunTCPElasticJoin(t *testing.T) {
+	bin := buildWorkerBin(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-mlp", "-transport", "tcp", "-mlp-batches", "6,4,2",
+		"-epochs", "2", "-join", "1:4", "-seed", "5", "-worker-bin", bin,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("elastic coordinator: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"generation 1: 3 workers (batches 6/4/2), epochs [0, 1)",
+		"generation 2: 4 workers (batches 6/4/2/4), epochs [1, 2), resume \"join-1\"",
+		"spawning 4 cannikin-worker processes over tcp",
+		"tcp elastic: 2 process generations grew 3 -> 4 workers",
+		"identical on every rank and to the in-process hot-join reference",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestRunTCPRejects pins the coordinator's argument validation.
 func TestRunTCPRejects(t *testing.T) {
 	cases := [][]string{
@@ -71,6 +101,13 @@ func TestRunTCPRejects(t *testing.T) {
 		{"-mlp", "-transport", "tcp", "-batch-delay", "bogus"},
 		{"-mlp", "-transport", "tcp", "-mlp-batches", "8,4", "-peers", "h1:1"},
 		{"-transport", "tcp"}, // tcp without -mlp
+		// Elastic limits of the generational coordinator (-worker-bin so
+		// validation, not binary discovery, is what rejects).
+		{"-mlp", "-transport", "tcp", "-epochs", "3", "-join", "1:4:optperf", "-worker-bin", "/bin/true"},
+		{"-mlp", "-transport", "tcp", "-epochs", "3", "-join", "1:4", "-resume", "r", "-worker-bin", "/bin/true"},
+		{"-mlp", "-transport", "tcp", "-epochs", "3", "-join", "2:4,2:2", "-worker-bin", "/bin/true"},
+		{"-mlp", "-transport", "tcp", "-epochs", "3", "-join", "3:4", "-worker-bin", "/bin/true"},
+		{"-mlp", "-transport", "tcp", "-autoscale-max", "4"},
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer

@@ -134,6 +134,10 @@ type Event struct {
 	Error string `json:"error,omitempty"`
 	// Epoch accompanies type "epoch".
 	Epoch *Epoch `json:"epoch,omitempty"`
+	// Workers and Devices accompany type "resize": the job's new membership
+	// width and device grant.
+	Workers int   `json:"workers,omitempty"`
+	Devices []int `json:"devices,omitempty"`
 }
 
 // Runner executes one admitted job. Run must honor ctx (a canceled context
@@ -202,8 +206,12 @@ type Stats struct {
 	Queued        int `json:"queued"`
 	MaxQueueDepth int `json:"max_queue_depth"`
 	// PlanEvents counts cluster-level re-planning rounds (arrival, finish,
-	// failure, cancellation, drain).
+	// failure, cancellation, resize, drain).
 	PlanEvents int `json:"plan_events"`
+	// Grown and Shrunk count committed job resizes by direction (explicit
+	// Resize calls and autoscaler decisions alike).
+	Grown  int `json:"grown"`
+	Shrunk int `json:"shrunk"`
 	// GoodputGranted accumulates the allocator's predicted goodput of every
 	// grant actually made; GoodputEqualSplit accumulates, at the same
 	// decision points on the same pool state, what the naive equal-split

@@ -1,0 +1,204 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNotRunning reports a resize against a job that is not currently
+// running; only running jobs hold devices to grow or shrink.
+var ErrNotRunning = errors.New("jobs: job not running")
+
+// AutoscalePolicy is the scheduler-level elastic policy: after every epoch
+// report it re-prices the reporting job's membership with the goodput
+// model and grows the job onto the fastest free device when the marginal
+// device's predicted contribution exceeds GrowThreshold, or sheds the
+// job's slowest device when the marginal device is worth less than
+// ShrinkThreshold. Growth never preempts waiting jobs: a job only grows
+// while the queue is empty.
+type AutoscalePolicy struct {
+	// GrowThreshold is the minimum relative predicted-goodput gain that
+	// justifies granting one more device (default 0.05).
+	GrowThreshold float64
+	// ShrinkThreshold, when positive, sheds the job's marginal device
+	// whenever it contributes less than this relative goodput fraction.
+	// Zero disables shrinking.
+	ShrinkThreshold float64
+	// MinWorkers and MaxWorkers bound per-job membership (defaults: the
+	// job's submitted width and the pool size).
+	MinWorkers, MaxWorkers int
+}
+
+func (p *AutoscalePolicy) growThreshold() float64 {
+	if p.GrowThreshold > 0 {
+		return p.GrowThreshold
+	}
+	return 0.05
+}
+
+// Resize grows or shrinks a running job's device grant to the given worker
+// count. Growth takes the fastest free devices under the job's profile and
+// requires enough free capacity; shrinking releases the job's slowest
+// devices and immediately re-plans the queue over the freed capacity. The
+// transition is reported to watchers as a "resize" event and counted in
+// Stats.Grown/Shrunk, with the goodput-vs-equal-split counterfactual
+// accounting extended across the resize.
+func (s *Scheduler) Resize(id string, workers int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	return s.resizeLocked(j, workers)
+}
+
+func (s *Scheduler) resizeLocked(j *job, workers int) error {
+	if j.state != StateRunning {
+		return fmt.Errorf("%w: %s is %s", ErrNotRunning, j.id, j.state)
+	}
+	if workers < 1 {
+		return fmt.Errorf("jobs: resize %s to %d workers", j.id, workers)
+	}
+	if workers == j.workers {
+		return nil
+	}
+	a := s.askOf(j)
+	shrink := workers < j.workers
+	if !shrink {
+		delta := workers - j.workers
+		free := s.pool.freeDevices()
+		if len(free) < delta {
+			return fmt.Errorf("jobs: resize %s to %d workers needs %d free devices, pool has %d",
+				j.id, workers, delta, len(free))
+		}
+		grow := a
+		grow.workers = delta
+		added := fastestFor(free, grow)
+		ids := make([]int, len(added))
+		for i, d := range added {
+			ids[i] = d.ID
+		}
+		s.pool.acquire(ids, j.id)
+		j.devices = append(j.devices, ids...)
+		sort.Ints(j.devices)
+		s.stats.Grown++
+	} else {
+		held := s.heldDevices(j)
+		keep := a
+		keep.workers = workers
+		kept := fastestFor(held, keep)
+		keptIDs := make(map[int]bool, len(kept))
+		for _, d := range kept {
+			keptIDs[d.ID] = true
+		}
+		var dropIDs []int
+		for _, d := range held {
+			if !keptIDs[d.ID] {
+				dropIDs = append(dropIDs, d.ID)
+			}
+		}
+		s.pool.releaseDevices(dropIDs, j.id)
+		j.devices = j.devices[:0]
+		for _, d := range kept {
+			j.devices = append(j.devices, d.ID)
+		}
+		sort.Ints(j.devices)
+		s.stats.Shrunk++
+	}
+	j.workers = workers
+	a.workers = workers
+	held := s.heldDevices(j)
+	j.goodput = predictGoodput(held, a)
+	// Counterfactual accounting across the resize: the grant actually made
+	// (fastest devices, proportional shards) against what the naive
+	// baseline would extract from the same membership width on the
+	// first-by-ID candidate set with equal shards.
+	s.stats.GoodputGranted += j.goodput
+	s.stats.GoodputEqualSplit += predictEqualSplit(s.firstByID(j, workers), a)
+	s.stats.PlanEvents++
+	ev := Event{Job: j.id, Type: "resize", Workers: workers, Devices: append([]int(nil), j.devices...)}
+	s.notifyLocked(j, ev)
+	if shrink {
+		// A shrink freed capacity: re-plan the waiting queue over it.
+		s.dispatchLocked()
+	}
+	return nil
+}
+
+// askOf rebuilds the allocator's view of a job's resource request.
+func (s *Scheduler) askOf(j *job) ask {
+	return ask{
+		id: j.id, index: j.index, workers: j.workers, batch: j.batch,
+		base: j.base, noise: s.askNoise(j), profile: j.profile,
+	}
+}
+
+// heldDevices returns the job's granted devices in ID order.
+func (s *Scheduler) heldDevices(j *job) []*Device {
+	out := make([]*Device, 0, len(j.devices))
+	for _, id := range j.devices {
+		out = append(out, s.pool.devices[id])
+	}
+	return out
+}
+
+// firstByID is the naive counterfactual's candidate set for a membership
+// of the given width: the lowest-ID devices among the job's held devices
+// plus the free pool — what a speed-blind allocator would hand out.
+func (s *Scheduler) firstByID(j *job, workers int) []*Device {
+	cands := append([]*Device(nil), s.heldDevices(j)...)
+	cands = append(cands, s.pool.freeDevices()...)
+	sort.Slice(cands, func(a, b int) bool { return cands[a].ID < cands[b].ID })
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	return cands[:workers]
+}
+
+// autoscaleLocked is the per-epoch elastic evaluation for one running job:
+// grow by one device when the marginal free device's predicted goodput
+// contribution clears the threshold (and no job is waiting), shrink by one
+// when the job's own marginal device is not pulling its weight.
+func (s *Scheduler) autoscaleLocked(j *job) {
+	p := s.cfg.Autoscale
+	if p == nil || j.state != StateRunning {
+		return
+	}
+	maxW := p.MaxWorkers
+	if maxW <= 0 || maxW > s.pool.Size() {
+		maxW = s.pool.Size()
+	}
+	minW := p.MinWorkers
+	if minW <= 0 {
+		minW = 1
+	}
+	a := s.askOf(j)
+	held := s.heldDevices(j)
+	cur := predictGoodput(held, a)
+	if cur <= 0 {
+		return
+	}
+	if len(s.queue) == 0 && j.workers < maxW {
+		free := s.pool.freeDevices()
+		if len(free) > 0 {
+			pick := a
+			pick.workers = 1
+			candidate := fastestFor(free, pick)[0]
+			grown := predictGoodput(append(append([]*Device(nil), held...), candidate), a)
+			if gain := (grown - cur) / cur; gain >= p.growThreshold() {
+				_ = s.resizeLocked(j, j.workers+1)
+				return
+			}
+		}
+	}
+	if j.workers > minW && p.ShrinkThreshold > 0 {
+		keep := a
+		keep.workers = j.workers - 1
+		shrunk := predictGoodput(fastestFor(held, keep), a)
+		if loss := (cur - shrunk) / cur; loss < p.ShrinkThreshold {
+			_ = s.resizeLocked(j, j.workers-1)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"cannikin/internal/runspec"
+)
+
+// epochsThenGate is a Runner that reports its epochs immediately and then
+// blocks until the gate closes, keeping the job running (and resizable)
+// for as long as the test needs.
+func epochsThenGate(epochs int, noise float64, gate chan struct{}) Runner {
+	return RunnerFunc(func(ctx context.Context, spec *runspec.Spec, onEpoch func(Epoch) error) (*Outcome, error) {
+		for e := 0; e < epochs; e++ {
+			if err := onEpoch(Epoch{Epoch: e, Batch: 32, Noise: noise}); err != nil {
+				return nil, err
+			}
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("gated: %w", ctx.Err())
+		}
+		return &Outcome{Epochs: epochs}, nil
+	})
+}
+
+// waitEpochs polls until the job has reported n epochs.
+func waitEpochs(t *testing.T, s *Scheduler, id string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.EpochsDone >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reported %d epochs", id, n)
+}
+
+// resizeScenario runs one seeded grow-then-shrink sequence and returns the
+// observed resize events, the final device grant, and the stats — the
+// deterministic replay fixture.
+func resizeScenario(t *testing.T, seed uint64) (events []Event, devices []int, stats Stats) {
+	t.Helper()
+	gate := make(chan struct{})
+	s := newScheduler(t, Config{
+		Pool:   PoolConfig{Devices: 6, Seed: seed, Jitter: 0.2},
+		Runner: epochsThenGate(1, 128, gate),
+	})
+	id, err := s.Submit(mlpSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEpochs(t, s, id, 1)
+	ch, err := s.Watch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.Stats()
+	if err := s.Resize(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	afterGrow := s.Stats()
+	if afterGrow.Grown != 1 || afterGrow.Shrunk != 0 {
+		t.Fatalf("after grow: %+v", afterGrow)
+	}
+	// The counterfactual invariant across the resize: the goodput
+	// allocator's grant (fastest devices, proportional shards) must price
+	// at least as high as the speed-blind baseline (first devices by ID,
+	// equal shards) priced at the same instant.
+	dg := afterGrow.GoodputGranted - before.GoodputGranted
+	de := afterGrow.GoodputEqualSplit - before.GoodputEqualSplit
+	if dg <= 0 || de <= 0 || dg < de {
+		t.Fatalf("grow accounting: granted %+v < equal-split %+v", dg, de)
+	}
+
+	if err := s.Resize(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	afterShrink := s.Stats()
+	if afterShrink.Shrunk != 1 {
+		t.Fatalf("after shrink: %+v", afterShrink)
+	}
+	dg = afterShrink.GoodputGranted - afterGrow.GoodputGranted
+	de = afterShrink.GoodputEqualSplit - afterGrow.GoodputEqualSplit
+	if dg <= 0 || de <= 0 || dg < de {
+		t.Fatalf("shrink accounting: granted %+v < equal-split %+v", dg, de)
+	}
+
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 3 || len(st.Devices) != 3 {
+		t.Fatalf("status after resizes: %+v", st)
+	}
+	close(gate)
+	waitTerminal(t, s, id)
+	for ev := range ch {
+		if ev.Type == "resize" {
+			events = append(events, ev)
+		}
+	}
+	return events, st.Devices, s.Stats()
+}
+
+// TestResizeEventsAndReplay checks that Watch streams both resize
+// transitions with the new membership, Stats counts them, and — run twice
+// with the same seed — the whole sequence of grants and goodput accounting
+// replays identically.
+func TestResizeEventsAndReplay(t *testing.T) {
+	ev1, dev1, st1 := resizeScenario(t, 42)
+	if len(ev1) != 2 {
+		t.Fatalf("resize events = %+v, want grow then shrink", ev1)
+	}
+	if ev1[0].Workers != 4 || len(ev1[0].Devices) != 4 {
+		t.Fatalf("grow event %+v", ev1[0])
+	}
+	if ev1[1].Workers != 3 || len(ev1[1].Devices) != 3 {
+		t.Fatalf("shrink event %+v", ev1[1])
+	}
+	if !reflect.DeepEqual(ev1[1].Devices, dev1) {
+		t.Fatalf("shrink event devices %v != final grant %v", ev1[1].Devices, dev1)
+	}
+
+	ev2, dev2, st2 := resizeScenario(t, 42)
+	if !reflect.DeepEqual(ev1, ev2) || !reflect.DeepEqual(dev1, dev2) {
+		t.Fatalf("seeded replay diverged: %+v / %v vs %+v / %v", ev1, dev1, ev2, dev2)
+	}
+	if st1.GoodputGranted != st2.GoodputGranted || st1.GoodputEqualSplit != st2.GoodputEqualSplit {
+		t.Fatalf("seeded replay accounting diverged: %+v vs %+v", st1, st2)
+	}
+}
+
+// TestResizeErrors pins the failure modes: unknown job, not-running job,
+// zero width, and growth past the free pool.
+func TestResizeErrors(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	s := newScheduler(t, Config{
+		Pool:   PoolConfig{Devices: 4, Seed: 1},
+		Runner: epochsThenGate(1, 0, gate),
+	})
+	if err := s.Resize("nope", 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job: %v", err)
+	}
+	id, err := s.Submit(mlpSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEpochs(t, s, id, 1)
+	if err := s.Resize(id, 0); err == nil {
+		t.Fatal("zero-width resize accepted")
+	}
+	if err := s.Resize(id, 5); err == nil {
+		t.Fatal("resize past the pool accepted")
+	}
+	if err := s.Resize(id, 2); err != nil {
+		t.Fatalf("no-op resize: %v", err)
+	}
+	if st := s.Stats(); st.Grown != 0 || st.Shrunk != 0 {
+		t.Fatalf("no-op resize counted: %+v", st)
+	}
+	// A second job consumes the remaining devices; it stays queued only if
+	// the pool is exhausted, so instead check a queued job rejects resize.
+	gate2 := make(chan struct{})
+	defer close(gate2)
+	s2 := newScheduler(t, Config{
+		Pool:   PoolConfig{Devices: 2, Seed: 1},
+		Runner: epochsThenGate(1, 0, gate2),
+	})
+	a, err := s2.Submit(mlpSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEpochs(t, s2, a, 1)
+	b, err := s2.Submit(mlpSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Resize(b, 1); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("queued-job resize: %v", err)
+	}
+}
+
+// TestAutoscaleJobsImprovesGoodput is the scheduler-level autoscaler demo:
+// on the identical seeded pool with the identical job, the autoscaled
+// scheduler grows the job 2 → 4 devices and its priced goodput (and the
+// pool's aggregate goodput while running) strictly exceeds the
+// frozen-membership scheduler's.
+func TestAutoscaleJobsImprovesGoodput(t *testing.T) {
+	run := func(autoscale *AutoscalePolicy) (running Stats, final *JobStatus) {
+		gate := make(chan struct{})
+		s := newScheduler(t, Config{
+			Pool:      PoolConfig{Devices: 6, Seed: 7, Jitter: 0.2},
+			Runner:    epochsThenGate(4, 128, gate),
+			Autoscale: autoscale,
+		})
+		id, err := s.Submit(mlpSpec(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitEpochs(t, s, id, 4)
+		running = s.Stats()
+		close(gate)
+		final = waitTerminal(t, s, id)
+		return running, final
+	}
+	grownStats, grown := run(&AutoscalePolicy{GrowThreshold: 0.01, MaxWorkers: 4})
+	frozenStats, frozen := run(nil)
+
+	if grown.Workers != 4 || len(grown.Devices) != 4 {
+		t.Fatalf("autoscaled job did not reach 4 devices: %+v", grown)
+	}
+	if frozen.Workers != 2 {
+		t.Fatalf("frozen job grew: %+v", frozen)
+	}
+	if grownStats.Grown != 2 {
+		t.Fatalf("autoscaled stats %+v, want 2 grow transitions", grownStats)
+	}
+	if frozenStats.Grown != 0 || frozenStats.Shrunk != 0 {
+		t.Fatalf("frozen scheduler resized: %+v", frozenStats)
+	}
+	if grown.Goodput <= frozen.Goodput {
+		t.Fatalf("autoscaled goodput %v <= frozen %v", grown.Goodput, frozen.Goodput)
+	}
+	if grownStats.AggregateGoodput <= frozenStats.AggregateGoodput {
+		t.Fatalf("autoscaled aggregate goodput %v <= frozen %v",
+			grownStats.AggregateGoodput, frozenStats.AggregateGoodput)
+	}
+}
+
+// TestAutoscaleJobsNeverStarvesQueue: a waiting job blocks autoscale
+// growth — free devices go to the queue, not to incumbent expansion.
+func TestAutoscaleJobsNeverStarvesQueue(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	// Epochs are released one at a time so the queue state at each
+	// autoscale evaluation is under test control.
+	step := make(chan struct{}, 3)
+	paced := RunnerFunc(func(ctx context.Context, spec *runspec.Spec, onEpoch func(Epoch) error) (*Outcome, error) {
+		for e := 0; e < 3; e++ {
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if err := onEpoch(Epoch{Epoch: e, Batch: 32, Noise: 128}); err != nil {
+				return nil, err
+			}
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &Outcome{Epochs: 3}, nil
+	})
+	s := newScheduler(t, Config{
+		Pool:      PoolConfig{Devices: 4, Seed: 3, Jitter: 0.2},
+		Runner:    paced,
+		Autoscale: &AutoscalePolicy{GrowThreshold: 0.01, MaxWorkers: 4},
+	})
+	a, err := s.Submit(mlpSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The waiting 3-wide job does not fit in the 1 free device; the
+	// incumbent must still not absorb it while the queue is non-empty.
+	b, err := s.Submit(mlpSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step <- struct{}{}
+	step <- struct{}{}
+	step <- struct{}{}
+	waitEpochs(t, s, a, 3)
+	st, err := s.Status(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 3 {
+		t.Fatalf("incumbent grew to %d with a queued job", st.Workers)
+	}
+	if qb, err := s.Status(b); err != nil || qb.State != StateQueued {
+		t.Fatalf("job b: %+v, %v", qb, err)
+	}
+	if got := s.Stats().Grown; got != 0 {
+		t.Fatalf("grown = %d with a queued job", got)
+	}
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// GNSAlpha is the EMA smoothing factor for the pool-level and per-job
 	// noise trackers. Default 0.3.
 	GNSAlpha float64
+	// Autoscale, when set, enables per-job elastic membership: after every
+	// epoch report the reporting job is grown onto the fastest free device
+	// or shrunk off its slowest one according to the policy's goodput
+	// thresholds.
+	Autoscale *AutoscalePolicy
 }
 
 // job is the scheduler's internal record of one submission.
@@ -361,6 +366,7 @@ func (s *Scheduler) observeEpoch(j *job, e Epoch) {
 	}
 	ec := e
 	s.notifyLocked(j, Event{Job: j.id, Type: "epoch", Epoch: &ec})
+	s.autoscaleLocked(j)
 }
 
 // notifyLocked fans an event out to the job's watchers without ever

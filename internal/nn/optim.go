@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"cannikin/internal/tensor"
@@ -40,6 +41,52 @@ func (o *SGD) Step(params []*Param, lr float64) {
 			wd[i] -= lr * vd[i]
 		}
 	}
+}
+
+// FlatVelocity returns the momentum state concatenated in params order —
+// the optimizer half of a training checkpoint. Parameters the optimizer
+// has never stepped contribute zeros, so the result always has exactly as
+// many elements as Network.FlatWeights for the same parameter list.
+func (o *SGD) FlatVelocity(params []*Param) []float64 {
+	n := 0
+	for _, p := range params {
+		n += p.W.Rows() * p.W.Cols()
+	}
+	out := make([]float64, n)
+	off := 0
+	for _, p := range params {
+		sz := p.W.Rows() * p.W.Cols()
+		if v, ok := o.velocity[p]; ok {
+			copy(out[off:off+sz], v.Data())
+		}
+		off += sz
+	}
+	return out
+}
+
+// SetFlatVelocity seeds the momentum state from a flat vector in params
+// order — restoring the optimizer half of a checkpoint so a resumed run
+// continues the exact velocity trajectory instead of restarting from zero.
+func (o *SGD) SetFlatVelocity(params []*Param, flat []float64) error {
+	n := 0
+	for _, p := range params {
+		n += p.W.Rows() * p.W.Cols()
+	}
+	if len(flat) != n {
+		return fmt.Errorf("nn: velocity dim %d, want %d", len(flat), n)
+	}
+	off := 0
+	for _, p := range params {
+		sz := p.W.Rows() * p.W.Cols()
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.New(p.W.Rows(), p.W.Cols())
+			o.velocity[p] = v
+		}
+		copy(v.Data(), flat[off:off+sz])
+		off += sz
+	}
+	return nil
 }
 
 // Adam is the Adam optimizer (Kingma & Ba).

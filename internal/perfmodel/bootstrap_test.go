@@ -1,0 +1,153 @@
+package perfmodel
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// obs is one recorded probe batch of the bootstrap tables.
+type obs struct {
+	b    int
+	a, p float64
+}
+
+// TestPerSampleTimeBootstrap pins the Eq. 8 bootstrap — the per-sample
+// compute time a joining worker's admission probe produces before any
+// model can be fitted — on the degenerate probe windows hot-join actually
+// produces: a single batch, a handful of identical batches, a window with
+// one outlier measurement, and windows polluted by invalid samples.
+func TestPerSampleTimeBootstrap(t *testing.T) {
+	cases := []struct {
+		name     string
+		probes   []obs
+		endEpoch bool
+		want     float64
+		wantErr  bool
+	}{
+		{
+			name:    "empty window",
+			wantErr: true,
+		},
+		{
+			name:   "single probe batch",
+			probes: []obs{{b: 8, a: 1e-3, p: 3e-3}},
+			want:   (1e-3 + 3e-3) / 8,
+		},
+		{
+			name: "identical probe batches collapse to one estimate",
+			probes: []obs{
+				{b: 8, a: 1e-3, p: 3e-3},
+				{b: 8, a: 1e-3, p: 3e-3},
+				{b: 8, a: 1e-3, p: 3e-3},
+			},
+			want: (1e-3 + 3e-3) / 8,
+		},
+		{
+			name: "estimate is the sample-weighted mean, so one outlier probe shifts it proportionally",
+			probes: []obs{
+				{b: 8, a: 1e-3, p: 3e-3},
+				{b: 8, a: 1e-3, p: 3e-3},
+				{b: 8, a: 1e-3, p: 19e-3}, // a straggler pass: 4x the others
+			},
+			want: (3*1e-3 + 3e-3 + 3e-3 + 19e-3) / 24,
+		},
+		{
+			name: "mixed batch sizes weight by samples, not by batches",
+			probes: []obs{
+				{b: 16, a: 2e-3, p: 6e-3},
+				{b: 4, a: 0.5e-3, p: 1.5e-3},
+			},
+			want: (2e-3 + 6e-3 + 0.5e-3 + 1.5e-3) / 20,
+		},
+		{
+			name: "invalid probes are ignored",
+			probes: []obs{
+				{b: 0, a: 1e-3, p: 3e-3},
+				{b: 8, a: -1, p: 3e-3},
+				{b: 8, a: 1e-3, p: 0},
+			},
+			wantErr: true,
+		},
+		{
+			name:     "epoch boundary snapshots the window",
+			probes:   []obs{{b: 8, a: 1e-3, p: 3e-3}},
+			endEpoch: true,
+			want:     (1e-3 + 3e-3) / 8,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l NodeLearner
+			for _, o := range tc.probes {
+				l.Observe(o.b, o.a, o.p)
+			}
+			if tc.endEpoch {
+				l.EndEpoch()
+			}
+			got, err := l.PerSampleTime()
+			if tc.wantErr {
+				if !errors.Is(err, ErrNoModel) {
+					t.Fatalf("PerSampleTime = %v, %v; want ErrNoModel", got, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-15 {
+				t.Fatalf("PerSampleTime = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPerSampleTimeTracksCurrentEpoch: after an epoch boundary the Eq. 8
+// estimate reflects only the most recent epoch's measurements — a probe
+// window taken after a speed change must not be diluted by history.
+func TestPerSampleTimeTracksCurrentEpoch(t *testing.T) {
+	var l NodeLearner
+	l.Observe(8, 1e-3, 3e-3) // slow epoch: 0.5 ms/sample
+	l.EndEpoch()
+	l.Observe(8, 0.5e-3, 1.5e-3) // fast epoch: 0.25 ms/sample
+	l.EndEpoch()
+	got, err := l.PerSampleTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (0.5e-3 + 1.5e-3) / 8; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("PerSampleTime = %v, want the fresh epoch's %v", got, want)
+	}
+
+	// An empty epoch falls back to the trailing window instead of failing:
+	// the joiner keeps a usable estimate across an idle boundary.
+	l.EndEpoch()
+	got2, err := l.PerSampleTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 <= 0 {
+		t.Fatalf("PerSampleTime after idle epoch = %v", got2)
+	}
+}
+
+// TestPerSampleTimesNamesEmptyNode: the cluster-level bootstrap must say
+// which node has no estimate, since a hot-join probes exactly one new node.
+func TestPerSampleTimesNamesEmptyNode(t *testing.T) {
+	c := NewClusterLearner(3)
+	for i := 0; i < 2; i++ {
+		c.Node(i).Observe(8, 1e-3, 3e-3)
+	}
+	if _, err := c.PerSampleTimes(); err == nil || !strings.Contains(err.Error(), "node 2") {
+		t.Fatalf("PerSampleTimes err = %v, want node 2 named", err)
+	}
+	c.Node(2).Observe(4, 1e-3, 3e-3)
+	ts, err := c.PerSampleTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[2] != (1e-3+3e-3)/4 {
+		t.Fatalf("PerSampleTimes = %v", ts)
+	}
+}

@@ -32,6 +32,16 @@ type Fault struct {
 	Count  int           `json:"count,omitempty"`
 }
 
+// JoinEntry is one scheduled worker hot-join of the -join mini-DSL
+// ("epoch:batch[:replan]"): the cluster grows by one worker with the given
+// local batch at that epoch boundary. Replan is "keep" (default, empty) or
+// "optperf".
+type JoinEntry struct {
+	Epoch  int    `json:"epoch"`
+	Batch  int    `json:"batch"`
+	Replan string `json:"replan,omitempty"`
+}
+
 // Spec is the full run configuration. JSON field names double as the file
 // format; zero values mean "use the default".
 type Spec struct {
@@ -60,6 +70,22 @@ type Spec struct {
 	LinkBeta     float64 `json:"link_beta,omitempty"`
 	Faults       []Fault `json:"faults,omitempty"`
 	FaultReplan  string  `json:"fault_replan,omitempty"`
+
+	// Elastic membership (MLP mode). Joins schedules worker hot-joins at
+	// epoch boundaries; the Autoscale* knobs enable the goodput-driven
+	// autoscaler. Resume derives the run's randomness from the seed's
+	// child stream with that label ("join-<n>" / "recovery-<n>"), and
+	// CheckpointIn/CheckpointOut are the weight+velocity handoff files a
+	// generational multi-process join uses between memberships.
+	Joins           []JoinEntry `json:"joins,omitempty"`
+	AutoscaleMax    int         `json:"autoscale_max,omitempty"`
+	AutoscaleMin    int         `json:"autoscale_min,omitempty"`
+	AutoscaleGrow   float64     `json:"autoscale_grow,omitempty"`
+	AutoscaleShrink float64     `json:"autoscale_shrink,omitempty"`
+	AutoscaleBatch  int         `json:"autoscale_batch,omitempty"`
+	Resume          string      `json:"resume,omitempty"`
+	CheckpointIn    string      `json:"checkpoint_in,omitempty"`
+	CheckpointOut   string      `json:"checkpoint_out,omitempty"`
 
 	// Ring transport wiring (MLP mode). Transport "chan" runs all workers
 	// in one process over channels; "tcp" spans one OS process per rank.
@@ -227,6 +253,55 @@ func FormatFaults(fs []Fault) string {
 	return strings.Join(parts, ",")
 }
 
+// ParseJoins parses the -join mini-DSL: comma-separated hot-joins of the
+// form "epoch:batch[:replan]", e.g. "1:8,3:4:optperf".
+func ParseJoins(spec string) ([]JoinEntry, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []JoinEntry
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad join %q: want epoch:batch[:replan]", item)
+		}
+		epoch, err := strconv.Atoi(parts[0])
+		if err != nil || epoch < 1 {
+			return nil, fmt.Errorf("bad join %q: epoch %q", item, parts[0])
+		}
+		batch, err := strconv.Atoi(parts[1])
+		if err != nil || batch < 1 {
+			return nil, fmt.Errorf("bad join %q: batch %q", item, parts[1])
+		}
+		j := JoinEntry{Epoch: epoch, Batch: batch}
+		if len(parts) == 3 {
+			switch parts[2] {
+			case "keep", "optperf":
+				j.Replan = parts[2]
+			default:
+				return nil, fmt.Errorf("bad join %q: replan %q (want keep or optperf)", item, parts[2])
+			}
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// FormatJoins renders joins back into the canonical mini-DSL;
+// ParseJoins(FormatJoins(js)) round-trips exactly.
+func FormatJoins(js []JoinEntry) string {
+	parts := make([]string, len(js))
+	for i, j := range js {
+		s := fmt.Sprintf("%d:%d", j.Epoch, j.Batch)
+		if j.Replan != "" && j.Replan != "keep" {
+			s += ":" + j.Replan
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
 // Binding connects a FlagSet to a Spec: every flag writes into the bound
 // Spec, and Resolve applies the flag-over-file precedence when -spec names
 // a JSON file.
@@ -304,6 +379,25 @@ func Register(fs *flag.FlagSet) *Binding {
 	b.override["fault"] = func(dst, src *Spec) { dst.Faults = src.Faults }
 	str("fault-replan", &s.FaultReplan, `survivor batch policy after an eviction: "keep" (default) or "optperf"`,
 		func(dst, src *Spec) { dst.FaultReplan = src.FaultReplan })
+
+	fs.Var(&joinsValue{&s.Joins}, "join", `schedule worker hot-joins into the live MLP run: comma-separated "epoch:batch[:replan]" entries (replan: keep or optperf), e.g. "1:8,3:4:optperf"`)
+	b.override["join"] = func(dst, src *Spec) { dst.Joins = src.Joins }
+	intf("autoscale-max", &s.AutoscaleMax, "enable the goodput-driven autoscaler with this membership ceiling (0 = off)",
+		func(dst, src *Spec) { dst.AutoscaleMax = src.AutoscaleMax })
+	intf("autoscale-min", &s.AutoscaleMin, "autoscaler membership floor (0 = never shrink below the initial membership's minimum of 1)",
+		func(dst, src *Spec) { dst.AutoscaleMin = src.AutoscaleMin })
+	fs.Float64Var(&s.AutoscaleGrow, "autoscale-grow", s.AutoscaleGrow, "minimum fractional predicted-goodput gain before the autoscaler admits a worker (0 = default 0.05)")
+	b.override["autoscale-grow"] = func(dst, src *Spec) { dst.AutoscaleGrow = src.AutoscaleGrow }
+	fs.Float64Var(&s.AutoscaleShrink, "autoscale-shrink", s.AutoscaleShrink, "maximum fractional predicted-goodput loss at which the autoscaler evicts the slowest worker (0 = never shrink)")
+	b.override["autoscale-shrink"] = func(dst, src *Spec) { dst.AutoscaleShrink = src.AutoscaleShrink }
+	intf("autoscale-batch", &s.AutoscaleBatch, "local batch granted to autoscaler-admitted workers (0 = smallest incumbent batch)",
+		func(dst, src *Spec) { dst.AutoscaleBatch = src.AutoscaleBatch })
+	str("resume", &s.Resume, `derive the run's randomness from the seed's child stream with this label (e.g. "join-1"), matching an elastic run's post-join incarnation`,
+		func(dst, src *Spec) { dst.Resume = src.Resume })
+	str("checkpoint-in", &s.CheckpointIn, "load initial weights and optimizer velocity from this checkpoint file",
+		func(dst, src *Spec) { dst.CheckpointIn = src.CheckpointIn })
+	str("checkpoint-out", &s.CheckpointOut, "write final weights and optimizer velocity to this checkpoint file (rank 0 only under tcp)",
+		func(dst, src *Spec) { dst.CheckpointOut = src.CheckpointOut })
 
 	str("transport", &s.Transport, `ring transport for -mlp: "chan" (in-process) or "tcp" (one OS process per worker over real sockets)`,
 		func(dst, src *Spec) { dst.Transport = src.Transport })
@@ -389,6 +483,25 @@ func (v *commaStrings) Set(s string) error {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	*v.p = parts
+	return nil
+}
+
+// joinsValue is a flag.Value speaking the join mini-DSL.
+type joinsValue struct{ p *[]JoinEntry }
+
+func (v *joinsValue) String() string {
+	if v.p == nil {
+		return ""
+	}
+	return FormatJoins(*v.p)
+}
+
+func (v *joinsValue) Set(s string) error {
+	js, err := ParseJoins(s)
+	if err != nil {
+		return err
+	}
+	*v.p = js
 	return nil
 }
 

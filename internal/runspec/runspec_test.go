@@ -53,6 +53,48 @@ func TestFaultDSLRejects(t *testing.T) {
 	}
 }
 
+func TestJoinDSLRoundTrip(t *testing.T) {
+	joins := []JoinEntry{
+		{Epoch: 1, Batch: 8},
+		{Epoch: 3, Batch: 4, Replan: "optperf"},
+		{Epoch: 3, Batch: 2, Replan: "keep"},
+	}
+	dsl := FormatJoins(joins)
+	if want := "1:8,3:4:optperf,3:2"; dsl != want {
+		t.Fatalf("FormatJoins = %q, want %q", dsl, want)
+	}
+	back, err := ParseJoins(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "keep" canonicalizes to the empty default through the text form.
+	want := []JoinEntry{{Epoch: 1, Batch: 8}, {Epoch: 3, Batch: 4, Replan: "optperf"}, {Epoch: 3, Batch: 2}}
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("round trip: %+v != %+v", back, want)
+	}
+	loose, err := ParseJoins(" 1:8 , 2:4:keep ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatJoins(loose); got != "1:8,2:4" {
+		t.Fatalf("canonical format = %q", got)
+	}
+	if js, err := ParseJoins(""); err != nil || js != nil {
+		t.Fatalf("empty join spec: %v, %v", js, err)
+	}
+}
+
+func TestJoinDSLRejects(t *testing.T) {
+	for _, bad := range []string{
+		"1", "1:", ":8", "one:8", "1:eight", "0:8", "-1:8", "1:0",
+		"1:8:bogus", "1:8:optperf:extra", "1:8,,2:4",
+	} {
+		if _, err := ParseJoins(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
 func TestParseBatchDelay(t *testing.T) {
 	cases := []struct {
 		in   string
@@ -82,7 +124,10 @@ func fullSpec() *Spec {
 		BucketBytes: 2048, KernelShards: 2,
 		Faults:      []Fault{{Kind: "stall", Worker: 1, Step: 4, Delay: 20 * time.Millisecond}},
 		FaultReplan: "optperf",
-		Transport:   TransportTCP, Rank: 2,
+		Joins:       []JoinEntry{{Epoch: 2, Batch: 8}, {Epoch: 5, Batch: 4, Replan: "optperf"}},
+		AutoscaleMax: 6, AutoscaleMin: 2, AutoscaleGrow: 0.1, AutoscaleShrink: 0.02, AutoscaleBatch: 4,
+		Resume: "join-1", CheckpointIn: "/tmp/in.ckpt", CheckpointOut: "/tmp/out.ckpt",
+		Transport: TransportTCP, Rank: 2,
 		Peers:  []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"},
 		Listen: "0.0.0.0:9003", BatchDelay: "auto", Guard: true, WorkerBin: "/tmp/worker",
 	}
@@ -144,6 +189,61 @@ func TestFlagsAlone(t *testing.T) {
 	// Untouched fields keep their defaults.
 	if s.Cluster != "a" || s.Seed != 1 || s.System != "cannikin" {
 		t.Fatalf("defaults clobbered: %+v", s)
+	}
+}
+
+// TestElasticFlags covers the elastic-membership flag surface: the -join
+// mini-DSL, the autoscaler knobs, and the checkpoint/resume handoff — both
+// alone and overriding a spec file.
+func TestElasticFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := Register(fs)
+	err := fs.Parse([]string{
+		"-mlp", "-backend", "live", "-join", "1:8,3:4:optperf",
+		"-autoscale-max", "5", "-autoscale-min", "2",
+		"-autoscale-grow", "0.1", "-autoscale-shrink", "0.02", "-autoscale-batch", "4",
+		"-resume", "join-1", "-checkpoint-in", "/tmp/a.ckpt", "-checkpoint-out", "/tmp/b.ckpt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoins := []JoinEntry{{Epoch: 1, Batch: 8}, {Epoch: 3, Batch: 4, Replan: "optperf"}}
+	if !reflect.DeepEqual(s.Joins, wantJoins) {
+		t.Fatalf("joins: %+v", s.Joins)
+	}
+	if s.AutoscaleMax != 5 || s.AutoscaleMin != 2 || s.AutoscaleGrow != 0.1 ||
+		s.AutoscaleShrink != 0.02 || s.AutoscaleBatch != 4 {
+		t.Fatalf("autoscale flags: %+v", s)
+	}
+	if s.Resume != "join-1" || s.CheckpointIn != "/tmp/a.ckpt" || s.CheckpointOut != "/tmp/b.ckpt" {
+		t.Fatalf("handoff flags: %+v", s)
+	}
+
+	// Explicit flags override the file's elastic fields too.
+	base := fullSpec()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	b2 := Register(fs2)
+	if err := fs2.Parse([]string{"-spec", path, "-join", "4:2", "-autoscale-max", "9", "-resume", ""}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b2.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s2.Joins, []JoinEntry{{Epoch: 4, Batch: 2}}) || s2.AutoscaleMax != 9 || s2.Resume != "" {
+		t.Fatalf("flag-over-file: joins %+v max %d resume %q", s2.Joins, s2.AutoscaleMax, s2.Resume)
+	}
+	// Untouched elastic fields come from the file.
+	if s2.AutoscaleMin != base.AutoscaleMin || s2.CheckpointIn != base.CheckpointIn {
+		t.Fatalf("file fields lost: %+v", s2)
 	}
 }
 

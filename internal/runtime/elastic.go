@@ -1,0 +1,517 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"cannikin/internal/faultinject"
+	"cannikin/internal/goodput"
+	"cannikin/internal/nn"
+	"cannikin/internal/optperf"
+	"cannikin/internal/perfmodel"
+	"cannikin/internal/tensor"
+)
+
+// defaultProbeSteps is how many timed probe passes a joining worker runs
+// per batch size when Join.ProbeSteps is zero.
+const defaultProbeSteps = 3
+
+// Join schedules one worker hot-join: at the given epoch boundary the
+// cluster grows by one worker. The join is a two-phase commit on top of
+// the incarnation-restart machinery: the driver first verifies every
+// incumbent replica (weights and optimizer velocity) sits bitwise at the
+// last committed step, then checkpoints that state, bootstraps the
+// joiner's compute profile with a few timed probe passes (Eq. 8), and only
+// then starts the grown incarnation — incumbents resume from their own
+// checkpoint, so their momentum is preserved, and the joiner receives the
+// identical weights and velocity so the replicas never diverge.
+type Join struct {
+	// Epoch is the epoch boundary the worker joins at (1 ≤ Epoch <
+	// Epochs). When an eviction pushes the incarnation past this epoch,
+	// the join fires at the next epoch boundary instead. Joins must be
+	// scheduled in non-decreasing epoch order.
+	Epoch int
+	// Batch is the joining worker's local batch (≥ 1). Under OptPerf
+	// re-planning it is the joiner's share of the new total before the
+	// solve re-balances.
+	Batch int
+	// ProbeSteps is how many timed probe passes (per batch size) bootstrap
+	// the joiner's Eq. 8 compute profile (default 3).
+	ProbeSteps int
+	// Replan picks the grown cluster's batch policy: ReplanKeep (default —
+	// incumbents keep their batches, the joiner adopts Batch) or
+	// ReplanOptPerf (re-solve OptPerf over incumbents' live profile plus
+	// the joiner's probe model; falls back to keep when either model is
+	// unavailable).
+	Replan string
+}
+
+// JoinRecord reports one committed worker hot-join.
+type JoinRecord struct {
+	// Epoch is the first epoch the grown cluster trained; Step the global
+	// committed step count at the join.
+	Epoch, Step int
+	// Worker is the joiner's original worker index: joins number onward
+	// from the run's initial worker count, stable across evictions.
+	Worker int
+	// Batch is the joiner's adopted local batch; Batches the grown
+	// cluster's full plan.
+	Batch   int
+	Batches []int
+	// Checkpoint and Velocity are the weight vector and SGD momentum every
+	// replica of the grown cluster started from — bitwise-identical on all
+	// incumbents at commit time. A fresh run seeded with both on the grown
+	// cluster reproduces the post-join trajectory exactly.
+	Checkpoint []float64
+	Velocity   []float64
+	// PerSample is the joiner's Eq. 8 per-sample compute time estimated by
+	// the probe (0 when the probe could not measure).
+	PerSample float64
+	// Replanned reports that OptPerf re-planning produced the grown
+	// batches (false = incumbents kept theirs, joiner adopted Batch).
+	Replanned bool
+	// Reason says why the join happened: "scheduled" or the autoscaler's
+	// explanation.
+	Reason string
+}
+
+// Elastic actions returned by an ElasticController.
+const (
+	ElasticHold   = "hold"
+	ElasticGrow   = "grow"
+	ElasticShrink = "shrink"
+)
+
+// ElasticDecision is one membership decision at an epoch boundary.
+type ElasticDecision struct {
+	// Action is ElasticHold, ElasticGrow, or ElasticShrink.
+	Action string
+	// Batch, ProbeSteps, and Replan parameterize a grow decision exactly
+	// like the Join fields of the same names.
+	Batch      int
+	ProbeSteps int
+	Replan     string
+	// Victim is the incarnation-relative rank a shrink sheds; negative
+	// picks the highest rank (the most recent joiner).
+	Victim int
+	// Reason annotates the resulting Join or Eviction record.
+	Reason string
+}
+
+// ElasticController decides cluster membership at epoch boundaries. Decide
+// is called after each completed epoch's evaluation (when at least one
+// epoch remains) with the epoch's observations and the live profile (nil
+// on the sim backend). A grow admits one worker through the hot-join path;
+// a shrink sheds one through the eviction path (checkpoint, survivor
+// re-plan, fresh optimizer state — the PR 5 recovery semantics).
+type ElasticController interface {
+	Decide(obs EpochObs, prof *Profile) ElasticDecision
+}
+
+// Autoscaler is the built-in goodput-driven ElasticController: it prices
+// candidate memberships with the goodput machinery (throughput × GNS
+// statistical efficiency) and grows while the marginal worker's predicted
+// contribution exceeds GrowThreshold, shrinks when it falls below
+// ShrinkThreshold.
+type Autoscaler struct {
+	// MinWorkers and MaxWorkers bound the membership (defaults 1 and the
+	// current size — i.e. never grow unless MaxWorkers is set).
+	MinWorkers, MaxWorkers int
+	// GrowThreshold is the minimum relative predicted-goodput gain that
+	// justifies admitting one more worker (default 0.05).
+	GrowThreshold float64
+	// ShrinkThreshold, when positive, sheds the marginal worker whenever
+	// removing it would cost less than this relative goodput fraction.
+	// Zero disables shrinking.
+	ShrinkThreshold float64
+	// JoinBatch is the admitted worker's local batch; zero derives the
+	// mean incumbent batch.
+	JoinBatch int
+	// BaseBatch is the Eq. 2 reference batch B0 for the efficiency term;
+	// zero uses the observed global batch (efficiency 1, pure throughput).
+	BaseBatch int
+	// Probe and Replan parameterize the join a grow decision issues.
+	ProbeSteps int
+	Replan     string
+	// Price overrides membership pricing: predicted goodput at the given
+	// worker count (tests inject a pure function for determinism). Nil
+	// uses the Eq. 8 bootstrap over the live profile.
+	Price func(obs EpochObs, prof *Profile, workers int) float64
+}
+
+func (a *Autoscaler) growThreshold() float64 {
+	if a.GrowThreshold > 0 {
+		return a.GrowThreshold
+	}
+	return 0.05
+}
+
+// Decide implements ElasticController.
+func (a *Autoscaler) Decide(obs EpochObs, prof *Profile) ElasticDecision {
+	price := a.Price
+	if price == nil {
+		price = func(obs EpochObs, prof *Profile, workers int) float64 {
+			return elasticPrice(obs, prof, workers, a.BaseBatch)
+		}
+	}
+	cur := price(obs, prof, obs.Workers)
+	if cur <= 0 {
+		return ElasticDecision{Action: ElasticHold}
+	}
+	maxW := a.MaxWorkers
+	if maxW <= 0 {
+		maxW = obs.Workers
+	}
+	minW := a.MinWorkers
+	if minW <= 0 {
+		minW = 1
+	}
+	if obs.Workers < maxW {
+		grown := price(obs, prof, obs.Workers+1)
+		if gain := (grown - cur) / cur; gain >= a.growThreshold() {
+			b := a.JoinBatch
+			if b <= 0 {
+				b = obs.GlobalBatch / obs.Workers
+				if b < 1 {
+					b = 1
+				}
+			}
+			return ElasticDecision{
+				Action:     ElasticGrow,
+				Batch:      b,
+				ProbeSteps: a.ProbeSteps,
+				Replan:     a.Replan,
+				Victim:     -1,
+				Reason:     fmt.Sprintf("autoscale grow: predicted goodput %+.1f%% at %d workers", gain*100, obs.Workers+1),
+			}
+		}
+	}
+	if obs.Workers > minW && a.ShrinkThreshold > 0 {
+		shrunk := price(obs, prof, obs.Workers-1)
+		if loss := (cur - shrunk) / cur; loss < a.ShrinkThreshold {
+			return ElasticDecision{
+				Action: ElasticShrink,
+				Victim: -1,
+				Reason: fmt.Sprintf("autoscale shrink: marginal worker worth %.1f%% goodput at %d workers", loss*100, obs.Workers),
+			}
+		}
+	}
+	return ElasticDecision{Action: ElasticHold}
+}
+
+// elasticPrice predicts cluster goodput at a candidate membership size
+// from the live profile: per-worker speeds come from the Eq. 8 per-sample
+// bootstrap, hypothetical joiners run at the mean measured speed, a shrink
+// keeps the fastest members, and the communication term scales with the
+// ring hop count. Returns 0 (undecidable) without a usable profile.
+func elasticPrice(obs EpochObs, prof *Profile, workers int, baseBatch int) float64 {
+	if prof == nil || workers < 1 || obs.GlobalBatch < 1 {
+		return 0
+	}
+	l := perfmodel.NewClusterLearner(prof.Workers)
+	prof.Feed(l)
+	taus, err := l.PerSampleTimes()
+	if err != nil || len(taus) == 0 {
+		return 0
+	}
+	speeds := make([]float64, 0, len(taus))
+	mean := 0.0
+	for _, t := range taus {
+		if t <= 0 {
+			return 0
+		}
+		speeds = append(speeds, 1/t)
+		mean += 1 / t
+	}
+	mean /= float64(len(speeds))
+	// Fastest members first, so pricing a shrink removes the marginal
+	// (slowest) worker.
+	for i := 1; i < len(speeds); i++ {
+		for j := i; j > 0 && speeds[j] > speeds[j-1]; j-- {
+			speeds[j], speeds[j-1] = speeds[j-1], speeds[j]
+		}
+	}
+	sum := 0.0
+	for i := 0; i < workers; i++ {
+		if i < len(speeds) {
+			sum += speeds[i]
+		} else {
+			sum += mean
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	comm := 0.0
+	if model, _, err := prof.FitModel(nil); err == nil && prof.Workers > 1 {
+		comm = (model.To + model.Tu) * float64(workers-1) / float64(prof.Workers-1)
+	}
+	b := obs.GlobalBatch
+	b0 := baseBatch
+	if b0 <= 0 {
+		b0 = b
+	}
+	t := float64(b)/sum + comm
+	return goodput.Goodput(obs.Noise, b, b0, t)
+}
+
+// validateJoins checks a join schedule against the run shape.
+func validateJoins(joins []Join, epochs, growthEpoch int) error {
+	prev := 0
+	for i, j := range joins {
+		if j.Epoch < 1 || j.Epoch >= epochs {
+			return fmt.Errorf("runtime: join %d epoch %d outside [1, %d)", i, j.Epoch, epochs)
+		}
+		if j.Epoch < prev {
+			return fmt.Errorf("runtime: join %d epoch %d before join %d", i, j.Epoch, i-1)
+		}
+		if j.Batch < 1 {
+			return fmt.Errorf("runtime: join %d batch %d", i, j.Batch)
+		}
+		if j.ProbeSteps < 0 {
+			return fmt.Errorf("runtime: join %d probe steps %d", i, j.ProbeSteps)
+		}
+		switch j.Replan {
+		case "", ReplanKeep, ReplanOptPerf:
+		default:
+			return fmt.Errorf("runtime: join %d unknown replan policy %q", i, j.Replan)
+		}
+		if growthEpoch > 0 && j.Epoch == growthEpoch {
+			return fmt.Errorf("runtime: join %d epoch %d collides with the growth epoch", i, j.Epoch)
+		}
+		prev = j.Epoch
+	}
+	return nil
+}
+
+// clampSchedule drops fault events targeting ranks outside the
+// incarnation: a schedule may name a worker that has not joined yet, and
+// its events only become live once the join grows the cluster past that
+// rank. (After an eviction, Schedule.Remap drops not-yet-joined workers'
+// events entirely — renumbering cannot know future ranks.)
+func clampSchedule(s faultinject.Schedule, workers int) faultinject.Schedule {
+	keep := true
+	for _, e := range s.Events {
+		if e.Worker >= workers {
+			keep = false
+			break
+		}
+	}
+	if keep {
+		return s
+	}
+	var out faultinject.Schedule
+	for _, e := range s.Events {
+		if e.Worker < workers {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// probeJoin bootstraps the joining worker's compute profile the way the
+// paper admits an unprofiled node (Eq. 8): a few timed forward/backward
+// passes on a throwaway replica, at two batch sizes so the linear model
+// a(b)+P(b) is fittable. The replica comes from its own split stream and
+// the probe batch reads the dataset head directly, so the probe never
+// advances the training run's randomness or data order — determinism of
+// the committed trajectory survives any probe timing.
+func probeJoin(cfg *Config, j Join, seq int) (perSample float64, node *optperf.NodeModel) {
+	steps := j.ProbeSteps
+	if steps <= 0 {
+		steps = defaultProbeSteps
+	}
+	net := nn.NewMLP(cfg.Sizes, cfg.Src.Split(fmt.Sprintf("probe-%d", seq)))
+	b1 := j.Batch
+	if n := cfg.Dataset.Len(); b1 > n {
+		b1 = n
+	}
+	if b1 < 1 {
+		b1 = 1
+	}
+	b2 := b1 / 2
+	if b2 < 1 {
+		b2 = b1 + 1
+		if b2 > cfg.Dataset.Len() {
+			b2 = b1
+		}
+	}
+	learner := &perfmodel.NodeLearner{}
+	var dlogits *tensor.T
+	for s := 0; s < steps; s++ {
+		for _, b := range []int{b1, b2} {
+			x, labels := cfg.Dataset.Batch(identity(b))
+			start := time.Now()
+			net.ZeroGrad()
+			logits := net.Forward(x)
+			forward := time.Since(start).Seconds()
+			start = time.Now()
+			dlogits = tensor.Reuse(dlogits, logits.Rows(), logits.Cols())
+			nn.SoftmaxCrossEntropyInto(dlogits, logits, labels)
+			net.Backward(dlogits)
+			backward := time.Since(start).Seconds()
+			// Sub-nanosecond phases round to zero on coarse clocks; clamp so
+			// the observation still counts.
+			if forward <= 0 {
+				forward = 1e-9
+			}
+			if backward <= 0 {
+				backward = 1e-9
+			}
+			learner.Observe(b, forward, backward)
+		}
+	}
+	perSample, err := learner.PerSampleTime()
+	if err != nil {
+		perSample = 0
+	}
+	if m, err := learner.Fit(); err == nil {
+		node = &m
+	}
+	return perSample, node
+}
+
+// replanJoin picks the grown cluster's local batches. The default appends
+// the joiner's batch to the incumbents' current plan; ReplanOptPerf fits
+// the paper's performance model to the incumbents' live profile, extends
+// it with the joiner's probe model, and re-solves OptPerf for the grown
+// total — falling back to the default whenever a model is missing or the
+// solve is unusable, so re-planning can never break the run.
+func replanJoin(policy string, prof *Profile, current []int, joinBatch int, joinNode *optperf.NodeModel) (batches []int, replanned bool) {
+	batches = append(append([]int(nil), current...), joinBatch)
+	if policy != ReplanOptPerf || prof == nil || joinNode == nil {
+		return batches, false
+	}
+	model, _, err := prof.FitModel(nil)
+	if err != nil || len(model.Nodes) != len(current) {
+		return batches, false
+	}
+	total := 0
+	for _, b := range batches {
+		total += b
+	}
+	sub := optperf.ClusterModel{Gamma: model.Gamma, To: model.To, Tu: model.Tu}
+	sub.Nodes = append(append([]optperf.NodeModel(nil), model.Nodes...), *joinNode)
+	plan, err := optperf.Solve(sub, total)
+	if err != nil || len(plan.Batches) != len(batches) {
+		return batches, false
+	}
+	for _, b := range plan.Batches {
+		if b < 1 {
+			return batches, false
+		}
+	}
+	return plan.Batches, true
+}
+
+// checkpointState is the two-phase commit's prepare: it verifies every
+// replica's weights AND optimizer velocity are bitwise-identical at the
+// last committed step, and returns both as an owned checkpoint. Any
+// divergence aborts the membership change before anything is mutated.
+func checkpointState(exec executor, replicas []*nn.Network, opts []*nn.SGD) (weights, velocity []float64, err error) {
+	ref, err := exec.finalWeights()
+	if err != nil {
+		return nil, nil, err
+	}
+	weights = append([]float64(nil), ref...)
+	velocity = opts[0].FlatVelocity(replicas[0].Params())
+	for i := 1; i < len(opts); i++ {
+		if d := maxAbsDiff(velocity, opts[i].FlatVelocity(replicas[i].Params())); d != 0 {
+			return nil, nil, fmt.Errorf("runtime: replica %d optimizer state diverged by %g at membership change", i, d)
+		}
+	}
+	return weights, velocity, nil
+}
+
+// growCluster commits one worker hot-join and returns the grown
+// incarnation, which starts at startEpoch. The join is recorded in
+// res.Joins; the incarnation's source is the join's own split stream, so a
+// fresh run launched from the recorded checkpoint (weights + velocity) on
+// the grown cluster reproduces the post-join trajectory bitwise.
+func growCluster(cfg *Config, inc *incarnation, res *Result, exec executor, replicas []*nn.Network, opts []*nn.SGD, j Join, reason string, startEpoch int, remaining []Join, localBatches []int, lr float64) (*incarnation, error) {
+	if j.Batch < 1 {
+		j.Batch = 1
+	}
+	checkpoint, velocity, err := checkpointState(exec, replicas, opts)
+	if err != nil {
+		return nil, err
+	}
+	seq := len(res.Joins) + 1
+	perSample, joinNode := probeJoin(cfg, j, seq)
+	batches, replanned := replanJoin(j.Replan, exec.profile(), localBatches, j.Batch, joinNode)
+	joinerOrig := len(cfg.LocalBatches) + len(res.Joins)
+	jr := JoinRecord{
+		Epoch:      startEpoch,
+		Step:       res.Steps,
+		Worker:     joinerOrig,
+		Batch:      batches[len(batches)-1],
+		Batches:    append([]int(nil), batches...),
+		Checkpoint: checkpoint,
+		Velocity:   velocity,
+		PerSample:  perSample,
+		Replanned:  replanned,
+		Reason:     reason,
+	}
+	res.Joins = append(res.Joins, jr)
+	return &incarnation{
+		localBatches: batches,
+		lr:           lr,
+		src:          cfg.Src.Split(fmt.Sprintf("join-%d", seq)),
+		initWeights:  checkpoint,
+		initVelocity: velocity,
+		schedule:     inc.schedule,
+		epochBase:    startEpoch,
+		origIdx:      append(append([]int(nil), inc.origIdx...), joinerOrig),
+		pendingJoins: remaining,
+	}, nil
+}
+
+// shrinkCluster sheds one worker voluntarily at an epoch boundary through
+// the eviction path: checkpoint, survivor re-plan (keep), recovery stream,
+// fresh optimizer state — exactly the PR 5 recovery semantics, so the
+// post-shrink trajectory is bitwise-identical to a fresh run launched from
+// the recorded checkpoint on the survivor cluster.
+func shrinkCluster(cfg *Config, inc *incarnation, res *Result, exec executor, replicas []*nn.Network, opts []*nn.SGD, victim int, reason string, startEpoch int, localBatches []int, lr float64) (*incarnation, error) {
+	n := len(inc.localBatches)
+	if n < 2 {
+		return nil, ErrNoSurvivors
+	}
+	if victim < 0 || victim >= n {
+		victim = n - 1
+	}
+	checkpoint, _, err := checkpointState(exec, replicas, opts)
+	if err != nil {
+		return nil, err
+	}
+	var survivors []int
+	for r := 0; r < n; r++ {
+		if r != victim {
+			survivors = append(survivors, r)
+		}
+	}
+	batches, _ := replanSurvivors(ReplanKeep, exec.profile(), survivors, localBatches)
+	ev := Eviction{
+		Epoch:           startEpoch,
+		Step:            res.Steps,
+		Workers:         []int{inc.origIdx[victim]},
+		Reason:          reason,
+		SurvivorBatches: batches,
+		Checkpoint:      checkpoint,
+	}
+	origIdx := make([]int, len(survivors))
+	for i, s := range survivors {
+		origIdx[i] = inc.origIdx[s]
+	}
+	ev.Survivors = origIdx
+	res.Evictions = append(res.Evictions, ev)
+	return &incarnation{
+		localBatches: batches,
+		lr:           lr,
+		src:          cfg.Src.Split(fmt.Sprintf("recovery-%d", len(res.Evictions))),
+		initWeights:  checkpoint,
+		schedule:     inc.schedule.Remap(survivors),
+		epochBase:    startEpoch,
+		origIdx:      origIdx,
+		pendingJoins: inc.pendingJoins,
+	}, nil
+}

@@ -137,6 +137,20 @@ type Config struct {
 	// on the survivor cluster reproduces the post-eviction trajectory
 	// bitwise.
 	InitWeights []float64
+	// InitVelocity, when set, seeds every replica's SGD momentum from a
+	// flat vector in parameter order — the optimizer half of the hot-join
+	// handoff: resuming from a JoinRecord's Checkpoint AND Velocity on the
+	// grown cluster reproduces the post-join trajectory bitwise.
+	InitVelocity []float64
+	// Joins schedules worker hot-joins: at each entry's epoch boundary the
+	// cluster grows by one worker via the two-phase join commit (both
+	// backends). See Join.
+	Joins []Join
+	// Elastic, when set, is consulted after every completed epoch (while
+	// at least one epoch remains) and may grow the cluster through the
+	// hot-join path or shrink it through the eviction path. Autoscaler is
+	// the built-in goodput-driven controller.
+	Elastic ElasticController
 	// Fault, when set, enables deterministic fault injection and the
 	// fault-tolerance machinery (live backend only).
 	Fault *FaultConfig
@@ -214,11 +228,16 @@ func (c *Config) validate() error {
 	if c.CommMode == CommMerged && c.Fault != nil {
 		return errors.New("runtime: merged comm mode is incompatible with fault injection (the guarded step needs the dedicated comm goroutine)")
 	}
+	if err := validateJoins(c.Joins, c.Epochs, c.GrowthEpoch); err != nil {
+		return err
+	}
 	if c.Fault != nil {
 		if c.Backend != BackendLive {
 			return errors.New("runtime: fault injection requires the live backend")
 		}
-		if err := c.Fault.validate(len(c.LocalBatches)); err != nil {
+		// A schedule may target workers that only exist after a join, so
+		// the rank space covers the initial cluster plus every joiner.
+		if err := c.Fault.validate(len(c.LocalBatches) + len(c.Joins)); err != nil {
 			return err
 		}
 	}
@@ -255,11 +274,17 @@ type Result struct {
 	// incarnation of the cluster.
 	Profile *Profile
 	// Evictions records every coordinated worker eviction (fault-tolerant
-	// runs only; empty otherwise).
+	// runs only; empty otherwise) — including voluntary autoscaler shrinks.
 	Evictions []Eviction
+	// Joins records every committed worker hot-join (scheduled or
+	// autoscaled), in order.
+	Joins []JoinRecord
 	// FaultEvents records every injected fault a worker consumed, in the
 	// order they were suffered, with original worker ranks.
 	FaultEvents []FaultRecord
+	// FinalVelocity is the SGD momentum state at run end (identical on
+	// every replica) — with FinalWeights, a complete resume checkpoint.
+	FinalVelocity []float64
 }
 
 // executor is one execution engine driven by the shared training loop.
@@ -285,9 +310,15 @@ type incarnation struct {
 	lr           float64
 	src          *rng.Source
 	// initWeights, when set, seeds every replica directly (recovery from a
-	// checkpoint, or Config.InitWeights on the first incarnation).
-	initWeights []float64
-	schedule    faultinject.Schedule
+	// checkpoint, or Config.InitWeights on the first incarnation);
+	// initVelocity likewise seeds every replica's SGD momentum (a join
+	// handoff, or Config.InitVelocity).
+	initWeights  []float64
+	initVelocity []float64
+	// pendingJoins are the scheduled joins not yet committed, in epoch
+	// order.
+	pendingJoins []Join
+	schedule     faultinject.Schedule
 	// epochBase is the first (absolute) epoch this incarnation runs; after
 	// an eviction the interrupted epoch restarts from its beginning.
 	epochBase int
@@ -328,6 +359,8 @@ func Train(cfg Config) (*Result, error) {
 		lr:           cfg.LearningRate,
 		src:          cfg.Src,
 		initWeights:  cfg.InitWeights,
+		initVelocity: cfg.InitVelocity,
+		pendingJoins: append([]Join(nil), cfg.Joins...),
 		epochBase:    0,
 		origIdx:      identity(len(cfg.LocalBatches)),
 	}
@@ -393,11 +426,21 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 	opts := make([]*nn.SGD, nWorkers)
 	for i := range opts {
 		opts[i] = nn.NewSGD(cfg.Momentum, 0)
+		// A join handoff restores momentum on every replica — incumbents
+		// continue their velocity trajectory, and the joiner adopts the
+		// identical state so the replicas stay bitwise-consistent.
+		if inc.initVelocity != nil {
+			if err := opts[i].SetFlatVelocity(replicas[i].Params(), inc.initVelocity); err != nil {
+				return nil, fmt.Errorf("runtime: %w", err)
+			}
+		}
 	}
 
 	var ft *faultTolerance
 	if cfg.Fault != nil {
-		inj, err := faultinject.NewInjector(inc.schedule, nWorkers)
+		// Events addressed to not-yet-joined ranks stay dormant until a
+		// join grows the cluster past them.
+		inj, err := faultinject.NewInjector(clampSchedule(inc.schedule, nWorkers), nWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -458,6 +501,14 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 			if cfg.Scaler != nil {
 				lr = cfg.Scaler.Scale(cfg.LearningRate, globalBatch, baseBatch, tracker.Noise())
 			}
+		}
+		// A scheduled join commits at its epoch boundary (or the first
+		// boundary after it, when an eviction pushed the incarnation past
+		// it). The epochBase guard keeps the grown incarnation, which
+		// restarts at this very epoch, from re-committing the same join.
+		if len(inc.pendingJoins) > 0 && epoch >= inc.pendingJoins[0].Epoch && epoch > inc.epochBase {
+			return growCluster(cfg, inc, res, exec, replicas, opts,
+				inc.pendingJoins[0], "scheduled", epoch, inc.pendingJoins[1:], localBatches, lr)
 		}
 		stepsPerEpoch := cfg.Dataset.Len() / globalBatch
 		if stepsPerEpoch < 1 {
@@ -545,17 +596,18 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 		res.NoiseEstimate = append(res.NoiseEstimate, tracker.Noise())
 		res.BatchSchedule = append(res.BatchSchedule, globalBatch)
 		res.LRSchedule = append(res.LRSchedule, lr)
+		obs := EpochObs{
+			Epoch:        epoch,
+			Workers:      nWorkers,
+			GlobalBatch:  globalBatch,
+			LearningRate: lr,
+			Loss:         loss,
+			Accuracy:     acc,
+			Noise:        tracker.Noise(),
+			Steps:        res.Steps,
+		}
 		if cfg.OnEpoch != nil {
-			if err := cfg.OnEpoch(EpochObs{
-				Epoch:        epoch,
-				Workers:      nWorkers,
-				GlobalBatch:  globalBatch,
-				LearningRate: lr,
-				Loss:         loss,
-				Accuracy:     acc,
-				Noise:        tracker.Noise(),
-				Steps:        res.Steps,
-			}); err != nil {
+			if err := cfg.OnEpoch(obs); err != nil {
 				return nil, fmt.Errorf("runtime: epoch %d hook: %w", epoch, err)
 			}
 		}
@@ -565,6 +617,29 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 		if err := ctxErr(cfg.Ctx); err != nil {
 			return nil, fmt.Errorf("runtime: canceled at epoch %d step %d: %w", epoch, res.Steps, err)
 		}
+		// The autoscaler decides after every completed epoch with at least
+		// one epoch left. Grow and shrink both start a new incarnation at
+		// the next boundary, which always trains a full epoch before its
+		// own first decision, so membership changes at most once per epoch.
+		if cfg.Elastic != nil && epoch+1 < cfg.Epochs {
+			switch d := cfg.Elastic.Decide(obs, exec.profile()); d.Action {
+			case ElasticGrow:
+				j := Join{Epoch: epoch + 1, Batch: d.Batch, ProbeSteps: d.ProbeSteps, Replan: d.Replan}
+				reason := d.Reason
+				if reason == "" {
+					reason = "autoscale grow"
+				}
+				return growCluster(cfg, inc, res, exec, replicas, opts,
+					j, reason, epoch+1, inc.pendingJoins, localBatches, lr)
+			case ElasticShrink:
+				reason := d.Reason
+				if reason == "" {
+					reason = "autoscale shrink"
+				}
+				return shrinkCluster(cfg, inc, res, exec, replicas, opts,
+					d.Victim, reason, epoch+1, localBatches, lr)
+			}
+		}
 	}
 	res.FinalAccuracy = res.EpochAccuracy[len(res.EpochAccuracy)-1]
 
@@ -573,6 +648,7 @@ func runIncarnation(cfg *Config, inc *incarnation, res *Result, backend string) 
 		return nil, err
 	}
 	res.FinalWeights = final
+	res.FinalVelocity = opts[0].FlatVelocity(replicas[0].Params())
 	res.Profile = exec.profile()
 	return nil, nil
 }
@@ -650,6 +726,7 @@ func evict(cfg *Config, inc *incarnation, res *Result, le *liveExec, fail *stepF
 		schedule:     inc.schedule.Remap(survivors),
 		epochBase:    epoch,
 		origIdx:      origIdx,
+		pendingJoins: inc.pendingJoins,
 	}, nil
 }
 

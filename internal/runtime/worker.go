@@ -59,6 +59,12 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	if cfg.Fault != nil {
 		return nil, errors.New("runtime: fault injection is not supported in worker mode")
 	}
+	if len(cfg.Joins) > 0 || cfg.Elastic != nil {
+		// A process cannot grow its own ring mid-run; the coordinator
+		// decomposes an elastic run into fixed-membership generations,
+		// handing each the previous one's checkpoint (weights + velocity).
+		return nil, errors.New("runtime: hot-join is not supported in worker mode (the coordinator runs one process generation per membership)")
+	}
 	if cfg.Backend != "" && cfg.Backend != BackendWorker {
 		return nil, fmt.Errorf("runtime: worker mode cannot run backend %q", cfg.Backend)
 	}
@@ -96,6 +102,11 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	}
 	opt := nn.NewSGD(cfg.Momentum, 0)
 	params := net.Params()
+	if cfg.InitVelocity != nil {
+		if err := opt.SetFlatVelocity(params, cfg.InitVelocity); err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+	}
 	dim := net.NumParams()
 	// Every process must derive the identical partition from the shared
 	// Config alone — bucketLenFor depends only on (BucketBytes, dim, n) and
@@ -224,6 +235,7 @@ func TrainWorker(cfg WorkerConfig) (*Result, error) {
 	}
 	res.FinalAccuracy = res.EpochAccuracy[len(res.EpochAccuracy)-1]
 	res.FinalWeights = net.FlatWeights()
+	res.FinalVelocity = opt.FlatVelocity(params)
 	return res, nil
 }
 

@@ -86,6 +86,25 @@ type MLPConfig struct {
 	// resuming from an EvictionRecord's Checkpoint on the survivor cluster
 	// reproduces the post-eviction trajectory bitwise.
 	InitWeights []float64
+	// InitVelocity, when set, seeds every replica's SGD momentum from this
+	// flat vector (same layout and length as InitWeights) — the optimizer
+	// half of a checkpoint. A run resumed from a JoinRecord needs both to
+	// reproduce the post-join trajectory bitwise.
+	InitVelocity []float64
+	// Resume, when non-empty, derives the run's randomness from the seed's
+	// child stream with this label instead of the root stream. Elastic
+	// differential runs use it to land on the exact stream an incarnation
+	// trained with: "join-<n>" for the n-th hot-join, "recovery-<n>" for
+	// the n-th eviction (n counting from 1).
+	Resume string
+	// Joins schedules worker hot-joins at epoch boundaries (live or sim
+	// single-process runs; worker mode runs one process generation per
+	// membership instead).
+	Joins []JoinSpec
+	// Autoscale enables the goodput-driven autoscaler, which grows the
+	// cluster through the hot-join path and shrinks it through the
+	// eviction path at epoch boundaries.
+	Autoscale *AutoscaleConfig
 	// Fault enables deterministic fault injection and fault tolerance
 	// (live backend only).
 	Fault *FaultConfig
@@ -202,8 +221,14 @@ type MLPResult struct {
 	// cluster.
 	Profile *MLPProfile
 	// Evictions records every coordinated worker eviction (fault-tolerant
-	// runs only).
+	// and autoscaled runs).
 	Evictions []EvictionRecord
+	// Joins records every committed worker hot-join (elastic runs only).
+	Joins []JoinRecord
+	// FinalVelocity is the final SGD momentum state, bitwise-identical on
+	// every replica — together with FinalWeights it is a complete training
+	// checkpoint.
+	FinalVelocity []float64
 	// FaultEvents lists the injected faults workers actually consumed, in
 	// step order, using the unified chaos/fault event-record type.
 	FaultEvents []ChaosEventRecord
@@ -267,7 +292,10 @@ func TrainMLPContext(ctx context.Context, cfg MLPConfig) (*MLPResult, error) {
 		rc.Ctx = ctx
 	}
 	if cfg.Fault != nil {
-		if rc.Fault, err = cfg.Fault.lower(len(cfg.LocalBatches), cfg.Seed); err != nil {
+		// The fault rank space spans the initial cluster plus every
+		// scheduled joiner: churn can target a worker that has not joined
+		// yet, and its events lie dormant until the join.
+		if rc.Fault, err = cfg.Fault.lower(len(cfg.LocalBatches)+len(cfg.Joins), cfg.Seed); err != nil {
 			return nil, err
 		}
 	}
@@ -300,6 +328,21 @@ func (cfg *MLPConfig) lowerRuntime() (*runtime.Config, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resume lands on a child stream AFTER the dataset is built, so a
+	// resumed run reproduces the same data but draws the incarnation's
+	// randomness — the stream a join or recovery actually trained with.
+	runSrc := src
+	if cfg.Resume != "" {
+		runSrc = src.Split(cfg.Resume)
+	}
+	joins, err := lowerJoins(cfg.Joins)
+	if err != nil {
+		return nil, err
+	}
+	elastic, err := cfg.Autoscale.lower()
+	if err != nil {
+		return nil, err
+	}
 	sizes := append([]int{cfg.Dim}, cfg.Hidden...)
 	sizes = append(sizes, cfg.Classes)
 
@@ -320,8 +363,11 @@ func (cfg *MLPConfig) lowerRuntime() (*runtime.Config, error) {
 		LinkAlpha:    cfg.LinkAlpha,
 		LinkBeta:     cfg.LinkBeta,
 		Dataset:      ds,
-		Src:          src,
+		Src:          runSrc,
 		InitWeights:  cfg.InitWeights,
+		InitVelocity: cfg.InitVelocity,
+		Joins:        joins,
+		Elastic:      elastic,
 	}
 	if cfg.OnEpoch != nil {
 		hook := cfg.OnEpoch
@@ -355,6 +401,10 @@ func mlpResultOf(r *runtime.Result) *MLPResult {
 		FinalAccuracy: r.FinalAccuracy,
 		Steps:         r.Steps,
 		FinalWeights:  r.FinalWeights,
+		FinalVelocity: r.FinalVelocity,
+	}
+	for _, jr := range r.Joins {
+		res.Joins = append(res.Joins, joinRecordOf(jr))
 	}
 	if r.Profile != nil {
 		res.Profile = summarizeProfile(r.Profile)

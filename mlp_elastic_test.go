@@ -1,0 +1,166 @@
+package cannikin
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// elasticMLPConfig is a small live run with one scheduled hot-join.
+func elasticMLPConfig(seed uint64) MLPConfig {
+	return MLPConfig{
+		LocalBatches: []int{8, 8},
+		Hidden:       []int{16},
+		Dim:          8,
+		Classes:      4,
+		Samples:      256,
+		Epochs:       3,
+		Seed:         seed,
+		Backend:      "live",
+		Joins:        []JoinSpec{{Epoch: 1, Batch: 4}},
+	}
+}
+
+// TestMLPElasticJoinDifferential drives the hot-join through the public
+// API: the join record plus Resume/InitWeights/InitVelocity must be a
+// complete recipe for reproducing the post-join trajectory bitwise.
+func TestMLPElasticJoinDifferential(t *testing.T) {
+	cfg := elasticMLPConfig(5)
+	res, err := TrainMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) != 1 {
+		t.Fatalf("joins = %+v, want one", res.Joins)
+	}
+	jr := res.Joins[0]
+	if jr.Epoch != 1 || jr.Worker != 2 || len(jr.Batches) != 3 {
+		t.Fatalf("join record %+v", jr)
+	}
+	if len(res.FinalVelocity) != len(res.FinalWeights) {
+		t.Fatalf("final velocity %d elems, weights %d", len(res.FinalVelocity), len(res.FinalWeights))
+	}
+
+	fresh := cfg
+	fresh.Joins = nil
+	fresh.LocalBatches = jr.Batches
+	fresh.InitWeights = jr.Checkpoint
+	fresh.InitVelocity = jr.Velocity
+	fresh.Epochs = cfg.Epochs - jr.Epoch
+	fresh.Resume = "join-1"
+	freshRes, err := TrainMLP(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freshRes.FinalWeights) != len(res.FinalWeights) {
+		t.Fatalf("weight dims differ: %d vs %d", len(freshRes.FinalWeights), len(res.FinalWeights))
+	}
+	for i := range res.FinalWeights {
+		if res.FinalWeights[i] != freshRes.FinalWeights[i] {
+			t.Fatalf("weight %d: %v != %v", i, res.FinalWeights[i], freshRes.FinalWeights[i])
+		}
+	}
+}
+
+// TestMLPAutoscaleGrows drives the autoscaler through the public API with
+// default Eq. 8 pricing disabled in favor of growth bounded by MaxWorkers.
+func TestMLPAutoscaleGrows(t *testing.T) {
+	cfg := elasticMLPConfig(7)
+	cfg.Joins = nil
+	cfg.Autoscale = &AutoscaleConfig{
+		MaxWorkers:    3,
+		GrowThreshold: 0.01,
+		JoinBatch:     4,
+	}
+	res, err := TrainMLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default Eq. 8 pricing decides from the measured profile, so the
+	// number of joins is hardware-dependent; membership must stay within
+	// bounds and every join must be the autoscaler's.
+	if res.Workers != 2 {
+		t.Fatalf("initial workers %d", res.Workers)
+	}
+	if len(res.Joins) > 1 {
+		t.Fatalf("autoscaler exceeded MaxWorkers: %+v", res.Joins)
+	}
+	for _, jr := range res.Joins {
+		if !strings.Contains(jr.Reason, "autoscale grow") {
+			t.Fatalf("join reason %q", jr.Reason)
+		}
+		if jr.Batch != 4 {
+			t.Fatalf("join batch %d", jr.Batch)
+		}
+	}
+}
+
+// TestCheckpointFileRoundTrip pins the checkpoint codec's bitwise
+// guarantee on the float64 values decimal formatting mangles: denormals,
+// negative zero, and values needing all 17 significant digits.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	weights := []float64{
+		0, math.Copysign(0, -1), 1.0 / 3.0, math.Pi,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64, 5e-324, 0.1 + 0.2,
+	}
+	velocity := make([]float64, len(weights))
+	for i, x := range weights {
+		velocity[i] = -x / 7
+	}
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	if err := SaveCheckpoint(path, weights, velocity); err != nil {
+		t.Fatal(err)
+	}
+	gotW, gotV, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range weights {
+		if math.Float64bits(gotW[i]) != math.Float64bits(weights[i]) {
+			t.Fatalf("weight %d: %x != %x", i, math.Float64bits(gotW[i]), math.Float64bits(weights[i]))
+		}
+		if math.Float64bits(gotV[i]) != math.Float64bits(velocity[i]) {
+			t.Fatalf("velocity %d: %x != %x", i, math.Float64bits(gotV[i]), math.Float64bits(velocity[i]))
+		}
+	}
+
+	// Velocity-less checkpoints (the post-eviction kind) round-trip to nil.
+	if err := SaveCheckpoint(path, weights, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotV, err = LoadCheckpoint(path); err != nil || gotV != nil {
+		t.Fatalf("velocity-less checkpoint: %v, %v", gotV, err)
+	}
+
+	if err := SaveCheckpoint(path, weights, velocity[:3]); err == nil {
+		t.Fatal("velocity dim mismatch accepted")
+	}
+	if _, _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+// TestMLPElasticValidation pins the public config contracts.
+func TestMLPElasticValidation(t *testing.T) {
+	cfg := elasticMLPConfig(1)
+	cfg.Joins[0].Replan = "chaotic"
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("unknown join replan accepted")
+	}
+	cfg = elasticMLPConfig(1)
+	cfg.Joins[0].Epoch = 99
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("out-of-range join epoch accepted")
+	}
+	cfg = elasticMLPConfig(1)
+	cfg.Autoscale = &AutoscaleConfig{GrowThreshold: -1}
+	if _, err := TrainMLP(cfg); err == nil {
+		t.Fatal("negative autoscale threshold accepted")
+	}
+	if _, _, err := TrainMLPWorker(elasticMLPConfig(1), WorkerRingConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "worker mode") {
+		t.Fatalf("worker-mode join err = %v", err)
+	}
+}

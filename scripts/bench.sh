@@ -31,7 +31,8 @@
 # policy (live >= sequential on like-for-like rows, all-reduce
 # non-increasing in cpu — every algorithm at dim=1024, pipeline/auto at the
 # large dims —, auto >= 2x over the committed ring rows at w8/dim1024,
-# tcp-batch within 1.10x of tcp) and, when a committed BENCH_runtime.json
+# tcp-batch within 1.10x of tcp, hot-join within 1.25x of the equivalent
+# checkpoint-handed split run) and, when a committed BENCH_runtime.json
 # exists in HEAD, gates the trajectory against it (>15% regression on any
 # matching row fails).
 set -eu
@@ -115,6 +116,9 @@ if [ -z "$BENCH_ONLY" ]; then
 	echo "== live-vs-sequential (benchtime $BENCHTIME, $TRAIN_COUNT interleaved runs, cpu $CPUS) =="
 	reps "$TRAIN_COUNT" "$BENCHTIME" . 'BenchmarkTrainMLPLiveVsSequential'
 
+	echo "== elastic join latency (benchtime $BENCHTIME, $TRAIN_COUNT interleaved runs, cpu $CPUS) =="
+	reps "$TRAIN_COUNT" "$BENCHTIME" . 'BenchmarkElasticJoin'
+
 	echo "== tensor kernels (benchtime $KERNEL_BENCHTIME, $KERNEL_COUNT interleaved runs, cpu $CPUS) =="
 	reps "$KERNEL_COUNT" "$KERNEL_BENCHTIME" ./internal/tensor 'BenchmarkMatMul'
 	reps "$KERNEL_COUNT" "$KERNEL_BENCHTIME" ./internal/nn 'BenchmarkLinearForwardBackward|BenchmarkMLPStep$'
@@ -175,6 +179,19 @@ function keepmin(arr, key, val) {
 	keepmin(t, key "/" backend, $3)
 	if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
 }
+# BenchmarkElasticJoin/w<F>to<T>/<leg> rows: the hot-join run (join) vs the
+# identical training arithmetic as two checkpoint-handed static runs
+# (split); join/split is the elasticity tax benchcheck caps.
+/^BenchmarkElasticJoin\// {
+	split($1, parts, "/")
+	conf = parts[2]
+	leg = parts[3]
+	cpu = cpuof(leg); leg = stripcpu(leg)
+	sub(/^w/, "", conf); split(conf, ft, "to")
+	key = ft[1] SUBSEP ft[2] SUBSEP cpu
+	keepmin(ejns, key SUBSEP leg, $3)
+	if (!(key in ejseen)) { ejorder[++ejn] = key; ejseen[key] = 1 }
+}
 /^BenchmarkMatMul|^BenchmarkLinearForwardBackward|^BenchmarkMLPStep/ {
 	name = $1
 	cpu = cpuof(name); name = stripcpu(name)
@@ -200,6 +217,15 @@ END {
 		speedup = (t[key "/live"] > 0) ? t[key "/sim"] / t[key "/live"] : 0
 		printf "    {\"transport\": \"chan\", \"workers\": %s, \"cpu\": %s, \"sim_ns_per_op\": %s, \"live_ns_per_op\": %s, \"live_speedup\": %.4f}%s\n", \
 			kp[1], kp[2], t[key "/sim"], t[key "/live"], speedup, (i < n) ? "," : ""
+	}
+	printf "  ],\n"
+	printf "  \"join_latency\": [\n"
+	for (i = 1; i <= ejn; i++) {
+		key = ejorder[i]; split(key, kp, SUBSEP)
+		jns = ejns[key SUBSEP "join"]; sns = ejns[key SUBSEP "split"]
+		ratio = (sns > 0) ? jns / sns : 0
+		printf "    {\"transport\": \"chan\", \"workers_from\": %s, \"workers_to\": %s, \"cpu\": %s, \"join_ns_per_op\": %s, \"split_ns_per_op\": %s, \"join_over_split\": %.4f}%s\n", \
+			kp[1], kp[2], kp[3], jns, sns, ratio, (i < ejn) ? "," : ""
 	}
 	printf "  ],\n"
 	printf "  \"ring_transport\": [\n"

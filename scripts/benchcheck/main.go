@@ -51,6 +51,13 @@
 //     stay within 1.10x of plain tcp at every cpu — batching may trade a
 //     little latency for fewer writes but must never be a 2x loss.
 //
+//  6. Join-latency gate: on every join_latency row, the run that hot-joins
+//     a worker at an epoch boundary must cost at most 1.25x the identical
+//     training arithmetic performed as two checkpoint-handed static runs —
+//     the membership machinery (probe, bitwise checkpoint verification,
+//     ring rebuild, Eq. 9 rescale) must stay a few percent of an epoch,
+//     never a second training run.
+//
 // Trajectory gate (only when BASELINE.json is given): every NEW row whose
 // (transport, algorithm, workers, dim, cpu) key — or (name, cpu) for
 // kernels — matches a BASELINE row must not be more than 15% slower than
@@ -110,6 +117,14 @@ const (
 	// maxRegression is the trajectory bound: a matched row may be at most
 	// 15% slower than the committed baseline.
 	maxRegression = 1.15
+	// maxJoinOverhead caps the elasticity tax: a run that hot-joins a
+	// worker at an epoch boundary (probe passes, bitwise checkpoint
+	// verification, ring rebuild, Eq. 9 rescale) may cost at most 25% more
+	// than the identical training arithmetic run as two checkpoint-handed
+	// static runs. The machinery itself is a few percent of an epoch; the
+	// band is wide because both legs are multi-hundred-ms runs whose
+	// min-of-reps estimates each move ~10% on a shared host.
+	maxJoinOverhead = 1.25
 )
 
 // largeDims lists the payloads the large-payload scaling gate covers.
@@ -144,6 +159,16 @@ type ringTransportRow struct {
 	MsgsPerBatch float64 `json:"msgs_per_batch"`
 }
 
+type joinLatencyRow struct {
+	Transport     string  `json:"transport"`
+	WorkersFrom   int     `json:"workers_from"`
+	WorkersTo     int     `json:"workers_to"`
+	CPU           int     `json:"cpu"`
+	JoinNsPerOp   float64 `json:"join_ns_per_op"`
+	SplitNsPerOp  float64 `json:"split_ns_per_op"`
+	JoinOverSplit float64 `json:"join_over_split"`
+}
+
 type kernelRow struct {
 	Name    string  `json:"name"`
 	CPU     int     `json:"cpu"`
@@ -155,6 +180,7 @@ type benchFile struct {
 	GoMaxProcs    []int              `json:"gomaxprocs"`
 	AllReduce     []allReduceRow     `json:"allreduce"`
 	TrainMLP      []trainMLPRow      `json:"train_mlp"`
+	JoinLatency   []joinLatencyRow   `json:"join_latency"`
 	RingTransport []ringTransportRow `json:"ring_transport"`
 	Kernels       []kernelRow        `json:"kernels"`
 }
@@ -381,6 +407,31 @@ func check(f, base *benchFile, only string) error {
 		return fmt.Errorf("live-vs-sequential gate was vacuous: no train-mlp row has cpu <= host_cores (%d) and workers >= 2 — the sweep no longer exercises a like-for-like comparison", f.HostCores)
 	}
 
+	// The join-latency sweep: two membership transitions (2->3 and 4->5
+	// workers), once per GOMAXPROCS value, each row carrying both legs.
+	if want := 2 * nCPU; len(f.JoinLatency) != want {
+		return fmt.Errorf("want %d join-latency entries (2 membership transitions x %d cpus), got %d",
+			want, nCPU, len(f.JoinLatency))
+	}
+	for _, r := range f.JoinLatency {
+		if r.Transport != "chan" {
+			return fmt.Errorf("join-latency w%d->%d: transport %q (the elastic bench runs the in-process engines)", r.WorkersFrom, r.WorkersTo, r.Transport)
+		}
+		if r.WorkersTo != r.WorkersFrom+1 {
+			return fmt.Errorf("join-latency w%d->%d: a hot-join admits exactly one worker", r.WorkersFrom, r.WorkersTo)
+		}
+		if !cpus[r.CPU] {
+			return fmt.Errorf("join-latency w%d->%d: cpu %d not in the sweep", r.WorkersFrom, r.WorkersTo, r.CPU)
+		}
+		if r.JoinNsPerOp <= 0 || r.SplitNsPerOp <= 0 {
+			return fmt.Errorf("join-latency w%d->%d cpu=%d: non-positive timing", r.WorkersFrom, r.WorkersTo, r.CPU)
+		}
+		if r.JoinNsPerOp > r.SplitNsPerOp*maxJoinOverhead {
+			return fmt.Errorf("join-latency w%d->%d cpu=%d: hot-join %.0f ns/op is %.2fx the checkpoint-handed split run %.0f ns/op (cap %.2fx) — the membership machinery costs a training run",
+				r.WorkersFrom, r.WorkersTo, r.CPU, r.JoinNsPerOp, r.JoinNsPerOp/r.SplitNsPerOp, r.SplitNsPerOp, maxJoinOverhead)
+		}
+	}
+
 	if len(f.Kernels) == 0 {
 		return fmt.Errorf("no kernel microbenchmark entries")
 	}
@@ -397,8 +448,8 @@ func check(f, base *benchFile, only string) error {
 	if multicore > 0 {
 		fmt.Printf("; live beats sequential by >%.0f%% on all %d multicore rows", 100*(minMulticoreSpeedup-1), multicore)
 	}
-	fmt.Printf("; all-reduce non-increasing in cpu (every algorithm at dim=%d, pipeline/auto at large dims); auto >= %.0fx ring at w%d/dim%d; tcp-batch <= %.2fx tcp)\n",
-		smallDim, minAutoSpeedup, autoGateWorkers, smallDim, maxBatchOverhead)
+	fmt.Printf("; all-reduce non-increasing in cpu (every algorithm at dim=%d, pipeline/auto at large dims); auto >= %.0fx ring at w%d/dim%d; tcp-batch <= %.2fx tcp; hot-join <= %.2fx its split run on %d rows)\n",
+		smallDim, minAutoSpeedup, autoGateWorkers, smallDim, maxBatchOverhead, maxJoinOverhead, len(f.JoinLatency))
 	return nil
 }
 
@@ -502,6 +553,11 @@ func checkTrajectory(f, base *benchFile) error {
 		add("train-mlp/sim", fmt.Sprintf("%s/w%d/cpu%d", r.Transport, r.Workers, r.CPU), r.SimNsPerOp)
 		add("train-mlp/live", fmt.Sprintf("%s/w%d/cpu%d", r.Transport, r.Workers, r.CPU), r.LiveNsPerOp)
 	}
+	for _, r := range base.JoinLatency {
+		key := fmt.Sprintf("%s/w%dto%d/cpu%d", r.Transport, r.WorkersFrom, r.WorkersTo, r.CPU)
+		add("join-latency/join", key, r.JoinNsPerOp)
+		add("join-latency/split", key, r.SplitNsPerOp)
+	}
 	for _, r := range base.Kernels {
 		add("kernel", fmt.Sprintf("%s/cpu%d", r.Name, r.CPU), r.NsPerOp)
 	}
@@ -548,6 +604,15 @@ func checkTrajectory(f, base *benchFile) error {
 			return err
 		}
 		if err := judge("train-mlp/live", key, r.LiveNsPerOp); err != nil {
+			return err
+		}
+	}
+	for _, r := range f.JoinLatency {
+		key := fmt.Sprintf("%s/w%dto%d/cpu%d", r.Transport, r.WorkersFrom, r.WorkersTo, r.CPU)
+		if err := judge("join-latency/join", key, r.JoinNsPerOp); err != nil {
+			return err
+		}
+		if err := judge("join-latency/split", key, r.SplitNsPerOp); err != nil {
 			return err
 		}
 	}

@@ -61,6 +61,22 @@ go build -o "$BIN/cannikin-worker" ./cmd/cannikin-worker
 "$BIN/cannikin" -mlp -transport tcp -mlp-batches 6,6 -epochs 1 \
 	-guard -worker-bin "$BIN/cannikin-worker" >/dev/null
 
+# Elastic lane: the hot-join/autoscaler differential suite asserts bitwise
+# trajectory equality across membership changes (join ≡ fresh run from the
+# join checkpoint; join-then-evict returns to the survivor trajectory), so
+# it must hold under the race detector at every parallelism level.
+echo "== elastic lane: join/evict differential suite -race -cpu 1,2,4 =="
+go test -race -count=1 -cpu 1,2,4 -run 'Elastic|Join|Autoscal' ./internal/runtime .
+go test -race -count=1 -run 'Resize|AutoscaleJobs' ./internal/jobs
+
+echo "== elastic smoke: tcp hot-join, a 4th worker process joins mid-run =="
+# Generation 1 runs 3 worker processes; at epoch 1 the coordinator hands
+# the weights+velocity checkpoint to a 4-process generation. The
+# coordinator verifies the final hash on every rank and against the
+# in-process hot-join reference, so exit 0 is the bitwise cross-check.
+"$BIN/cannikin" -mlp -transport tcp -mlp-batches 6,4,2 -epochs 2 \
+	-join 1:4 -worker-bin "$BIN/cannikin-worker" >/dev/null
+
 echo "== live-backend smoke: short epochs through the CLI =="
 go run ./cmd/cannikin -mlp -backend live -epochs 2 -mlp-batches 16,8,4 -bucket-bytes 2048 -kernel-shards 2 >/dev/null
 
@@ -117,5 +133,8 @@ go test -run='^$' -fuzz=FuzzEstimators -fuzztime=10s ./internal/gns
 
 echo "== fault fuzz smoke: runtime FuzzRingFaults =="
 go test -run='^$' -fuzz=FuzzRingFaults -fuzztime=10s ./internal/runtime
+
+echo "== elastic fuzz smoke: runtime FuzzElasticMembership =="
+go test -run='^$' -fuzz=FuzzElasticMembership -fuzztime=10s ./internal/runtime
 
 echo "OK"

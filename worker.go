@@ -62,6 +62,9 @@ func TrainMLPWorker(cfg MLPConfig, ring WorkerRingConfig) (*MLPResult, *RingStat
 	if cfg.Fault != nil {
 		return nil, nil, errors.New("cannikin: fault injection is not supported in worker mode")
 	}
+	if len(cfg.Joins) > 0 || cfg.Autoscale != nil {
+		return nil, nil, errors.New("cannikin: hot-join is not supported in worker mode: the coordinator runs one process generation per membership (resume the grown ring with InitWeights/InitVelocity and Resume instead)")
+	}
 	if cfg.Backend != "" {
 		return nil, nil, fmt.Errorf("cannikin: worker mode selects its own backend (got %q)", cfg.Backend)
 	}
